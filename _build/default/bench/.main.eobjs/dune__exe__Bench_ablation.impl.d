@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Attack Core Format List Ndn Option Privacy Sim Workload

@@ -1,0 +1,1 @@
+bench/bench_fig4.ml: Float Format Hashtbl List Option Privacy Theorems

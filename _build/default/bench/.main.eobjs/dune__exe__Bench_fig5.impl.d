@@ -1,0 +1,1 @@
+bench/bench_fig5.ml: Core Format Printf Workload

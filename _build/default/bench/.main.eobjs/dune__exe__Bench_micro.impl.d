@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Array Bechamel Bechamel_notty Benchmark Core Format Instance Int64 List Measure Ndn Ndn_crypto Notty Notty_unix Printf Sim Staged String Test Time Toolkit Unix Workload

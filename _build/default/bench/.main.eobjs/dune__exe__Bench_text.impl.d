@@ -1,0 +1,1 @@
+bench/bench_text.ml: Attack Core Format List Ndn Printf

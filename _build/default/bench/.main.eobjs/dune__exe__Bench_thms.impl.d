@@ -1,0 +1,1 @@
+bench/bench_thms.ml: Attack Bayes Composition Core Dist Format List Outputs Printf Privacy Sim Theorems

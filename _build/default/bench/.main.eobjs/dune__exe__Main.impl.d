@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_fig3 Bench_fig4 Bench_fig5 Bench_micro Bench_text Bench_thms Format List String Sys

@@ -1,0 +1,92 @@
+(* Figure 4: closed-form utility comparison of Uniform-Random-Cache and
+   Exponential-Random-Cache.
+
+   (a) u(c) for c = 1..100 at delta = 0.05, k in {1, 5}, with the
+       exponential scheme at eps in {0.03, 0.04, 0.05};
+   (b) maximal utility difference (exponential - uniform) when
+       eps = -ln(1 - delta) (the K -> infinity point of the
+       exponential scheme), for delta in {0.01, 0.03, 0.05}. *)
+
+open Privacy
+
+let cs = [ 1; 5; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+
+let run_a () =
+  let delta = 0.05 in
+  Format.printf "@.--- Figure 4(a): utility at delta = %.2f ---@." delta;
+  List.iter
+    (fun k ->
+      let domain_u = Theorems.Uniform.domain_for_delta ~k ~delta in
+      let expos =
+        List.filter_map
+          (fun eps ->
+            let alpha = Theorems.Exponential.alpha_for_epsilon ~k ~eps in
+            match Theorems.Exponential.domain_for_delta ~k ~alpha ~delta with
+            | Some domain -> Some (eps, alpha, domain)
+            | None -> None)
+          [ 0.03; 0.04; 0.05 ]
+      in
+      Format.printf "@.k = %d   (uniform: K = %d" k domain_u;
+      List.iter
+        (fun (eps, alpha, domain) ->
+          Format.printf "; expo eps=%.2f: alpha=%.5f K=%d" eps alpha domain)
+        expos;
+      Format.printf ")@.";
+      Format.printf "%6s | %10s" "c" "Uniform";
+      List.iter (fun (eps, _, _) -> Format.printf " | %s=%.2f" "Expo eps" eps) expos;
+      Format.printf "@.";
+      List.iter
+        (fun c ->
+          Format.printf "%6d | %10.4f" c (Theorems.Uniform.utility_paper ~c ~domain:domain_u);
+          List.iter
+            (fun (_, alpha, domain) ->
+              Format.printf " | %13.4f" (Theorems.Exponential.utility_paper ~c ~alpha ~domain))
+            expos;
+          Format.printf "@.")
+        cs)
+    [ 1; 5 ]
+
+let run_b () =
+  Format.printf
+    "@.--- Figure 4(b): utility difference (expo - uniform) at eps = -ln(1-delta) ---@.";
+  Format.printf "paper: difference peaks around 0.12 and decays with c@.";
+  List.iter
+    (fun k ->
+      Format.printf "@.k = %d@." k;
+      Format.printf "%6s" "c";
+      List.iter (fun delta -> Format.printf " | delta=%.2f" delta) [ 0.01; 0.03; 0.05 ];
+      Format.printf "@.";
+      let max_diff = Hashtbl.create 4 in
+      List.iter
+        (fun c ->
+          Format.printf "%6d" c;
+          List.iter
+            (fun delta ->
+              let domain_u = Theorems.Uniform.domain_for_delta ~k ~delta in
+              (* eps = -ln(1-delta) makes alpha^k = 1-delta: the
+                 exponential scheme's K -> infinity point. *)
+              let eps = -.log (1. -. delta) in
+              let alpha = Theorems.Exponential.alpha_for_epsilon ~k ~eps in
+              let diff =
+                Theorems.Exponential.utility_paper_unbounded ~c ~alpha
+                -. Theorems.Uniform.utility_paper ~c ~domain:domain_u
+              in
+              Hashtbl.replace max_diff delta
+                (Float.max diff
+                   (Option.value (Hashtbl.find_opt max_diff delta) ~default:neg_infinity));
+              Format.printf " | %10.4f" diff)
+            [ 0.01; 0.03; 0.05 ];
+          Format.printf "@.")
+        cs;
+      Format.printf "max difference:";
+      List.iter
+        (fun delta ->
+          Format.printf "  delta=%.2f -> %.4f" delta (Hashtbl.find max_diff delta))
+        [ 0.01; 0.03; 0.05 ];
+      Format.printf "@.")
+    [ 1; 5 ]
+
+let run () =
+  Format.printf "@.================ Figure 4: privacy-utility trade-off ================@.";
+  run_a ();
+  run_b ()

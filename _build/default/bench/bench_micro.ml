@@ -1,0 +1,150 @@
+(* Bechamel micro-benchmarks of the hot paths: name handling, trie
+   lookup, content-store operations, PIT, Algorithm 1, HMAC, and
+   whole-trace replay throughput. *)
+
+open Bechamel
+open Toolkit
+
+let names =
+  Array.init 1024 (fun i ->
+      Ndn.Name.of_string (Printf.sprintf "/bench/ns%d/content/%d" (i mod 16) i))
+
+let test_name_parse =
+  Test.make ~name:"name/of_string"
+    (Staged.stage (fun () -> Ndn.Name.of_string "/cnn/news/2013may20/segment/137"))
+
+let test_name_prefix =
+  let prefix = Ndn.Name.of_string "/bench/ns3" in
+  Test.make ~name:"name/is_prefix"
+    (Staged.stage (fun () -> Ndn.Name.is_prefix ~prefix names.(771)))
+
+let test_trie_longest_prefix =
+  let trie = Ndn.Name_trie.create () in
+  Array.iteri (fun i n -> Ndn.Name_trie.add trie (Ndn.Name.prefix n 2) i) names;
+  Test.make ~name:"trie/longest_prefix"
+    (Staged.stage (fun () -> Ndn.Name_trie.longest_prefix trie names.(99)))
+
+let test_cs_ops =
+  let cs = Ndn.Content_store.create ~capacity:512 () in
+  let data =
+    Array.map
+      (fun n -> Ndn.Data.create ~producer:"bench" ~key:"k" ~payload:"x" n)
+      names
+  in
+  let i = ref 0 in
+  Test.make ~name:"content_store/insert+lookup(lru)"
+    (Staged.stage (fun () ->
+         let j = !i land 1023 in
+         incr i;
+         Ndn.Content_store.insert cs ~now:(float_of_int !i) data.(j) ();
+         ignore
+           (Ndn.Content_store.lookup cs ~now:(float_of_int !i) ~exact:true
+              names.((j + 512) land 1023))))
+
+let test_pit =
+  let pit = Ndn.Pit.create () in
+  let i = ref 0 in
+  Test.make ~name:"pit/insert+satisfy"
+    (Staged.stage (fun () ->
+         let j = !i land 1023 in
+         incr i;
+         ignore (Ndn.Pit.insert pit ~now:0. ~face:1 ~nonce:(Int64.of_int !i) names.(j));
+         ignore (Ndn.Pit.satisfy pit names.(j))))
+
+let test_random_cache =
+  let rng = Sim.Rng.create 1 in
+  let rc = Core.Random_cache.create ~kdist:(Core.Kdist.Uniform 200) ~rng () in
+  let i = ref 0 in
+  Test.make ~name:"random_cache/on_request"
+    (Staged.stage (fun () ->
+         incr i;
+         Core.Random_cache.on_request rc names.(!i land 1023)))
+
+let test_hmac =
+  Test.make ~name:"crypto/hmac-sha256-64B"
+    (Staged.stage
+       (let msg = String.make 64 'm' in
+        fun () -> Ndn_crypto.Hmac.mac ~key:"benchmark-key" msg))
+
+let test_sha_1k =
+  Test.make ~name:"crypto/sha256-1KiB"
+    (Staged.stage
+       (let msg = String.make 1024 's' in
+        fun () -> Ndn_crypto.Sha256.digest msg))
+
+let test_rng =
+  let rng = Sim.Rng.create 2 in
+  Test.make ~name:"rng/gaussian" (Staged.stage (fun () -> Sim.Rng.gaussian rng ~mean:0. ~stddev:1.))
+
+let test_engine =
+  Test.make ~name:"engine/schedule+run-64"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         for i = 1 to 64 do
+           ignore (Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> ()))
+         done;
+         Sim.Engine.run e))
+
+let test_replay_1k =
+  let trace =
+    Workload.Ircache.generate
+      { Workload.Ircache.default with Workload.Ircache.requests = 1_000; seed = 5 }
+  in
+  Test.make ~name:"replay/1k-requests-lru-expo"
+    (Staged.stage (fun () ->
+         Workload.Replay.replay trace
+           {
+             Workload.Replay.default_config with
+             Workload.Replay.cache_capacity = 200;
+             policy =
+               Core.Policy.Random_cache
+                 (Core.Kdist.Truncated_geometric { alpha = 0.999; domain = 200 });
+             private_mode = Workload.Replay.Per_content 0.2;
+           }))
+
+let tests =
+  Test.make_grouped ~name:"ndn-cache-privacy" ~fmt:"%s %s"
+    [
+      test_name_parse;
+      test_name_prefix;
+      test_trie_longest_prefix;
+      test_cs_ops;
+      test_pit;
+      test_random_cache;
+      test_hmac;
+      test_sha_1k;
+      test_rng;
+      test_engine;
+      test_replay_1k;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ minor_allocated; monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let run () =
+  Format.printf "@.================ Micro-benchmarks (Bechamel) ================@.";
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Instance.[ minor_allocated; monotonic_clock ];
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let results = benchmark () in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.output_image Notty.I.(img <-> void 0 1)

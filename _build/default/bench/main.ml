@@ -1,0 +1,53 @@
+(* Benchmark harness: regenerates every figure and in-text claim of the
+   paper's evaluation, checks the theorems against ground truth, and
+   runs Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- fig3         # one experiment family
+     dune exec bench/main.exe -- fig5 --full  # paper-scale trace (3.2M)
+     dune exec bench/main.exe -- all --fast   # quick smoke pass
+
+   Experiment index (see DESIGN.md for the full mapping):
+     fig3  - Figure 3(a-d): timing-attack RTT distributions
+     fig4  - Figure 4(a,b): closed-form utility comparison
+     fig5  - Figure 5(a,b): trace-driven cache-hit rates
+     text  - in-text claims (amplification, scope probe, naive leak,
+             correlation/grouping)
+     thms  - Theorems VI.1-VI.4 vs exact enumeration / Monte-Carlo
+     ablation - design-choice ablations
+     micro - Bechamel micro-benchmarks *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|micro]... [--fast|--full]";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale =
+    if List.mem "--full" args then 4 else if List.mem "--fast" args then 1 else 2
+  in
+  let fig5_scale =
+    (* fig5 cost is dominated by trace length: 100k requests per unit.
+       --full matches the paper's 3.2M requests. *)
+    if List.mem "--full" args then 32 else if List.mem "--fast" args then 1 else 3
+  in
+  let selected =
+    match List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args with
+    | [] -> [ "all" ]
+    | names -> names
+  in
+  let want name = List.mem "all" selected || List.mem name selected in
+  List.iter
+    (fun name ->
+      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "micro" ])
+      then usage ())
+    selected;
+  if want "fig3" then Bench_fig3.run ~scale ();
+  if want "fig4" then Bench_fig4.run ();
+  if want "fig5" then Bench_fig5.run ~scale:fig5_scale ();
+  if want "text" then Bench_text.run ~scale ();
+  if want "thms" then Bench_thms.run ~scale ();
+  if want "ablation" then Bench_ablation.run ~scale ();
+  if want "micro" then Bench_micro.run ();
+  Format.printf "@.done.@."

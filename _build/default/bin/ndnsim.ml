@@ -1,0 +1,476 @@
+(* ndnsim: command-line interface to the cache-privacy laboratory.
+
+     ndnsim attack   --topology lan --contents 100 --runs 5
+     ndnsim defend   --countermeasure specific
+     ndnsim trace    --requests 400000 --out trace.txt
+     ndnsim replay   --requests 200000 --policy expo --capacity 8000
+     ndnsim theorems --k 5 --delta 0.05
+     ndnsim probe    --warm /prod/a --target /prod/a
+
+   Every experiment of the paper is reachable from here; `bench/main.exe`
+   regenerates the figures wholesale. *)
+
+open Cmdliner
+
+(* --- shared argument definitions --- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic RNG seed.")
+
+let topology_arg =
+  let parse = function
+    | "lan" -> Ok `Lan
+    | "wan" -> Ok `Wan
+    | "producer" -> Ok `Producer
+    | "local" -> Ok `Local
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf
+      (match t with `Lan -> "lan" | `Wan -> "wan" | `Producer -> "producer" | `Local -> "local")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Lan
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:"Measurement topology: $(b,lan), $(b,wan), $(b,producer) or $(b,local).")
+
+let make_setup_of_topology = function
+  | `Lan -> fun ~seed -> Ndn.Network.lan ~seed ()
+  | `Wan -> fun ~seed -> Ndn.Network.wan ~seed ()
+  | `Producer -> fun ~seed -> Ndn.Network.wan_producer ~seed ()
+  | `Local -> fun ~seed -> Ndn.Network.local_host ~seed ()
+
+let countermeasure_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "none" ] -> Ok `None
+    | [ "specific" ] -> Ok (`Delay Core.Delay.Content_specific)
+    | [ "constant"; gamma ] -> (
+      match float_of_string_opt gamma with
+      | Some g when g >= 0. -> Ok (`Delay (Core.Delay.Constant g))
+      | _ -> Error (`Msg "constant:<gamma-ms> expects a non-negative float"))
+    | [ "dynamic" ] ->
+      Ok (`Delay (Core.Delay.Dynamic { floor = 2.; half_life_requests = 10. }))
+    | [ "uniform"; k; delta ] -> (
+      match (int_of_string_opt k, float_of_string_opt delta) with
+      | Some k, Some delta when k > 0 && delta > 0. ->
+        Ok (`Random (Core.Kdist.uniform_for ~k ~delta))
+      | _ -> Error (`Msg "uniform:<k>:<delta>"))
+    | [ "expo"; k; eps; delta ] -> (
+      match
+        (int_of_string_opt k, float_of_string_opt eps, float_of_string_opt delta)
+      with
+      | Some k, Some eps, Some delta -> (
+        match Core.Kdist.exponential_for ~k ~eps ~delta with
+        | Some kd -> Ok (`Random kd)
+        | None -> Error (`Msg "expo: delta below 1 - alpha^k is infeasible"))
+      | _ -> Error (`Msg "expo:<k>:<eps>:<delta>"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown countermeasure %S" s))
+  in
+  let print ppf _ = Format.pp_print_string ppf "<countermeasure>" in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `None
+    & info [ "countermeasure" ] ~docv:"CM"
+        ~doc:
+          "Router countermeasure: $(b,none), $(b,specific), \
+           $(b,constant:GAMMA), $(b,dynamic), $(b,uniform:K:DELTA) or \
+           $(b,expo:K:EPS:DELTA).")
+
+let attach_countermeasure router ~seed = function
+  | `None -> ()
+  | `Delay policy ->
+    ignore
+      (Core.Private_router.attach router ~rng:(Sim.Rng.create seed)
+         (Core.Private_router.Delay_private policy))
+  | `Random kdist ->
+    ignore
+      (Core.Private_router.attach router ~rng:(Sim.Rng.create seed)
+         (Core.Private_router.Random_cache_mimic
+            { kdist; grouping = Core.Grouping.By_namespace 2 }))
+
+(* --- attack: the Figure 3 measurement campaign --- *)
+
+let attack_cmd =
+  let run topology contents runs seed =
+    let result =
+      Attack.Timing_experiment.run
+        ~make_setup:(make_setup_of_topology topology)
+        ~contents ~runs ~seed ()
+    in
+    Attack.Timing_experiment.pp_result Format.std_formatter result
+  in
+  let contents =
+    Arg.(value & opt int 100 & info [ "contents" ] ~docv:"N" ~doc:"Contents per run.")
+  in
+  let runs =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Independent runs (fresh caches).")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the cache timing attack and report hit/miss RTT histograms.")
+    Term.(const run $ topology_arg $ contents $ runs $ seed_arg)
+
+(* --- defend: attack vs countermeasure --- *)
+
+let defend_cmd =
+  let run topology cm contents runs seed =
+    let base_make = make_setup_of_topology topology in
+    (* The defended variant marks all content producer-private so the
+       countermeasure engages. *)
+    let private_producer =
+      { Ndn.Network.default_producer_config with producer_private = true }
+    in
+    let producer_make ~seed =
+      let setup =
+        match topology with
+        | `Lan -> Ndn.Network.lan ~seed ~producer:private_producer ()
+        | `Wan -> Ndn.Network.wan ~seed ~producer:private_producer ()
+        | `Producer -> Ndn.Network.wan_producer ~seed ~producer:private_producer ()
+        | `Local -> Ndn.Network.local_host ~seed ~producer:private_producer ()
+      in
+      attach_countermeasure setup.Ndn.Network.router ~seed:(seed + 10_000) cm;
+      setup
+    in
+    let baseline =
+      Attack.Timing_experiment.run ~make_setup:base_make ~contents ~runs ~seed ()
+    in
+    let defended =
+      Attack.Timing_experiment.run ~make_setup:producer_make ~contents ~runs ~seed ()
+    in
+    Format.printf "undefended distinguisher: %.2f%%@."
+      (100. *. baseline.Attack.Timing_experiment.success_rate);
+    Format.printf "defended distinguisher:   %.2f%%@."
+      (100. *. defended.Attack.Timing_experiment.success_rate)
+  in
+  let contents =
+    Arg.(value & opt int 60 & info [ "contents" ] ~docv:"N" ~doc:"Contents per run.")
+  in
+  let runs = Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Runs.") in
+  Cmd.v
+    (Cmd.info "defend"
+       ~doc:"Measure distinguisher accuracy with and without a countermeasure.")
+    Term.(const run $ topology_arg $ countermeasure_arg $ contents $ runs $ seed_arg)
+
+(* --- trace generation --- *)
+
+let trace_cmd =
+  let run requests users out seed =
+    let cfg =
+      { Workload.Ircache.default with Workload.Ircache.requests; users; seed }
+    in
+    let trace = Workload.Ircache.generate cfg in
+    Format.printf "%a@." Workload.Trace.pp_summary trace;
+    match out with
+    | Some path ->
+      Workload.Trace.save trace ~path;
+      Format.printf "saved to %s@." path
+    | None -> ()
+  in
+  let requests =
+    Arg.(value & opt int 400_000 & info [ "requests" ] ~docv:"N" ~doc:"Request count.")
+  in
+  let users = Arg.(value & opt int 185 & info [ "users" ] ~docv:"N" ~doc:"User count.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Save to file.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate the synthetic IRCache-like workload.")
+    Term.(const run $ requests $ users $ out $ seed_arg)
+
+(* --- replay --- *)
+
+let replay_cmd =
+  let run trace_file squid_file requests policy capacity private_frac k eps delta
+      seed =
+    let trace =
+      match (trace_file, squid_file) with
+      | Some path, _ -> Workload.Trace.load ~path
+      | None, Some path ->
+        let trace, stats = Workload.Squid_log.load ~path in
+        Format.printf "squid log: %d lines parsed, %d skipped@."
+          stats.Workload.Squid_log.parsed stats.Workload.Squid_log.skipped;
+        trace
+      | None, None ->
+        Workload.Ircache.generate
+          { Workload.Ircache.default with Workload.Ircache.requests; seed }
+    in
+    Format.printf "workload: %a@." Workload.Trace.pp_summary trace;
+    let kind =
+      match policy with
+      | "none" -> Core.Policy.No_privacy
+      | "always" -> Core.Policy.Always_delay
+      | "uniform" -> Core.Policy.Random_cache (Core.Kdist.uniform_for ~k ~delta)
+      | "expo" -> (
+        match Core.Kdist.exponential_for ~k ~eps ~delta with
+        | Some kd -> Core.Policy.Random_cache kd
+        | None -> failwith "expo parameters infeasible (delta < 1 - alpha^k)")
+      | s -> failwith (Printf.sprintf "unknown policy %S" s)
+    in
+    let outcome =
+      Workload.Replay.replay trace
+        {
+          Workload.Replay.default_config with
+          Workload.Replay.cache_capacity = capacity;
+          policy = kind;
+          private_mode = Workload.Replay.Per_content private_frac;
+          seed;
+        }
+    in
+    Format.printf "%a@." Workload.Replay.pp_outcome outcome
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Load a saved trace.")
+  in
+  let squid_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "squid" ] ~docv:"FILE"
+          ~doc:"Load a Squid access.log (the IRCache trace format).")
+  in
+  let requests =
+    Arg.(value & opt int 200_000 & info [ "requests" ] ~docv:"N" ~doc:"Synthetic trace size.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:"Cache policy: $(b,none), $(b,always), $(b,uniform) or $(b,expo).")
+  in
+  let capacity =
+    Arg.(value & opt int 8000 & info [ "capacity" ] ~docv:"N" ~doc:"Cache entries; 0 = unbounded.")
+  in
+  let private_frac =
+    Arg.(value & opt float 0.2 & info [ "private-frac" ] ~docv:"F" ~doc:"Private content fraction.")
+  in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Anonymity parameter k.") in
+  let eps = Arg.(value & opt float 0.005 & info [ "eps" ] ~docv:"E" ~doc:"Privacy eps (expo).") in
+  let delta = Arg.(value & opt float 0.05 & info [ "delta" ] ~docv:"D" ~doc:"Privacy delta.") in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a workload through a privacy-aware cache.")
+    Term.(
+      const run $ trace_file $ squid_file $ requests $ policy $ capacity
+      $ private_frac $ k $ eps $ delta $ seed_arg)
+
+(* --- theorems --- *)
+
+let theorems_cmd =
+  let run k delta eps =
+    let domain = Privacy.Theorems.Uniform.domain_for_delta ~k ~delta in
+    Format.printf "Uniform-Random-Cache: K = %d gives (%d, 0, %.4f)-privacy@." domain
+      k
+      (Privacy.Theorems.Uniform.delta ~k ~domain);
+    Format.printf "  exact achieved delta: %.5f@."
+      (Privacy.Outputs.achieved_delta
+         ~k_dist:(Privacy.Theorems.Uniform.k_dist ~domain)
+         ~k ~probes:(domain + k) ~eps:0.);
+    let alpha = Privacy.Theorems.Exponential.alpha_for_epsilon ~k ~eps in
+    match Privacy.Theorems.Exponential.domain_for_delta ~k ~alpha ~delta with
+    | Some domain_e ->
+      Format.printf
+        "Exponential-Random-Cache: alpha = %.5f, K = %d gives (%d, %.4f, %.4f)-privacy@."
+        alpha domain_e k eps
+        (Privacy.Theorems.Exponential.delta ~k ~alpha ~domain:domain_e);
+      Format.printf "  exact achieved delta: %.5f@."
+        (Privacy.Outputs.achieved_delta
+           ~k_dist:(Privacy.Theorems.Exponential.k_dist ~alpha ~domain:domain_e)
+           ~k
+           ~probes:(domain_e + k)
+           ~eps);
+      List.iter
+        (fun c ->
+          Format.printf "  u(%3d): uniform %.4f  expo %.4f@." c
+            (Privacy.Theorems.Uniform.utility_exact ~c ~domain)
+            (Privacy.Theorems.Exponential.utility_exact ~c ~alpha ~domain:domain_e))
+        [ 1; 10; 50; 100 ]
+    | None ->
+      Format.printf
+        "Exponential-Random-Cache: infeasible (delta %.4f < 1 - alpha^k = %.4f)@."
+        delta
+        (Privacy.Theorems.Exponential.delta_limit ~k ~alpha)
+  in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Anonymity parameter.") in
+  let delta = Arg.(value & opt float 0.05 & info [ "delta" ] ~docv:"D" ~doc:"Target delta.") in
+  let eps = Arg.(value & opt float 0.05 & info [ "eps" ] ~docv:"E" ~doc:"Target eps.") in
+  Cmd.v
+    (Cmd.info "theorems" ~doc:"Solve scheme parameters and verify the privacy theorems.")
+    Term.(const run $ k $ delta $ eps)
+
+(* --- leak: Bayesian leakage quantification --- *)
+
+let leak_cmd =
+  let run k delta max_count =
+    let domain = Privacy.Theorems.Uniform.domain_for_delta ~k ~delta in
+    let probes = domain + max_count + 2 in
+    Format.printf
+      "hidden request count uniform on 0..%d (%.3f bits); adversary probes %d times@."
+      max_count
+      (Privacy.Bayes.entropy (Privacy.Dist.uniform_int (max_count + 1)))
+      probes;
+    List.iter
+      (fun (label, kdist) ->
+        Format.printf "%-34s leaks %.3f bits@." label
+          (Attack.Popularity_attack.information_leak_bits ~kdist ~max_count ~probes))
+      [
+        (Printf.sprintf "naive threshold k=%d" k, Core.Kdist.Constant k);
+        ( Printf.sprintf "Uniform-Random-Cache K=%d" domain,
+          Core.Kdist.Uniform domain );
+        ( Printf.sprintf "Expo-Random-Cache a=.97 K=%d" domain,
+          Core.Kdist.Truncated_geometric { alpha = 0.97; domain } );
+      ]
+  in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Anonymity parameter.") in
+  let delta = Arg.(value & opt float 0.05 & info [ "delta" ] ~docv:"D" ~doc:"Privacy delta.") in
+  let max_count =
+    Arg.(value & opt int 10 & info [ "max-count" ] ~docv:"N" ~doc:"Largest hidden count considered.")
+  in
+  Cmd.v
+    (Cmd.info "leak"
+       ~doc:"Quantify information leakage (bits) of cache schemes via Bayesian inference.")
+    Term.(const run $ k $ delta $ max_count)
+
+(* --- interact: conversation-detection experiment --- *)
+
+let interact_cmd =
+  let run unpredictable trials frames seed =
+    let naming =
+      if unpredictable then Core.Interactive_session.Unpredictable "dh-secret"
+      else Core.Interactive_session.Predictable
+    in
+    let r = Attack.Interaction_attack.run ~naming ~trials ~frames ~seed () in
+    Format.printf
+      "conversation detection (%s names): accuracy %.2f, %d false positives, %d false negatives over %d trials@."
+      (if unpredictable then "unpredictable" else "predictable")
+      r.Attack.Interaction_attack.accuracy
+      r.Attack.Interaction_attack.false_positives
+      r.Attack.Interaction_attack.false_negatives r.Attack.Interaction_attack.trials
+  in
+  let unpredictable =
+    Arg.(value & flag & info [ "unpredictable" ] ~doc:"Protect the session with HMAC-derived names.")
+  in
+  let trials = Arg.(value & opt int 16 & info [ "trials" ] ~docv:"N" ~doc:"Trials.") in
+  let frames = Arg.(value & opt int 12 & info [ "frames" ] ~docv:"N" ~doc:"Frames per call.") in
+  Cmd.v
+    (Cmd.info "interact"
+       ~doc:"Detect two-way interactive communication through the shared router.")
+    Term.(const run $ unpredictable $ trials $ frames $ seed_arg)
+
+(* --- probe: one-off interactive probing --- *)
+
+let probe_cmd =
+  let run topology warm target scope seed =
+    let setup = (make_setup_of_topology topology) ~seed in
+    List.iter
+      (fun w ->
+        ignore
+          (Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.user
+             (Ndn.Name.of_string w));
+        Format.printf "warmed %s (via honest user U)@." w)
+      warm;
+    let name = Ndn.Name.of_string target in
+    match
+      Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.adversary
+        ?scope ~timeout_ms:1000. name
+    with
+    | Some rtt -> Format.printf "probe %s -> %.3f ms@." target rtt
+    | None -> Format.printf "probe %s -> timeout@." target
+  in
+  let warm =
+    Arg.(
+      value & opt_all string []
+      & info [ "warm" ] ~docv:"NAME" ~doc:"Content the honest user fetches first (repeatable).")
+  in
+  let target =
+    Arg.(value & opt string "/prod/x" & info [ "target" ] ~docv:"NAME" ~doc:"Name to probe.")
+  in
+  let scope =
+    Arg.(value & opt (some int) None & info [ "scope" ] ~docv:"N" ~doc:"Interest scope field.")
+  in
+  Cmd.v
+    (Cmd.info "probe" ~doc:"Issue a single adversarial probe in a chosen topology.")
+    Term.(const run $ topology_arg $ warm $ target $ scope $ seed_arg)
+
+(* --- topo: run probes in a user-defined topology --- *)
+
+let topo_cmd =
+  let run file warm_node warm probe_node target scope seed =
+    match Ndn.Topology_spec.parse_file ~seed ~path:file () with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 1
+    | Ok topo ->
+      Format.printf "topology: %d nodes (%s)@."
+        (List.length topo.Ndn.Topology_spec.nodes)
+        (String.concat ", " (List.map fst topo.Ndn.Topology_spec.nodes));
+      let resolve label =
+        match List.assoc_opt label topo.Ndn.Topology_spec.nodes with
+        | Some node -> node
+        | None ->
+          Format.eprintf "no node %S in the topology@." label;
+          exit 1
+      in
+      List.iter
+        (fun w ->
+          match
+            Ndn.Network.fetch_rtt topo.Ndn.Topology_spec.network
+              ~from:(resolve warm_node) (Ndn.Name.of_string w)
+          with
+          | Some rtt -> Format.printf "%s fetched %s: %.3f ms@." warm_node w rtt
+          | None -> Format.printf "%s fetch of %s timed out@." warm_node w)
+        warm;
+      (match target with
+      | Some t -> (
+        match
+          Ndn.Network.fetch_rtt topo.Ndn.Topology_spec.network
+            ~from:(resolve probe_node) ?scope ~timeout_ms:1000.
+            (Ndn.Name.of_string t)
+        with
+        | Some rtt -> Format.printf "%s probes %s: %.3f ms@." probe_node t rtt
+        | None -> Format.printf "%s probes %s: timeout@." probe_node t)
+      | None -> ())
+  in
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"Topology specification file.")
+  in
+  let warm_node =
+    Arg.(value & opt string "U" & info [ "warm-node" ] ~docv:"NODE" ~doc:"Node issuing warm fetches.")
+  in
+  let warm =
+    Arg.(value & opt_all string [] & info [ "warm" ] ~docv:"NAME" ~doc:"Content to pre-fetch (repeatable).")
+  in
+  let probe_node =
+    Arg.(value & opt string "Adv" & info [ "probe-node" ] ~docv:"NODE" ~doc:"Node issuing the probe.")
+  in
+  let target =
+    Arg.(value & opt (some string) None & info [ "target" ] ~docv:"NAME" ~doc:"Name to probe.")
+  in
+  let scope =
+    Arg.(value & opt (some int) None & info [ "scope" ] ~docv:"N" ~doc:"Probe scope field.")
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Run fetches and probes in a topology defined in a spec file.")
+    Term.(const run $ file $ warm_node $ warm $ probe_node $ target $ scope $ seed_arg)
+
+let () =
+  let doc = "NDN cache-privacy laboratory (ICDCS 2013 reproduction)" in
+  let info = Cmd.info "ndnsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            attack_cmd;
+            defend_cmd;
+            trace_cmd;
+            replay_cmd;
+            theorems_cmd;
+            probe_cmd;
+            leak_cmd;
+            interact_cmd;
+            topo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/segmented_video.ml: Char Core Format Ndn Printf Sim String

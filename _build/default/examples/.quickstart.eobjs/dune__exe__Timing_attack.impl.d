@@ -1,0 +1,1 @@
+examples/timing_attack.ml: Attack Core Format Fun List Ndn Printf Sim String

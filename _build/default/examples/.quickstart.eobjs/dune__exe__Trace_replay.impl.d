@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Core Format List Option Sys Workload

@@ -1,0 +1,1 @@
+examples/tradeoff_explorer.ml: Array Format List Outputs Privacy Sys Theorems

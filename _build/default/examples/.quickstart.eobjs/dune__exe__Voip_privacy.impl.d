@@ -1,0 +1,1 @@
+examples/voip_privacy.ml: Core Format Ndn Printf

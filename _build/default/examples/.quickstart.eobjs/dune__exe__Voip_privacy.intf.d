@@ -1,0 +1,1 @@
+examples/voip_privacy.mli:

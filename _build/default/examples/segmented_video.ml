@@ -1,0 +1,102 @@
+(* Segmented content: amplification attack vs grouped defence.
+
+     dune exec examples/segmented_video.exe
+
+   Large NDN content is split into many content objects (Section II).
+   That helps the adversary — probing any one segment suffices, and
+   probing all of them amplifies a weak distinguisher (Section III) —
+   unless the router groups the segments into ONE Algorithm-1 unit via
+   the producer-assigned content id (Section VI). *)
+
+let () =
+  Format.printf "== Segmented video: amplification and the grouping defence ==@.@.";
+
+  (* A 16-segment "video" published by P, producer-private, all
+     segments sharing one content id. *)
+  let publish setup =
+    let base = setup.Ndn.Network.prefix in
+    let base = Ndn.Name.concat base (Ndn.Name.of_string "/movies/holiday.avi") in
+    Ndn.Node.add_producer setup.Ndn.Network.producer_host ~prefix:base
+      (Ndn.Segmentation.producer_handler ~base ~producer:"P"
+         ~key:setup.Ndn.Network.producer_key ~producer_private:true
+         ~content_id:"holiday.avi"
+         ~payload:(String.init 16_000 (fun i -> Char.chr (32 + (i mod 95))))
+         ~segment_size:1000 ());
+    base
+  in
+
+  (* 1. Undefended router: one viewer watches; the adversary probes a
+     single segment and wins on timing. *)
+  Format.printf "-- undefended router --@.";
+  let setup = Ndn.Network.lan ~seed:21 () in
+  let base = publish setup in
+  let watched = ref None in
+  Ndn.Segmentation.fetch_all setup.Ndn.Network.user ~base
+    ~on_complete:(fun r -> watched := r)
+    ();
+  Ndn.Network.run setup.Ndn.Network.net;
+  Format.printf "viewer downloaded the video: %s@."
+    (match !watched with Some p -> Printf.sprintf "%d bytes" (String.length p) | None -> "FAILED");
+  let probe_segment setup i =
+    Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.adversary
+      (Ndn.Segmentation.segment_name ~base i)
+  in
+  (match probe_segment setup 7 with
+  | Some rtt ->
+    Format.printf "adversary probes segment 7: %.2f ms -> %s@." rtt
+      (if rtt < 5. then "CACHE HIT — the video was watched here!" else "miss")
+  | None -> Format.printf "probe timed out@.");
+
+  (* 2. Defended router: the video is popular (three viewings), and the
+     adversary sweeps all 16 segments.  Ungrouped Random-Cache lets it
+     sample 16 independent thresholds; content-id grouping gives it one
+     threshold — but ONLY helps when the threshold domain is scaled by
+     the group size (16 segments per viewing advance the group counter
+     by 16). *)
+  let attack_with ~seed ~grouping ~domain ~label =
+    let setup = Ndn.Network.lan ~seed () in
+    let base = publish setup in
+    ignore
+      (Core.Private_router.attach setup.Ndn.Network.router
+         ~rng:(Sim.Rng.create ((seed * 13) + 1))
+         (Core.Private_router.Random_cache_mimic
+            { kdist = Core.Kdist.Uniform domain; grouping }));
+    for _viewing = 1 to 3 do
+      let done_ = ref None in
+      Ndn.Segmentation.fetch_all setup.Ndn.Network.user ~base
+        ~on_complete:(fun r -> done_ := r)
+        ();
+      Ndn.Network.run setup.Ndn.Network.net
+    done;
+    (* The adversary probes every segment once and counts fast replies. *)
+    let fast = ref 0 in
+    for i = 0 to 15 do
+      match probe_segment setup i with
+      | Some rtt when rtt < 5. -> incr fast
+      | _ -> ()
+    done;
+    Format.printf "%-58s %2d/16 fast %s@." label !fast
+      (if !fast > 0 then "-> watched (LEAK)" else "-> learns nothing")
+  in
+  Format.printf
+    "@.-- defended router, the video viewed 3 times, adversary sweeps all segments --@.";
+  attack_with ~seed:22 ~grouping:Core.Grouping.By_content ~domain:24
+    ~label:"  ungrouped, K=24 (16 independent thresholds):";
+  attack_with ~seed:23 ~grouping:Core.Grouping.By_content_id ~domain:24
+    ~label:"  content-id grouped, K=24 (counter >> K: exhausted!):";
+  attack_with ~seed:24 ~grouping:Core.Grouping.By_content_id ~domain:(24 * 16)
+    ~label:"  content-id grouped, K=24*16 (domain scaled by M):";
+  Format.printf
+    "@.(The scaled-domain outcome is itself probabilistic: the single group@.";
+  Format.printf
+    " threshold hides the history unless it was drawn below the accumulated@.";
+  Format.printf
+    " counter — here ~1/8.  That residual is exactly Theorem VI.1's delta.)@.";
+  Format.printf
+    "@.Grouping alone is not enough: one viewing advances the shared counter by@.";
+  Format.printf
+    "all 16 segments, so the threshold domain must scale with the group size@.";
+  Format.printf
+    "(EXPERIMENTS.md, finding 3).  The producer declared content_id on every@.";
+  Format.printf
+    "segment and the router built the group automatically as objects flowed by.@."

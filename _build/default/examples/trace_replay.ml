@@ -1,0 +1,61 @@
+(* Operator's view: what does cache privacy cost on a real workload?
+
+     dune exec examples/trace_replay.exe -- [requests] [private_fraction]
+
+   Generates the synthetic IRCache-like trace (Section VII), replays it
+   through each cache-management algorithm at one cache size, and
+   reports the observable hit-rate cost of each privacy level — the
+   decision an ISP deploying NDN routers would actually face. *)
+
+let () =
+  let requests =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 150_000
+  in
+  let private_fraction =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.2
+  in
+  Format.printf "== Trace replay: the price of cache privacy ==@.@.";
+  let cfg = { Workload.Ircache.default with Workload.Ircache.requests } in
+  let trace = Workload.Ircache.generate cfg in
+  Format.printf "workload: %a@." Workload.Trace.pp_summary trace;
+  Format.printf "private content fraction: %.0f%%@." (100. *. private_fraction);
+  let k = 5 and delta = 0.05 in
+  let uniform = Core.Kdist.uniform_for ~k ~delta in
+  let expo =
+    Option.get (Core.Kdist.exponential_for ~k ~eps:0.005 ~delta)
+  in
+  Format.printf
+    "privacy target: conceal up to k=%d requests per content at delta=%.2f@.@."
+    k delta;
+  let cache_capacity = 8000 in
+  Format.printf "cache: %d entries, LRU@.@." cache_capacity;
+  Format.printf "%-30s | %12s | %12s | %14s@." "algorithm" "hit rate" "vs baseline"
+    "hidden hits";
+  let baseline = ref 0. in
+  List.iter
+    (fun (label, policy) ->
+      let outcome =
+        Workload.Replay.replay trace
+          {
+            Workload.Replay.default_config with
+            Workload.Replay.cache_capacity;
+            policy;
+            private_mode = Workload.Replay.Per_content private_fraction;
+          }
+      in
+      let rate = 100. *. Workload.Replay.observable_hit_rate outcome in
+      if !baseline = 0. then baseline := rate;
+      Format.printf "%-30s | %11.2f%% | %+11.2f%% | %14d@." label rate
+        (rate -. !baseline) outcome.Workload.Replay.hidden_hits)
+    [
+      ("No privacy (leaky)", Core.Policy.No_privacy);
+      ("Exponential-Random-Cache", Core.Policy.Random_cache expo);
+      ("Uniform-Random-Cache", Core.Policy.Random_cache uniform);
+      ("Always delay private", Core.Policy.Always_delay);
+    ];
+  Format.printf
+    "@.Reading: Random-Cache concedes a few hit-rate points for a provable@.";
+  Format.printf
+    "(k, eps, delta) guarantee; Always-Delay maximizes privacy at the cost@.";
+  Format.printf "of every private hit.  Bandwidth is preserved in all cases —@.";
+  Format.printf "hidden hits are served from the cache, only slower.@."

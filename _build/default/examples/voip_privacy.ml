@@ -1,0 +1,73 @@
+(* Interactive-traffic privacy with unpredictable names (Section V-A).
+
+     dune exec examples/voip_privacy.exe
+
+   Alice (consumer side) and Bob (producer side) run a VoIP-style
+   session across the shared router R.  They derive each frame's name
+   from a shared secret with HMAC-SHA256, so the adversary — who also
+   sits behind R — cannot construct any name to probe R's cache with.
+   Meanwhile a lost frame re-requested by Alice is served from R's
+   cache, keeping loss recovery fast (the reason interactive traffic
+   should not simply disable caching). *)
+
+let () =
+  Format.printf "== VoIP session privacy via unpredictable names ==@.@.";
+  let producer_cfg =
+    { Ndn.Network.default_producer_config with strict_match = true }
+  in
+  let setup = Ndn.Network.lan ~producer:producer_cfg () in
+  let call_prefix = Ndn.Name.of_string "/prod/alice-bob/call-2013may20" in
+  let session = Core.Unpredictable_names.create ~secret:"dh-shared-secret" ~prefix:call_prefix in
+
+  (* Bob's side: serve only authentic session names. *)
+  Ndn.Node.add_producer setup.Ndn.Network.producer_host ~prefix:call_prefix
+    ~production_delay_ms:0.2 (fun interest ->
+      match Core.Unpredictable_names.verify_name session interest.Ndn.Interest.name with
+      | Some seq ->
+        Some
+          (Core.Unpredictable_names.make_data session ~producer:"bob"
+             ~key:setup.Ndn.Network.producer_key ~freshness_ms:5000.
+             ~payload:(Printf.sprintf "voice-frame-%04d" seq) ~seq ())
+      | None -> None);
+
+  (* Alice fetches a burst of frames. *)
+  Format.printf "Alice fetches frames 0..9:@.";
+  for seq = 0 to 9 do
+    let frame = Core.Unpredictable_names.name_of_seq session ~seq in
+    match Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.user frame with
+    | Some rtt ->
+      if seq < 3 then Format.printf "  frame %d: %a  %.2f ms@." seq Ndn.Name.pp frame rtt
+    | None -> Format.printf "  frame %d: LOST@." seq
+  done;
+  Format.printf "  ... (names end in an HMAC-derived %d-bit component)@.@."
+    Core.Unpredictable_names.guess_space_bits;
+
+  (* Packet loss recovery: re-requesting frame 7 hits R's cache. *)
+  let frame7 = Core.Unpredictable_names.name_of_seq session ~seq:7 in
+  (match Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.user frame7 with
+  | Some rtt ->
+    Format.printf "Alice re-requests frame 7 (simulating loss): %.2f ms — served from R's cache@." rtt
+  | None -> Format.printf "re-request failed@.");
+
+  (* The adversary tries everything it can name. *)
+  Format.printf "@.The adversary probes R:@.";
+  let probe label name =
+    match
+      Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.adversary
+        ~timeout_ms:400. name
+    with
+    | Some rtt -> Format.printf "  %-48s -> %.2f ms (LEAK!)@." label rtt
+    | None -> Format.printf "  %-48s -> timeout (learns nothing)@." label
+  in
+  probe "prefix /prod/alice-bob/call-2013may20"
+    (Ndn.Name.of_string "/prod/alice-bob/call-2013may20");
+  probe "guessing frame number /.../7"
+    (Ndn.Name.of_string "/prod/alice-bob/call-2013may20/7");
+  probe "guessing a rand component"
+    (Ndn.Name.append (Ndn.Name.of_string "/prod/alice-bob/call-2013may20/7")
+       "0123456789abcdef0123");
+  Format.printf
+    "@.Strict matching (footnote 5) stops prefix probing; the HMAC-derived@.";
+  Format.printf
+    "component stops name guessing.  Cache utility for the honest parties@.";
+  Format.printf "is retained (loss recovery above), at zero router cost.@."

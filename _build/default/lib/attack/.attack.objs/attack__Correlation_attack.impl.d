@@ -1,0 +1,1 @@
+lib/attack/correlation_attack.ml: Core Ndn Printf Privacy Sim

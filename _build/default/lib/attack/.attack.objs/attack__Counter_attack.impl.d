@@ -1,0 +1,1 @@
+lib/attack/counter_attack.ml: Core Ndn Sim

@@ -1,0 +1,1 @@
+lib/attack/counter_attack.mli: Core Ndn

@@ -1,0 +1,1 @@
+lib/attack/deployment_experiment.ml: Array Core Detector Format List Ndn Printf Sim

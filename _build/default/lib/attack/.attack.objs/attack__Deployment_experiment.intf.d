@@ -1,0 +1,1 @@
+lib/attack/deployment_experiment.mli: Format

@@ -1,0 +1,1 @@
+lib/attack/interaction_attack.mli: Core Ndn

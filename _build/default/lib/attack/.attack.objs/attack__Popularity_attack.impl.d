@@ -1,0 +1,1 @@
+lib/attack/popularity_attack.ml: Core List Ndn Option Privacy Sim

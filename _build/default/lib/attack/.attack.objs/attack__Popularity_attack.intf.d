@@ -1,0 +1,1 @@
+lib/attack/popularity_attack.mli: Core Privacy

@@ -1,0 +1,1 @@
+lib/attack/probe.ml: Ndn Network Option

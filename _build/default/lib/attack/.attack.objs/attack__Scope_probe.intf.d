@@ -1,0 +1,1 @@
+lib/attack/scope_probe.mli: Ndn

@@ -1,0 +1,1 @@
+lib/attack/segment_attack.ml: Array Detector List Ndn Printf Probe

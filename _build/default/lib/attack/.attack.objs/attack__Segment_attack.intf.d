@@ -1,0 +1,1 @@
+lib/attack/segment_attack.mli: Ndn

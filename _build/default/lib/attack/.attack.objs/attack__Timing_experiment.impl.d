@@ -1,0 +1,1 @@
+lib/attack/timing_experiment.ml: Array Detector Float Format List Ndn Printf Probe Sim

@@ -1,0 +1,1 @@
+lib/attack/timing_experiment.mli: Format Ndn Sim

@@ -1,0 +1,24 @@
+open Ndn
+
+let measure (setup : Network.probe_setup) ~from ?scope ?consumer_private name =
+  Network.fetch_rtt setup.Network.net ~from ?scope ?consumer_private name
+
+let warm (setup : Network.probe_setup) name =
+  ignore (measure setup ~from:setup.Network.user name)
+
+let baseline_hit_rtt (setup : Network.probe_setup) name =
+  let adv = setup.Network.adversary in
+  ignore (measure setup ~from:adv name);
+  measure setup ~from:adv name
+
+type decision = Was_cached | Not_cached
+
+let two_probe_decision (setup : Network.probe_setup) ~target ~reference
+    ?margin_ms () =
+  let d1 = measure setup ~from:setup.Network.adversary target in
+  let d2 = baseline_hit_rtt setup reference in
+  match (d1, d2) with
+  | Some d1, Some d2 ->
+    let margin = Option.value margin_ms ~default:(0.25 *. d2) in
+    Some (if d1 <= d2 +. margin then Was_cached else Not_cached)
+  | _ -> None

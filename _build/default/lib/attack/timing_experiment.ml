@@ -1,0 +1,71 @@
+type result = {
+  hit_samples : float array;
+  miss_samples : float array;
+  hit_hist : Sim.Histogram.t;
+  miss_hist : Sim.Histogram.t;
+  success_rate : float;
+  timeouts : int;
+}
+
+let collect ~make_setup ~contents ~runs ~seed =
+  let hits = ref [] and misses = ref [] and timeouts = ref 0 in
+  for run = 0 to runs - 1 do
+    (* A fresh setup per run = the paper's "every time starting with an
+       empty cache for R". *)
+    let setup = make_setup ~seed:(seed + run) in
+    for i = 0 to contents - 1 do
+      let warm_name =
+        Ndn.Name.of_string (Printf.sprintf "/prod/run%d/warm/%d" run i)
+      in
+      let cold_name =
+        Ndn.Name.of_string (Printf.sprintf "/prod/run%d/cold/%d" run i)
+      in
+      Probe.warm setup warm_name;
+      (match Probe.measure setup ~from:setup.Ndn.Network.adversary warm_name with
+      | Some rtt -> hits := rtt :: !hits
+      | None -> incr timeouts);
+      match Probe.measure setup ~from:setup.Ndn.Network.adversary cold_name with
+      | Some rtt -> misses := rtt :: !misses
+      | None -> incr timeouts
+    done
+  done;
+  (Array.of_list (List.rev !hits), Array.of_list (List.rev !misses), !timeouts)
+
+let summarize ~bins (hit_samples, miss_samples, timeouts) =
+  let lo =
+    Float.min
+      (Array.fold_left Float.min infinity hit_samples)
+      (Array.fold_left Float.min infinity miss_samples)
+  in
+  let hi =
+    Float.max
+      (Array.fold_left Float.max neg_infinity hit_samples)
+      (Array.fold_left Float.max neg_infinity miss_samples)
+  in
+  let hi = if hi <= lo then lo +. 1. else hi +. 1e-6 in
+  let hit_hist = Sim.Histogram.create ~lo ~hi ~bins in
+  let miss_hist = Sim.Histogram.create ~lo ~hi ~bins in
+  Array.iter (Sim.Histogram.add hit_hist) hit_samples;
+  Array.iter (Sim.Histogram.add miss_hist) miss_samples;
+  let success_rate =
+    Detector.success_rate ~hit_samples ~miss_samples ()
+  in
+  { hit_samples; miss_samples; hit_hist; miss_hist; success_rate; timeouts }
+
+let run ~make_setup ?(contents = 100) ?(runs = 10) ?(seed = 7) ?(bins = 40) () =
+  summarize ~bins (collect ~make_setup ~contents ~runs ~seed)
+
+let run_producer_privacy = run
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "hits: n=%d mean=%.3fms  misses: n=%d mean=%.3fms  timeouts=%d@."
+    (Array.length r.hit_samples)
+    (Sim.Stats.mean_of r.hit_samples)
+    (Array.length r.miss_samples)
+    (Sim.Stats.mean_of r.miss_samples)
+    r.timeouts;
+  Sim.Histogram.pp_two ~labels:("cache hit", "cache miss") ppf
+    (r.hit_hist, r.miss_hist);
+  Format.fprintf ppf "distinguisher success rate: %.2f%%@."
+    (100. *. r.success_rate)

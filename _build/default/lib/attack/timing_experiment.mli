@@ -1,0 +1,46 @@
+(** The measurement campaigns behind Figure 3: collect hit-vs-miss RTT
+    distributions in a given topology and quantify how well the
+    adversary distinguishes them. *)
+
+type result = {
+  hit_samples : float array;  (** RTTs of probes served from the probed cache. *)
+  miss_samples : float array;  (** RTTs of probes served from beyond it. *)
+  hit_hist : Sim.Histogram.t;
+  miss_hist : Sim.Histogram.t;  (** Shared bin layout with [hit_hist]. *)
+  success_rate : float;
+      (** Held-out balanced accuracy of the trained {!Detector} — the
+          number the paper reports (99.9% LAN, >99% WAN, 59%
+          producer). *)
+  timeouts : int;
+}
+
+val run :
+  make_setup:(seed:int -> Ndn.Network.probe_setup) ->
+  ?contents:int ->
+  ?runs:int ->
+  ?seed:int ->
+  ?bins:int ->
+  unit ->
+  result
+(** Reproduce the paper's procedure: per run (fresh caches), the
+    producer publishes [contents] objects, the honest user U fetches
+    the "warm" half, and the adversary then probes warm names (hit
+    samples) and never-requested names (miss samples).  Defaults:
+    [contents = 100] per run, [runs = 10], 40 histogram [bins]. *)
+
+val run_producer_privacy :
+  make_setup:(seed:int -> Ndn.Network.probe_setup) ->
+  ?contents:int ->
+  ?runs:int ->
+  ?seed:int ->
+  ?bins:int ->
+  unit ->
+  result
+(** Variant for Figure 3(c): "hit" means {e some consumer} recently
+    requested the content (it sits in R's cache), "miss" means only
+    the producer has it.  Identical mechanics, different
+    interpretation; kept separate so call sites document which claim
+    they reproduce. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** Histograms side by side plus the distinguisher success rate. *)

@@ -1,0 +1,1 @@
+lib/core/interactive_session.ml: Ndn Option Printf Sim Unpredictable_names

@@ -1,0 +1,1 @@
+lib/core/interactive_session.mli: Ndn

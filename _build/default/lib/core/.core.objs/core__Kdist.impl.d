@@ -1,0 +1,1 @@
+lib/core/kdist.ml: Format List Privacy Sim

@@ -1,0 +1,1 @@
+lib/core/kdist.mli: Format Privacy Sim

@@ -1,0 +1,1 @@
+lib/core/marking.ml: Ndn String

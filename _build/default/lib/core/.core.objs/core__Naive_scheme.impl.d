@@ -1,0 +1,1 @@
+lib/core/naive_scheme.ml: Ndn Random_cache

@@ -1,0 +1,1 @@
+lib/core/naive_scheme.mli: Ndn Random_cache

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Grouping Kdist Ndn Option Random_cache

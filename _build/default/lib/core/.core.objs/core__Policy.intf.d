@@ -1,0 +1,1 @@
+lib/core/policy.mli: Grouping Kdist Ndn Random_cache Sim

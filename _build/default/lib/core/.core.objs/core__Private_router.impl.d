@@ -1,0 +1,1 @@
+lib/core/private_router.ml: Delay Format Grouping Kdist Marking Ndn Option Random_cache

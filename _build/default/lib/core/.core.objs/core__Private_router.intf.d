@@ -1,0 +1,1 @@
+lib/core/private_router.mli: Delay Format Grouping Kdist Marking Ndn Sim

@@ -1,0 +1,1 @@
+lib/core/random_cache.ml: Format Kdist Ndn Sim

@@ -1,0 +1,1 @@
+lib/core/random_cache.mli: Format Kdist Ndn Sim

@@ -1,0 +1,1 @@
+lib/core/unpredictable_names.ml: Ndn Ndn_crypto String

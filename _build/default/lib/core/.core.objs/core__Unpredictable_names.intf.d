@@ -1,0 +1,1 @@
+lib/core/unpredictable_names.mli: Ndn

@@ -1,0 +1,21 @@
+type t = By_content | By_namespace of int | By_content_id
+
+let key t ~registry name =
+  match t with
+  | By_content -> name
+  | By_namespace depth -> Ndn.Name.namespace name ~depth
+  | By_content_id -> (
+    match Ndn.Name.Tbl.find_opt registry name with
+    | Some group -> group
+    | None -> name)
+
+let register_id ~registry ~name ~id =
+  (* Content-id groups live in a reserved namespace so they can never
+     collide with real content names. *)
+  Ndn.Name.Tbl.replace registry name
+    (Ndn.Name.of_components [ "__content-id"; id ])
+
+let pp ppf = function
+  | By_content -> Format.pp_print_string ppf "by-content"
+  | By_namespace d -> Format.fprintf ppf "by-namespace(%d)" d
+  | By_content_id -> Format.pp_print_string ppf "by-content-id"

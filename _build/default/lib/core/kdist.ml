@@ -1,0 +1,56 @@
+type t =
+  | Uniform of int
+  | Truncated_geometric of { alpha : float; domain : int }
+  | Constant of int
+  | Weighted of (int * float) list
+
+let uniform_for ~k ~delta =
+  Uniform (Privacy.Theorems.Uniform.domain_for_delta ~k ~delta)
+
+let exponential_for ~k ~eps ~delta =
+  let alpha = Privacy.Theorems.Exponential.alpha_for_epsilon ~k ~eps in
+  match Privacy.Theorems.Exponential.domain_for_delta ~k ~alpha ~delta with
+  | Some domain -> Some (Truncated_geometric { alpha; domain })
+  | None -> None
+
+let sample_weighted rng pairs =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+  let u = Sim.Rng.float rng total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Kdist.sample: empty weighted distribution"
+    | [ (v, _) ] -> v
+    | (v, w) :: rest -> if acc +. w > u then v else pick (acc +. w) rest
+  in
+  pick 0. pairs
+
+let sample t rng =
+  match t with
+  | Uniform domain -> Sim.Rng.int rng domain
+  | Truncated_geometric { alpha; domain } ->
+    if alpha >= 1. then Sim.Rng.int rng domain
+    else
+      (* Rejection from the untruncated geometric keeps the exact
+         conditional law; acceptance probability is 1 - alpha^domain. *)
+      let rec draw () =
+        let g = Sim.Rng.geometric rng ~p:(1. -. alpha) in
+        if g < domain then g else draw ()
+      in
+      draw ()
+  | Constant k -> k
+  | Weighted pairs -> sample_weighted rng pairs
+
+let to_dist = function
+  | Uniform domain -> Privacy.Dist.uniform_int domain
+  | Truncated_geometric { alpha; domain } ->
+    Privacy.Dist.geometric_truncated ~alpha ~domain
+  | Constant k -> Privacy.Dist.constant k
+  | Weighted pairs -> Privacy.Dist.of_list pairs
+
+let mean t = Privacy.Dist.mean (to_dist t)
+
+let pp ppf = function
+  | Uniform domain -> Format.fprintf ppf "U(0,%d)" domain
+  | Truncated_geometric { alpha; domain } ->
+    Format.fprintf ppf "G~(%.5f,0,%d)" alpha (domain - 1)
+  | Constant k -> Format.fprintf ppf "const(%d)" k
+  | Weighted pairs -> Format.fprintf ppf "weighted(%d outcomes)" (List.length pairs)

@@ -1,0 +1,37 @@
+(** Threshold distributions for Random-Cache (the random variable K of
+    Algorithm 1).
+
+    This is the sampling-side twin of the analytic distributions in
+    {!Privacy.Dist}: {!sample} draws a concrete per-content threshold
+    k_C; {!to_dist} exposes the same law to the formal framework so
+    code and analysis can never drift apart. *)
+
+type t =
+  | Uniform of int
+      (** U(0, K): Uniform-Random-Cache.  Payload is the domain size K. *)
+  | Truncated_geometric of { alpha : float; domain : int }
+      (** G̃(α, 0, K−1): Exponential-Random-Cache. *)
+  | Constant of int
+      (** Degenerate threshold — the insecure naïve scheme of Section
+          VI, kept as an attackable baseline. *)
+  | Weighted of (int * float) list
+      (** Arbitrary finite threshold law, for ablations. *)
+
+val uniform_for : k:int -> delta:float -> t
+(** The Uniform-Random-Cache instantiation achieving
+    (k, 0, δ)-privacy: domain [K = ⌈2k/δ⌉] (Theorem VI.1). *)
+
+val exponential_for : k:int -> eps:float -> delta:float -> t option
+(** The Exponential-Random-Cache instantiation achieving
+    (k, ε, δ)-privacy: [α = e^{−ε/k}] and the smallest feasible domain
+    (Theorem VI.3); [None] when δ < 1 − α^k is unachievable. *)
+
+val sample : t -> Sim.Rng.t -> int
+(** Draw a threshold k_C. *)
+
+val to_dist : t -> int Privacy.Dist.t
+(** The exact law of {!sample}. *)
+
+val mean : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** Privacy-aware NDN router: wires the paper's countermeasures into a
+    live {!Ndn.Node} forwarder via its cache-response strategy.
+
+    This is the network-level realization of the policies: hidden hits
+    become artificially delayed responses (served from the cache —
+    bandwidth is preserved), private misses can be padded, marking
+    rules combine producer and consumer privacy bits, and Algorithm 1
+    state is keyed by content group. *)
+
+type countermeasure =
+  | No_countermeasure
+      (** Plain NDN (the attackable baseline). *)
+  | Delay_private of Delay.t
+      (** Section V-B: every hit on private content is delayed per the
+          given delay policy; with {!Delay.Constant} the miss path is
+          padded to the same total γ. *)
+  | Random_cache_mimic of { kdist : Kdist.t; grouping : Grouping.t }
+      (** Section VI: Algorithm 1 decides hit/miss; a "miss" decision
+          on cached private content is served from the cache after the
+          recorded first-fetch delay γ_C, so it is indistinguishable
+          from a real miss in timing. *)
+
+type stats = {
+  public_hits : int;  (** Cache hits served immediately (public). *)
+  private_hits_served : int;  (** Private hits Algorithm 1 revealed. *)
+  private_hits_hidden : int;  (** Private hits disguised as misses. *)
+  misses_padded : int;  (** Miss responses padded to the target delay. *)
+}
+
+type t
+
+val attach : Ndn.Node.t -> rng:Sim.Rng.t -> countermeasure -> t
+(** Install the countermeasure on a node (replacing its strategy).
+
+    Hidden hits mimic misses against {e every} observation channel:
+    timing (artificial delay), and the scope=2 oracle — a scope-limited
+    interest for a hidden hit takes the true miss path, so it dies at
+    the scope boundary exactly as if the content were absent. *)
+
+val node : t -> Ndn.Node.t
+
+val countermeasure : t -> countermeasure
+
+val stats : t -> stats
+
+val marking : t -> Marking.t
+(** The router's marking/trigger state (exposed for tests). *)
+
+val fetch_delay : t -> Ndn.Name.t -> float option
+(** The recorded γ_C for a name, if the router fetched it. *)
+
+val pp_stats : Format.formatter -> stats -> unit

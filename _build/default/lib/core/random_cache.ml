@@ -1,0 +1,44 @@
+type output = Hit | Miss
+
+type state = { k_c : int; mutable c_c : int }
+
+type t = { kdist : Kdist.t; rng : Sim.Rng.t; table : state Ndn.Name.Tbl.t }
+
+let create ~kdist ~rng () = { kdist; rng; table = Ndn.Name.Tbl.create 256 }
+
+let kdist t = t.kdist
+
+let on_request t key =
+  match Ndn.Name.Tbl.find_opt t.table key with
+  | None ->
+    (* Algorithm 1, lines 4-8. *)
+    let k_c = Kdist.sample t.kdist t.rng in
+    Ndn.Name.Tbl.replace t.table key { k_c; c_c = 0 };
+    Miss
+  | Some st ->
+    (* Algorithm 1, lines 10-14. *)
+    st.c_c <- st.c_c + 1;
+    if st.c_c <= st.k_c then Miss else Hit
+
+let request_count t key =
+  match Ndn.Name.Tbl.find_opt t.table key with
+  | None -> 0
+  | Some st -> st.c_c
+
+let threshold t key =
+  match Ndn.Name.Tbl.find_opt t.table key with
+  | None -> None
+  | Some st -> Some st.k_c
+
+let tracked t = Ndn.Name.Tbl.length t.table
+
+let forget t key = Ndn.Name.Tbl.remove t.table key
+
+let reset t = Ndn.Name.Tbl.reset t.table
+
+let pp_output ppf = function
+  | Hit -> Format.pp_print_string ppf "hit"
+  | Miss -> Format.pp_print_string ppf "miss"
+
+let output_equal a b =
+  match (a, b) with Hit, Hit | Miss, Miss -> true | Hit, Miss | Miss, Hit -> false

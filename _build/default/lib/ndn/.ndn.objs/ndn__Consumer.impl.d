@@ -1,0 +1,1 @@
+lib/ndn/consumer.ml: Data Float List Node Option Sim

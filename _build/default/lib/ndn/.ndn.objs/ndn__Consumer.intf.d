@@ -1,0 +1,1 @@
+lib/ndn/consumer.mli: Data Name Node

@@ -1,0 +1,1 @@
+lib/ndn/content_store.ml: Array Data Eviction Format Name Name_trie Option Sim

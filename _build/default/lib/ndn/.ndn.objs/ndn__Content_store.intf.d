@@ -1,0 +1,1 @@
+lib/ndn/content_store.mli: Data Eviction Format Name Sim

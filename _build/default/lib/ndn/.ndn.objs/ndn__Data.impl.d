@@ -1,0 +1,1 @@
+lib/ndn/data.ml: Format Name Ndn_crypto Option String

@@ -1,0 +1,1 @@
+lib/ndn/data.mli: Format Name

@@ -1,0 +1,1 @@
+lib/ndn/eviction.mli: Format

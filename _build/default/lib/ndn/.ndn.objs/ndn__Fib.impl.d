@@ -1,0 +1,1 @@
+lib/ndn/fib.ml: List Name_trie

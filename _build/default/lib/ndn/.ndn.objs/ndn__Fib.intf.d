@@ -1,0 +1,1 @@
+lib/ndn/fib.mli: Name

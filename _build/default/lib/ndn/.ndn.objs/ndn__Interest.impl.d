@@ -1,0 +1,1 @@
+lib/ndn/interest.ml: Format Int64 Name Printf

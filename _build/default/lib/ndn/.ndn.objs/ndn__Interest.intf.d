@@ -1,0 +1,1 @@
+lib/ndn/interest.mli: Format Name

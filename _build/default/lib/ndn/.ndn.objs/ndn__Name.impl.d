@@ -1,0 +1,1 @@
+lib/ndn/name.ml: Format Hashtbl List Map Set String

@@ -1,0 +1,1 @@
+lib/ndn/name.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/ndn/name_trie.ml: List Map Name String

@@ -1,0 +1,1 @@
+lib/ndn/name_trie.mli: Name

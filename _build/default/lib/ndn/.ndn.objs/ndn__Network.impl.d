@@ -1,0 +1,1 @@
+lib/ndn/network.ml: Buffer Data Fib Interest Name Ndn_crypto Node Option Printf Sim

@@ -1,0 +1,1 @@
+lib/ndn/network.mli: Eviction Name Node Sim

@@ -1,0 +1,1 @@
+lib/ndn/node.ml: Array Content_store Data Eviction Fib Format Interest Lazy List Name_trie Option Packet Pit Sim

@@ -1,0 +1,1 @@
+lib/ndn/node.mli: Content_store Data Eviction Fib Format Interest Name Packet Pit Sim

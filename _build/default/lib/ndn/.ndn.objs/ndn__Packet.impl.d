@@ -1,0 +1,1 @@
+lib/ndn/packet.ml: Data Interest Name String

@@ -1,0 +1,1 @@
+lib/ndn/packet.mli: Data Format Interest Name

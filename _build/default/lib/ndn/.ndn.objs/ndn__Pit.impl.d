@@ -1,0 +1,1 @@
+lib/ndn/pit.ml: Float Hashtbl Int64 List Name_trie

@@ -1,0 +1,1 @@
+lib/ndn/pit.mli: Name

@@ -1,0 +1,1 @@
+lib/ndn/segmentation.ml: Array Buffer Data Hashtbl Interest List Name Node String

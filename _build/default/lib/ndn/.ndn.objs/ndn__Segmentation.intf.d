@@ -1,0 +1,1 @@
+lib/ndn/segmentation.mli: Data Interest Name Node

@@ -1,0 +1,1 @@
+lib/ndn/topology_spec.ml: Buffer Data Eviction Fun Hashtbl Interest List Name Ndn_crypto Network Node Printf Result Sim String

@@ -1,0 +1,1 @@
+lib/ndn/topology_spec.mli: Network Node Sim

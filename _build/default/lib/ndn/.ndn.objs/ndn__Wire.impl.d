@@ -1,0 +1,1 @@
+lib/ndn/wire.ml: Buffer Char Data Format Int64 Interest List Name Packet Printf Result String

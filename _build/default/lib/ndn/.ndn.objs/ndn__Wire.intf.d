@@ -1,0 +1,1 @@
+lib/ndn/wire.mli: Data Format Interest Packet

@@ -1,0 +1,90 @@
+module Rtt_estimator = struct
+  type t = {
+    mutable srtt : float option;
+    mutable rttvar : float;
+    mutable rto : float;
+    mutable n : int;
+  }
+
+  let min_rto = 10.
+  let max_rto = 60_000.
+
+  let create ?(initial_rto_ms = 1000.) () =
+    { srtt = None; rttvar = 0.; rto = initial_rto_ms; n = 0 }
+
+  let clamp v = Float.min max_rto (Float.max min_rto v)
+
+  let observe t ~rtt_ms =
+    t.n <- t.n + 1;
+    (match t.srtt with
+    | None ->
+      t.srtt <- Some rtt_ms;
+      t.rttvar <- rtt_ms /. 2.
+    | Some srtt ->
+      (* RFC 6298 constants: alpha = 1/8, beta = 1/4. *)
+      t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (srtt -. rtt_ms));
+      t.srtt <- Some ((0.875 *. srtt) +. (0.125 *. rtt_ms)));
+    t.rto <- clamp (Option.get t.srtt +. (4. *. t.rttvar))
+
+  let srtt t = t.srtt
+
+  let rto t = t.rto
+
+  let backoff t = t.rto <- clamp (t.rto *. 2.)
+
+  let samples t = t.n
+end
+
+type outcome = { data : Data.t option; attempts : int; elapsed_ms : float }
+
+let fetch node ?(max_retries = 3) ?estimator ?consumer_private ~on_done name =
+  let estimator =
+    match estimator with Some e -> e | None -> Rtt_estimator.create ()
+  in
+  let engine = Node.engine node in
+  let started = Sim.Engine.now engine in
+  let finished = ref false in
+  let rec attempt n =
+    if not !finished then
+      Node.express_interest node ?consumer_private
+        ~timeout_ms:(Rtt_estimator.rto estimator)
+        ~on_data:(fun ~rtt_ms data ->
+          if not !finished then begin
+            finished := true;
+            Rtt_estimator.observe estimator ~rtt_ms;
+            on_done
+              {
+                data = Some data;
+                attempts = n;
+                elapsed_ms = Sim.Engine.now engine -. started;
+              }
+          end)
+        ~on_timeout:(fun () ->
+          if not !finished then
+            if n <= max_retries then begin
+              Rtt_estimator.backoff estimator;
+              attempt (n + 1)
+            end
+            else begin
+              finished := true;
+              on_done
+                {
+                  data = None;
+                  attempts = n;
+                  elapsed_ms = Sim.Engine.now engine -. started;
+                }
+            end)
+        name
+  in
+  attempt 1
+
+let fetch_sequence node ?max_retries ?consumer_private ~names ~on_done () =
+  let estimator = Rtt_estimator.create () in
+  let rec go acc = function
+    | [] -> on_done (List.rev acc)
+    | name :: rest ->
+      fetch node ?max_retries ~estimator ?consumer_private
+        ~on_done:(fun outcome -> go (outcome :: acc) rest)
+        name
+  in
+  go [] names

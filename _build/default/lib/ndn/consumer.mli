@@ -1,0 +1,64 @@
+(** A robust consumer endpoint: retransmission and RTT estimation.
+
+    The paper leans on retransmission twice: re-issued interests after
+    packet loss are satisfied "by content cached closest to the
+    location of actual loss" (Section V-A), and loss-recovery speed is
+    the consumers' incentive not to mark everything private (Section
+    V-B).  This module provides the retransmitting fetch loop and a
+    TCP-style smoothed RTT estimator used to set its timeouts. *)
+
+module Rtt_estimator : sig
+  (** Jacobson/Karels smoothed RTT estimation (the classic
+      [srtt + 4·rttvar] retransmission timeout). *)
+
+  type t
+
+  val create : ?initial_rto_ms:float -> unit -> t
+  (** [initial_rto_ms] defaults to 1000. *)
+
+  val observe : t -> rtt_ms:float -> unit
+  (** Feed one RTT sample. *)
+
+  val srtt : t -> float option
+  (** Smoothed RTT; [None] before the first sample. *)
+
+  val rto : t -> float
+  (** Current retransmission timeout, clamped to [\[10 ms, 60 s\]]. *)
+
+  val backoff : t -> unit
+  (** Double the timeout after a loss (exponential backoff). *)
+
+  val samples : t -> int
+end
+
+type outcome = {
+  data : Data.t option;  (** [None] after exhausting retries. *)
+  attempts : int;  (** Interests expressed (1 = no retransmission). *)
+  elapsed_ms : float;
+}
+
+val fetch :
+  Node.t ->
+  ?max_retries:int ->
+  ?estimator:Rtt_estimator.t ->
+  ?consumer_private:bool ->
+  on_done:(outcome -> unit) ->
+  Name.t ->
+  unit
+(** Express an interest and retransmit on timeout, up to [max_retries]
+    (default 3) additional attempts, with exponentially backed-off
+    timeouts from the estimator (a fresh one per call when omitted).
+    Successful RTTs feed the estimator.  Drive the engine to observe
+    [on_done]. *)
+
+val fetch_sequence :
+  Node.t ->
+  ?max_retries:int ->
+  ?consumer_private:bool ->
+  names:Name.t list ->
+  on_done:(outcome list -> unit) ->
+  unit ->
+  unit
+(** Fetch names one after another (each completing before the next is
+    expressed), sharing one RTT estimator — a miniature reliable
+    stream. *)

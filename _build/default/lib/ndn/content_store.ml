@@ -1,0 +1,297 @@
+type 'meta entry = {
+  data : Data.t;
+  inserted_at : float;
+  mutable last_access : float;
+  mutable access_count : int;
+  mutable meta : 'meta;
+}
+
+(* Intrusive doubly-linked node: the list head is the most recently
+   used/inserted end; eviction for LRU/FIFO takes the tail. *)
+type 'meta node = {
+  entry : 'meta entry;
+  mutable prev : 'meta node option;
+  mutable next : 'meta node option;
+}
+
+type counters = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  expirations : int;
+}
+
+type 'meta t = {
+  policy : Eviction.t;
+  capacity : int; (* 0 = unbounded *)
+  rng : Sim.Rng.t option;
+  table : 'meta node Name.Tbl.t;
+  index : unit Name_trie.t; (* prefix index for NDN extension matching *)
+  mutable head : 'meta node option;
+  mutable tail : 'meta node option;
+  (* LFU: lazy min-heap of (count-at-push, seq, name). Stale tops are
+     re-pushed with their current count. *)
+  lfu_heap : Name.t Sim.Heap.t;
+  mutable lfu_seq : int;
+  (* Random replacement: dense array of cached names + position map. *)
+  mutable slots : Name.t array;
+  mutable slots_len : int;
+  slot_of : int Name.Tbl.t;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable expirations : int;
+}
+
+let create ?(policy = Eviction.Lru) ?rng ~capacity () =
+  (match (policy, rng) with
+  | Eviction.Random_replacement, None ->
+    invalid_arg "Content_store.create: random replacement needs an rng"
+  | _ -> ());
+  {
+    policy;
+    capacity = (if capacity < 0 then 0 else capacity);
+    rng;
+    table = Name.Tbl.create 256;
+    index = Name_trie.create ();
+    head = None;
+    tail = None;
+    lfu_heap = Sim.Heap.create ();
+    lfu_seq = 0;
+    slots = [||];
+    slots_len = 0;
+    slot_of = Name.Tbl.create 256;
+    lookups = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    expirations = 0;
+  }
+
+let size t = Name.Tbl.length t.table
+
+let capacity t = t.capacity
+
+let policy t = t.policy
+
+(* --- intrusive list plumbing --- *)
+
+let detach t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+(* --- random-replacement slot array --- *)
+
+let slots_add t name =
+  if t.slots_len = Array.length t.slots then begin
+    let ncap = max 16 (2 * Array.length t.slots) in
+    let ns = Array.make ncap Name.root in
+    Array.blit t.slots 0 ns 0 t.slots_len;
+    t.slots <- ns
+  end;
+  t.slots.(t.slots_len) <- name;
+  Name.Tbl.replace t.slot_of name t.slots_len;
+  t.slots_len <- t.slots_len + 1
+
+let slots_remove t name =
+  match Name.Tbl.find_opt t.slot_of name with
+  | None -> ()
+  | Some i ->
+    let last = t.slots_len - 1 in
+    if i <> last then begin
+      let moved = t.slots.(last) in
+      t.slots.(i) <- moved;
+      Name.Tbl.replace t.slot_of moved i
+    end;
+    t.slots_len <- last;
+    Name.Tbl.remove t.slot_of name
+
+(* --- removal core --- *)
+
+let remove_node t node =
+  let name = node.entry.data.Data.name in
+  Name.Tbl.remove t.table name;
+  Name_trie.remove t.index name;
+  detach t node;
+  if t.policy = Eviction.Random_replacement then slots_remove t name
+
+let remove t name =
+  match Name.Tbl.find_opt t.table name with
+  | None -> ()
+  | Some node -> remove_node t node
+
+(* --- eviction --- *)
+
+let rec pop_lfu_victim t =
+  match Sim.Heap.pop_min t.lfu_heap with
+  | None -> None
+  | Some (pushed_count, _seq, name) -> (
+    match Name.Tbl.find_opt t.table name with
+    | None -> pop_lfu_victim t (* entry already gone: stale heap item *)
+    | Some node ->
+      let current = float_of_int node.entry.access_count in
+      if current > pushed_count then begin
+        (* Count advanced since the push: re-queue at the new priority. *)
+        Sim.Heap.add t.lfu_heap ~time:current ~seq:t.lfu_seq name;
+        t.lfu_seq <- t.lfu_seq + 1;
+        pop_lfu_victim t
+      end
+      else Some node)
+
+let choose_victim t =
+  match t.policy with
+  | Eviction.Lru | Eviction.Fifo -> t.tail
+  | Eviction.Lfu -> pop_lfu_victim t
+  | Eviction.Random_replacement ->
+    if t.slots_len = 0 then None
+    else
+      let rng = Option.get t.rng in
+      let name = t.slots.(Sim.Rng.int rng t.slots_len) in
+      Name.Tbl.find_opt t.table name
+
+let evict_one t =
+  match choose_victim t with
+  | None -> ()
+  | Some node ->
+    remove_node t node;
+    t.evictions <- t.evictions + 1
+
+(* --- public operations --- *)
+
+let insert t ~now data meta =
+  let name = data.Data.name in
+  (* Refresh rather than duplicate. *)
+  (match Name.Tbl.find_opt t.table name with
+  | Some node -> remove_node t node
+  | None -> ());
+  if t.capacity > 0 then
+    while Name.Tbl.length t.table >= t.capacity do
+      evict_one t
+    done;
+  let entry = { data; inserted_at = now; last_access = now; access_count = 0; meta } in
+  let node = { entry; prev = None; next = None } in
+  Name.Tbl.replace t.table name node;
+  Name_trie.add t.index name ();
+  push_front t node;
+  if t.policy = Eviction.Lfu then begin
+    Sim.Heap.add t.lfu_heap ~time:0. ~seq:t.lfu_seq name;
+    t.lfu_seq <- t.lfu_seq + 1
+  end;
+  if t.policy = Eviction.Random_replacement then slots_add t name;
+  t.insertions <- t.insertions + 1
+
+let expire_if_stale t ~now node =
+  let e = node.entry in
+  if Data.is_fresh e.data ~age_ms:(now -. e.inserted_at) then false
+  else begin
+    remove_node t node;
+    t.expirations <- t.expirations + 1;
+    true
+  end
+
+let touch t ~now node =
+  let e = node.entry in
+  e.last_access <- now;
+  e.access_count <- e.access_count + 1;
+  if t.policy = Eviction.Lru then begin
+    detach t node;
+    push_front t node
+  end
+
+let find_matching_node t ~exact name =
+  match Name.Tbl.find_opt t.table name with
+  | Some node -> Some node
+  | None when exact -> None
+  | None ->
+    (* NDN prefix semantics: any cached extension of the interest name
+       can satisfy it — unless the object demands strict matching
+       (unpredictable-name content, paper footnote 5). *)
+    let candidate =
+      Name_trie.fold_subtree t.index name ~init:None ~f:(fun acc n () ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match Name.Tbl.find_opt t.table n with
+            | Some node when not node.entry.data.Data.strict_match -> Some node
+            | _ -> None))
+    in
+    candidate
+
+let lookup t ~now ?(exact = false) name =
+  t.lookups <- t.lookups + 1;
+  let rec attempt () =
+    match find_matching_node t ~exact name with
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+    | Some node ->
+      if expire_if_stale t ~now node then attempt ()
+      else begin
+        touch t ~now node;
+        t.hits <- t.hits + 1;
+        Some node.entry
+      end
+  in
+  attempt ()
+
+let peek t name =
+  match Name.Tbl.find_opt t.table name with
+  | Some node -> Some node.entry
+  | None -> None
+
+let mem t name = Name.Tbl.mem t.table name
+
+let set_meta t name meta =
+  match Name.Tbl.find_opt t.table name with
+  | None -> false
+  | Some node ->
+    node.entry.meta <- meta;
+    true
+
+let clear t =
+  Name.Tbl.reset t.table;
+  Name_trie.clear t.index;
+  t.head <- None;
+  t.tail <- None;
+  Sim.Heap.clear t.lfu_heap;
+  t.slots_len <- 0;
+  Name.Tbl.reset t.slot_of
+
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some node -> go (f acc node.entry) node.next
+  in
+  go init t.head
+
+let counters t =
+  {
+    lookups = t.lookups;
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+    expirations = t.expirations;
+  }
+
+let pp_counters ppf (c : counters) =
+  Format.fprintf ppf
+    "lookups=%d hits=%d misses=%d insertions=%d evictions=%d expirations=%d"
+    c.lookups c.hits c.misses c.insertions c.evictions c.expirations

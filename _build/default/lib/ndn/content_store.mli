@@ -1,0 +1,76 @@
+(** The router Content Store (CS): the shared cache whose observability
+    is the subject of the paper.
+
+    The store is parameterized by a metadata type ['meta] so that the
+    privacy layer ([Core]) can attach per-entry state — Random-Cache
+    counters, privacy markings, measured fetch delays — without this
+    substrate knowing about it. *)
+
+type 'meta entry = private {
+  data : Data.t;
+  inserted_at : float;  (** Virtual time the object entered the cache. *)
+  mutable last_access : float;
+  mutable access_count : int;  (** Lookup hits on this entry. *)
+  mutable meta : 'meta;
+}
+
+type 'meta t
+
+val create :
+  ?policy:Eviction.t ->
+  ?rng:Sim.Rng.t ->
+  capacity:int ->
+  unit ->
+  'meta t
+(** [capacity <= 0] means unbounded (the paper's "Inf" baseline).
+    [policy] defaults to {!Eviction.Lru}.  [rng] is required only for
+    {!Eviction.Random_replacement}.
+    @raise Invalid_argument if random replacement is requested without
+    an [rng]. *)
+
+val insert : 'meta t -> now:float -> Data.t -> 'meta -> unit
+(** Cache a content object, evicting per policy when full.  Re-inserting
+    an already-cached name refreshes the object, its timestamps and its
+    metadata. *)
+
+val lookup : 'meta t -> now:float -> ?exact:bool -> Name.t -> 'meta entry option
+(** NDN cache matching for an interest name: an exact-name entry, or —
+    unless [exact] — the smallest cached name extending the query whose
+    object does not carry {!Data.t.strict_match}.  A successful lookup
+    refreshes recency and increments [access_count].  Stale entries
+    (per {!Data.t.freshness_ms}) are expired, not returned. *)
+
+val peek : 'meta t -> Name.t -> 'meta entry option
+(** Exact lookup with no side effects: no recency update, no hit count,
+    no expiry. *)
+
+val mem : 'meta t -> Name.t -> bool
+
+val remove : 'meta t -> Name.t -> unit
+
+val set_meta : 'meta t -> Name.t -> 'meta -> bool
+(** Update an entry's metadata in place; [false] if not cached. *)
+
+val size : 'meta t -> int
+
+val capacity : 'meta t -> int
+(** [0] when unbounded. *)
+
+val policy : 'meta t -> Eviction.t
+
+val clear : 'meta t -> unit
+
+val fold : 'meta t -> init:'acc -> f:('acc -> 'meta entry -> 'acc) -> 'acc
+
+type counters = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  expirations : int;
+}
+
+val counters : 'meta t -> counters
+
+val pp_counters : Format.formatter -> counters -> unit

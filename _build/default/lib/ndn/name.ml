@@ -1,0 +1,102 @@
+(* A name is stored both as its component list and as a canonical
+   NUL-joined key used for hashing and ordered comparison, so Map/Set
+   and Hashtbl operations cost one string comparison instead of a list
+   walk. *)
+
+type t = { comps : string list; key : string }
+
+let check_component c =
+  if String.length c = 0 then invalid_arg "Name: empty component";
+  if String.contains c '\000' then invalid_arg "Name: NUL byte in component"
+
+let make comps =
+  List.iter check_component comps;
+  { comps; key = String.concat "\000" comps }
+
+let root = { comps = []; key = "" }
+
+let of_components comps = make comps
+
+let of_string s =
+  let comps = String.split_on_char '/' s |> List.filter (fun c -> c <> "") in
+  make comps
+
+let to_string t =
+  match t.comps with [] -> "/" | comps -> "/" ^ String.concat "/" comps
+
+let components t = t.comps
+
+let length t = List.length t.comps
+
+let append t c =
+  check_component c;
+  make (t.comps @ [ c ])
+
+let concat a b = { comps = a.comps @ b.comps; key = (match (a.comps, b.comps) with
+  | [], _ -> b.key
+  | _, [] -> a.key
+  | _ -> a.key ^ "\000" ^ b.key) }
+
+let parent t =
+  match t.comps with
+  | [] -> None
+  | comps ->
+    let rec drop_last = function
+      | [] -> []
+      | [ _ ] -> []
+      | c :: rest -> c :: drop_last rest
+    in
+    Some (make (drop_last comps))
+
+let last t =
+  let rec go = function [] -> None | [ c ] -> Some c | _ :: rest -> go rest in
+  go t.comps
+
+let prefix t n =
+  if n < 0 || n > length t then invalid_arg "Name.prefix: bad length";
+  let rec take k = function
+    | _ when k = 0 -> []
+    | [] -> []
+    | c :: rest -> c :: take (k - 1) rest
+  in
+  make (take n t.comps)
+
+let rec list_is_prefix p t =
+  match (p, t) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: p', b :: t' -> String.equal a b && list_is_prefix p' t'
+
+let is_prefix ~prefix t = list_is_prefix prefix.comps t.comps
+
+let is_strict_prefix ~prefix t =
+  is_prefix ~prefix t && List.length prefix.comps < List.length t.comps
+
+let namespace t ~depth =
+  if depth < 0 then invalid_arg "Name.namespace: negative depth";
+  if depth >= length t then t else prefix t depth
+
+let compare a b = String.compare a.key b.key
+
+let equal a b = String.equal a.key b.key
+
+let hash t = Hashtbl.hash t.key
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

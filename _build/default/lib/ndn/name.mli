@@ -1,0 +1,73 @@
+(** Hierarchical NDN content names.
+
+    A name is a sequence of opaque, non-empty components, written
+    ["/cnn/news/2013may20"].  Matching in NDN is by prefix: an interest
+    for [X] can be satisfied by content named [X'] whenever [X] is a
+    prefix of [X'] (paper, Section II, footnote 2). *)
+
+type t
+(** Immutable.  Structural equality and comparison are meaningful. *)
+
+val root : t
+(** The empty name ["/"], prefix of every name. *)
+
+val of_string : string -> t
+(** Parse ["/a/b/c"].  Leading/trailing/duplicate slashes are tolerated
+    (["//a//b/"] reads as ["/a/b"]).
+    @raise Invalid_argument if a component contains a NUL byte (reserved
+    for internal serialization). *)
+
+val to_string : t -> string
+(** Canonical rendering, always starting with ['/']; [root] renders as
+    ["/"]. *)
+
+val of_components : string list -> t
+(** Build from explicit components.
+    @raise Invalid_argument on an empty or NUL-containing component. *)
+
+val components : t -> string list
+
+val length : t -> int
+(** Number of components; [length root = 0]. *)
+
+val append : t -> string -> t
+(** Add one component at the end.
+    @raise Invalid_argument as {!of_components}. *)
+
+val concat : t -> t -> t
+(** [concat a b] is [a] followed by [b]'s components. *)
+
+val parent : t -> t option
+(** Drop the last component; [None] for [root]. *)
+
+val last : t -> string option
+(** Last component; [None] for [root]. *)
+
+val prefix : t -> int -> t
+(** [prefix t n] is the first [n] components.
+    @raise Invalid_argument unless [0 <= n <= length t]. *)
+
+val is_prefix : prefix:t -> t -> bool
+(** [is_prefix ~prefix:p t] — does [p] match [t] per NDN prefix
+    semantics?  Reflexive: every name is a prefix of itself. *)
+
+val is_strict_prefix : prefix:t -> t -> bool
+(** As {!is_prefix} but excluding equality. *)
+
+val namespace : t -> depth:int -> t
+(** The grouping key used by the correlated-content countermeasure
+    (paper, Section VI): the first [depth] components, or the whole name
+    if shorter. *)
+
+val compare : t -> t -> int
+(** Total order: lexicographic on components. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,146 @@
+(* Children are stored in a sorted association map keyed by component
+   string (stdlib Map) so that subtree folds produce names in canonical
+   order. *)
+
+module Smap = Map.Make (String)
+
+type 'a node = { mutable value : 'a option; mutable children : 'a node Smap.t }
+
+type 'a t = { root : 'a node; mutable size : int }
+
+let new_node () = { value = None; children = Smap.empty }
+
+let create () = { root = new_node (); size = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let add t name v =
+  let rec go node = function
+    | [] ->
+      if node.value = None then t.size <- t.size + 1;
+      node.value <- Some v
+    | c :: rest ->
+      let child =
+        match Smap.find_opt c node.children with
+        | Some child -> child
+        | None ->
+          let child = new_node () in
+          node.children <- Smap.add c child node.children;
+          child
+      in
+      go child rest
+  in
+  go t.root (Name.components name)
+
+let remove t name =
+  (* Returns [true] when the child became empty and can be pruned. *)
+  let rec go node = function
+    | [] ->
+      if node.value <> None then begin
+        node.value <- None;
+        t.size <- t.size - 1
+      end;
+      node.value = None && Smap.is_empty node.children
+    | c :: rest -> (
+      match Smap.find_opt c node.children with
+      | None -> false
+      | Some child ->
+        if go child rest then node.children <- Smap.remove c node.children;
+        node.value = None && Smap.is_empty node.children)
+  in
+  ignore (go t.root (Name.components name))
+
+let find t name =
+  let rec go node = function
+    | [] -> node.value
+    | c :: rest -> (
+      match Smap.find_opt c node.children with
+      | None -> None
+      | Some child -> go child rest)
+  in
+  go t.root (Name.components name)
+
+let mem t name = find t name <> None
+
+let longest_prefix t name =
+  let rec go node depth best = function
+    | comps ->
+      let best =
+        match node.value with
+        | Some v -> Some (Name.prefix name depth, v)
+        | None -> best
+      in
+      (match comps with
+      | [] -> best
+      | c :: rest -> (
+        match Smap.find_opt c node.children with
+        | None -> best
+        | Some child -> go child (depth + 1) best rest))
+  in
+  go t.root 0 None (Name.components name)
+
+let fold_prefixes t name ~init ~f =
+  let rec go node depth acc = function
+    | comps ->
+      let acc =
+        match node.value with
+        | Some v -> f acc (Name.prefix name depth) v
+        | None -> acc
+      in
+      (match comps with
+      | [] -> acc
+      | c :: rest -> (
+        match Smap.find_opt c node.children with
+        | None -> acc
+        | Some child -> go child (depth + 1) acc rest))
+  in
+  go t.root 0 init (Name.components name)
+
+let descend t name =
+  let rec go node = function
+    | [] -> Some node
+    | c :: rest -> (
+      match Smap.find_opt c node.children with
+      | None -> None
+      | Some child -> go child rest)
+  in
+  go t.root (Name.components name)
+
+exception Found_binding of Name.t
+
+let first_extension t name =
+  match descend t name with
+  | None -> None
+  | Some node ->
+    (* DFS in component order; the first binding found is the smallest. *)
+    let rec dfs prefix node =
+      (match node.value with Some _ -> raise (Found_binding prefix) | None -> ());
+      Smap.iter (fun c child -> dfs (Name.append prefix c) child) node.children
+    in
+    (try
+       dfs name node;
+       None
+     with Found_binding n -> (
+       match find t n with Some v -> Some (n, v) | None -> None))
+
+let fold_subtree t name ~init ~f =
+  match descend t name with
+  | None -> init
+  | Some node ->
+    let rec dfs prefix node acc =
+      let acc = match node.value with Some v -> f acc prefix v | None -> acc in
+      Smap.fold (fun c child acc -> dfs (Name.append prefix c) child acc) node.children acc
+    in
+    dfs name node init
+
+let iter t ~f = ignore (fold_subtree t Name.root ~init:() ~f:(fun () n v -> f n v))
+
+let to_list t =
+  List.rev (fold_subtree t Name.root ~init:[] ~f:(fun acc n v -> (n, v) :: acc))
+
+let clear t =
+  t.root.value <- None;
+  t.root.children <- Smap.empty;
+  t.size <- 0

@@ -1,0 +1,51 @@
+(** A prefix tree keyed by {!Name.t}.
+
+    Shared index structure behind the FIB (longest-prefix match of an
+    interest name against routed prefixes), the content store
+    (does any cached name extend this interest name?) and the PIT
+    (which pending interest names are prefixes of an arriving Data
+    name?). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+(** Number of bound names. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> Name.t -> 'a -> unit
+(** Bind a value to a name, replacing any previous binding. *)
+
+val remove : 'a t -> Name.t -> unit
+(** Unbind; prunes empty branches.  No-op if unbound. *)
+
+val find : 'a t -> Name.t -> 'a option
+(** Exact-name lookup. *)
+
+val mem : 'a t -> Name.t -> bool
+
+val longest_prefix : 'a t -> Name.t -> (Name.t * 'a) option
+(** The bound name that is the longest prefix of the query (used by FIB
+    forwarding). *)
+
+val fold_prefixes : 'a t -> Name.t -> init:'acc -> f:('acc -> Name.t -> 'a -> 'acc) -> 'acc
+(** Fold over every bound name that is a prefix of the query, shortest
+    first (used to satisfy all PIT entries matched by a Data packet). *)
+
+val first_extension : 'a t -> Name.t -> (Name.t * 'a) option
+(** The smallest (in {!Name.compare} order) bound name of which the
+    query is a prefix — NDN content-store matching, where an interest
+    for [/a/b] can be satisfied by cached [/a/b/c]. *)
+
+val fold_subtree : 'a t -> Name.t -> init:'acc -> f:('acc -> Name.t -> 'a -> 'acc) -> 'acc
+(** Fold over all bound names extending the query (including the query
+    itself if bound), in {!Name.compare} order. *)
+
+val iter : 'a t -> f:(Name.t -> 'a -> unit) -> unit
+
+val to_list : 'a t -> (Name.t * 'a) list
+(** All bindings in name order. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,319 @@
+type t = { engine : Sim.Engine.t; rng : Sim.Rng.t }
+
+let create ?(seed = 42) () =
+  { engine = Sim.Engine.create (); rng = Sim.Rng.create seed }
+
+let engine t = t.engine
+let rng t = t.rng
+let now t = Sim.Engine.now t.engine
+
+let add_node t ?(cs_capacity = 0) ?cs_policy ?forwarding_delay ?honor_scope
+    ?caching label =
+  Node.create t.engine ~rng:(Sim.Rng.split t.rng) ~label ~cs_capacity ?cs_policy
+    ?forwarding_delay ?honor_scope ?caching ()
+
+let connect t ?(loss = 0.) ?latency_ba ~latency a b =
+  let lat_ab = latency in
+  let lat_ba = Option.value latency_ba ~default:latency in
+  let face_b = ref (-1) in
+  let deliver node face_ref lat pkt =
+    (* Sample loss, then latency, in a fixed order for determinism. *)
+    let lost = loss > 0. && Sim.Rng.bernoulli t.rng loss in
+    let d = Sim.Latency.sample lat t.rng in
+    if not lost then
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:d (fun () ->
+             Node.receive node ~face:!face_ref pkt))
+  in
+  let face_a_ref = ref (-1) in
+  let face_a = Node.add_wire_face a (fun pkt -> deliver b face_b lat_ab pkt) in
+  face_a_ref := face_a;
+  let fb = Node.add_wire_face b (fun pkt -> deliver a face_a_ref lat_ba pkt) in
+  face_b := fb;
+  (face_a, fb)
+
+let route _t node ~prefix ~via = Fib.add_route (Node.fib node) ~prefix ~face:via
+
+let run ?until t = Sim.Engine.run ?until t.engine
+
+let fetch_rtt t ~from ?scope ?consumer_private ?timeout_ms name =
+  let result = ref None in
+  Node.express_interest from ?scope ?consumer_private ?timeout_ms
+    ~on_data:(fun ~rtt_ms _data -> result := Some rtt_ms)
+    ~on_timeout:(fun () -> ())
+    name;
+  (* Run until the exchange (or its timeout) has fully played out. *)
+  Sim.Engine.run t.engine;
+  !result
+
+(* --- Figure 3 topologies --- *)
+
+type probe_setup = {
+  net : t;
+  user : Node.t;
+  adversary : Node.t;
+  router : Node.t;
+  producer_host : Node.t;
+  prefix : Name.t;
+  producer_key : string;
+}
+
+type producer_config = {
+  producer_private : bool;
+  strict_match : bool;
+  payload_size : int;
+  production_delay_ms : float;
+}
+
+let default_producer_config =
+  {
+    producer_private = false;
+    strict_match = false;
+    payload_size = 1024;
+    production_delay_ms = 0.4;
+  }
+
+let install_producer ~config ~prefix ~key node =
+  let payload_of name =
+    (* Deterministic pseudo-payload so repeated runs are identical. *)
+    let h = Ndn_crypto.Sha256.hex_digest (Name.to_string name) in
+    let buf = Buffer.create config.payload_size in
+    while Buffer.length buf < config.payload_size do
+      Buffer.add_string buf h
+    done;
+    Buffer.sub buf 0 config.payload_size
+  in
+  Node.add_producer node ~prefix ~production_delay_ms:config.production_delay_ms
+    (fun interest ->
+      let name = interest.Interest.name in
+      if Name.is_prefix ~prefix name then
+        Some
+          (Data.create ~producer_private:config.producer_private
+             ~strict_match:config.strict_match ~producer:(Node.label node) ~key
+             ~payload:(payload_of name) name)
+      else None)
+
+(* Per-node packet-processing cost: dominated by the NDN daemon's
+   name lookup and signing checks; roughly half a millisecond in the
+   2013 CCNx codebase.  The LAN testbed machines in the paper show a
+   somewhat higher per-packet cost, hence the separate constant. *)
+let ccnd_processing = Sim.Latency.Normal { mean = 0.55; stddev = 0.12; min = 0.15 }
+let lan_ccnd_processing = Sim.Latency.Normal { mean = 0.9; stddev = 0.18; min = 0.3 }
+
+let lan ?(seed = 42) ?(producer = default_producer_config) () =
+  let net = create ~seed () in
+  let user = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "U" in
+  let adversary =
+    add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "Adv"
+  in
+  let router = add_node net ~forwarding_delay:lan_ccnd_processing "R" in
+  let producer_host = add_node net ~forwarding_delay:lan_ccnd_processing "P" in
+  let fe = Sim.Latency.fast_ethernet in
+  let u_r, _ = connect net ~latency:fe user router in
+  let a_r, _ = connect net ~latency:fe adversary router in
+  let r_p, _ =
+    connect net ~latency:(Sim.Latency.Normal { mean = 1.8; stddev = 0.35; min = 0.5 })
+      router producer_host
+  in
+  let prefix = Name.of_string "/prod" in
+  let producer_key = "lan-producer-key" in
+  install_producer ~config:producer ~prefix ~key:producer_key producer_host;
+  route net user ~prefix ~via:u_r;
+  route net adversary ~prefix ~via:a_r;
+  route net router ~prefix ~via:r_p;
+  { net; user; adversary; router; producer_host; prefix; producer_key }
+
+(* Builds consumer --[hop]*n-- router chains where every intermediate
+   hop is itself a caching NDN router, and returns the consumer's
+   egress face. *)
+let attach_via_hops net ~hop_latency ~hops ~prefix consumer router =
+  let rec build upstream_of i =
+    (* [upstream_of] is the node closer to the consumer. *)
+    if i = 0 then begin
+      let f, _ = connect net ~latency:hop_latency upstream_of router in
+      route net upstream_of ~prefix ~via:f
+    end
+    else begin
+      let mid = add_node net ~forwarding_delay:ccnd_processing
+          (Printf.sprintf "%s-hop%d" (Node.label consumer) i)
+      in
+      let f, _ = connect net ~latency:hop_latency upstream_of mid in
+      route net upstream_of ~prefix ~via:f;
+      build mid (i - 1)
+    end
+  in
+  build consumer (hops - 1)
+
+let wan ?(seed = 42) ?(producer = default_producer_config) () =
+  let net = create ~seed () in
+  let user = add_node net ~forwarding_delay:ccnd_processing ~caching:false "U" in
+  let adversary =
+    add_node net ~forwarding_delay:ccnd_processing ~caching:false "Adv"
+  in
+  let router = add_node net ~forwarding_delay:ccnd_processing "R" in
+  let producer_host = add_node net ~forwarding_delay:ccnd_processing "P" in
+  let prefix = Name.of_string "/prod" in
+  let producer_key = "wan-producer-key" in
+  install_producer ~config:producer ~prefix ~key:producer_key producer_host;
+  let hop = Sim.Latency.Shifted_exponential { shift = 0.35; rate = 3.0 } in
+  (* "U and Adv are connected to the same first-hop NDN router R, which
+     is several hops away from both, while P is 3 hops away from R." *)
+  attach_via_hops net ~hop_latency:hop ~hops:2 ~prefix user router;
+  attach_via_hops net ~hop_latency:hop ~hops:2 ~prefix adversary router;
+  attach_via_hops net ~hop_latency:hop ~hops:3 ~prefix router producer_host;
+  { net; user; adversary; router; producer_host; prefix; producer_key }
+
+let wan_producer ?(seed = 42) ?(producer = default_producer_config) () =
+  let net = create ~seed () in
+  let user = add_node net ~forwarding_delay:ccnd_processing ~caching:false "U" in
+  let adversary =
+    add_node net ~forwarding_delay:ccnd_processing ~caching:false "Adv"
+  in
+  let router = add_node net ~forwarding_delay:ccnd_processing "R" in
+  let producer_host = add_node net ~forwarding_delay:ccnd_processing "P" in
+  let prefix = Name.of_string "/prod" in
+  let producer_key = "wanp-producer-key" in
+  install_producer ~config:producer ~prefix ~key:producer_key producer_host;
+  (* Long-haul hops with moderate jitter: the total consumer-to-R RTT
+     is ~190 ms, so the extra R-to-P round trip on a miss is only a few
+     ms — which is why a single probe distinguishes with probability
+     barely above 1/2 (paper: 59%). *)
+  let long_haul = Sim.Latency.Normal { mean = 31.0; stddev = 2.55; min = 20. } in
+  attach_via_hops net ~hop_latency:long_haul ~hops:3 ~prefix user router;
+  attach_via_hops net ~hop_latency:long_haul ~hops:3 ~prefix adversary router;
+  let r_p, _ =
+    connect net ~latency:(Sim.Latency.Normal { mean = 0.8; stddev = 0.15; min = 0.3 })
+      router producer_host
+  in
+  route net router ~prefix ~via:r_p;
+  { net; user; adversary; router; producer_host; prefix; producer_key }
+
+let local_host ?(seed = 42) ?(producer = default_producer_config) () =
+  let net = create ~seed () in
+  (* One host runs both honest and malicious applications; its own
+     forwarder's Content Store is the probed cache. *)
+  let host =
+    add_node net
+      ~forwarding_delay:(Sim.Latency.Normal { mean = 0.6; stddev = 0.12; min = 0.3 })
+      "host"
+  in
+  let router = add_node net ~forwarding_delay:ccnd_processing "R" in
+  let producer_host = add_node net ~forwarding_delay:ccnd_processing "P" in
+  let prefix = Name.of_string "/prod" in
+  let producer_key = "local-producer-key" in
+  install_producer ~config:producer ~prefix ~key:producer_key producer_host;
+  let h_r, _ = connect net ~latency:Sim.Latency.fast_ethernet host router in
+  let r_p, _ =
+    connect net ~latency:(Sim.Latency.Normal { mean = 0.9; stddev = 0.5; min = 0.2 })
+      router producer_host
+  in
+  route net host ~prefix ~via:h_r;
+  route net router ~prefix ~via:r_p;
+  { net; user = host; adversary = host; router = host; producer_host; prefix; producer_key }
+
+(* --- two-party interactive topology --- *)
+
+type conversation_setup = {
+  cnet : t;
+  alice : Node.t;
+  bob : Node.t;
+  eavesdropper : Node.t;
+  shared_router : Node.t;
+  alice_prefix : Name.t;
+  bob_prefix : Name.t;
+  alice_key : string;
+  bob_key : string;
+}
+
+let conversation ?(seed = 42) () =
+  let net = create ~seed () in
+  let alice = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "alice" in
+  let bob = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "bob" in
+  let eavesdropper =
+    add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "eve"
+  in
+  let shared_router = add_node net ~forwarding_delay:lan_ccnd_processing "R" in
+  let fe = Sim.Latency.fast_ethernet in
+  let a_r, r_a = connect net ~latency:fe alice shared_router in
+  let b_r, r_b = connect net ~latency:fe bob shared_router in
+  let e_r, _ = connect net ~latency:fe eavesdropper shared_router in
+  let alice_prefix = Name.of_string "/alice/call" in
+  let bob_prefix = Name.of_string "/bob/call" in
+  (* Interests for a party's namespace route toward that party. *)
+  route net shared_router ~prefix:alice_prefix ~via:r_a;
+  route net shared_router ~prefix:bob_prefix ~via:r_b;
+  route net alice ~prefix:bob_prefix ~via:a_r;
+  route net bob ~prefix:alice_prefix ~via:b_r;
+  route net eavesdropper ~prefix:alice_prefix ~via:e_r;
+  route net eavesdropper ~prefix:bob_prefix ~via:e_r;
+  {
+    cnet = net;
+    alice;
+    bob;
+    eavesdropper;
+    shared_router;
+    alice_prefix;
+    bob_prefix;
+    alice_key = "alice-signing-key";
+    bob_key = "bob-signing-key";
+  }
+
+(* --- edge/core deployment topology --- *)
+
+type edge_core_setup = {
+  ecnet : t;
+  victim : Node.t;
+  local_adversary : Node.t;
+  remote_consumer : Node.t;
+  edge1 : Node.t;
+  edge2 : Node.t;
+  core : Node.t;
+  ec_producer_host : Node.t;
+  ec_prefix : Name.t;
+  ec_producer_key : string;
+}
+
+let edge_core ?(seed = 42) ?(producer = default_producer_config) () =
+  let net = create ~seed () in
+  let victim = add_node net ~forwarding_delay:ccnd_processing ~caching:false "victim" in
+  let local_adversary =
+    add_node net ~forwarding_delay:ccnd_processing ~caching:false "adv"
+  in
+  let remote_consumer =
+    add_node net ~forwarding_delay:ccnd_processing ~caching:false "remote"
+  in
+  let edge1 = add_node net ~forwarding_delay:ccnd_processing "edge1" in
+  let edge2 = add_node net ~forwarding_delay:ccnd_processing "edge2" in
+  let core = add_node net ~forwarding_delay:ccnd_processing "core" in
+  let producer_host = add_node net ~forwarding_delay:ccnd_processing "P" in
+  let fe = Sim.Latency.fast_ethernet in
+  let metro = Sim.Latency.Normal { mean = 5.0; stddev = 0.6; min = 2. } in
+  let long_haul = Sim.Latency.Normal { mean = 40.0; stddev = 3.0; min = 25. } in
+  let v_e1, _ = connect net ~latency:fe victim edge1 in
+  let a_e1, _ = connect net ~latency:fe local_adversary edge1 in
+  let r_e2, _ = connect net ~latency:fe remote_consumer edge2 in
+  let e1_c, _ = connect net ~latency:metro edge1 core in
+  let e2_c, _ = connect net ~latency:metro edge2 core in
+  let c_p, _ = connect net ~latency:long_haul core producer_host in
+  let ec_prefix = Name.of_string "/prod" in
+  let ec_producer_key = "edge-core-producer-key" in
+  install_producer ~config:producer ~prefix:ec_prefix ~key:ec_producer_key
+    producer_host;
+  route net victim ~prefix:ec_prefix ~via:v_e1;
+  route net local_adversary ~prefix:ec_prefix ~via:a_e1;
+  route net remote_consumer ~prefix:ec_prefix ~via:r_e2;
+  route net edge1 ~prefix:ec_prefix ~via:e1_c;
+  route net edge2 ~prefix:ec_prefix ~via:e2_c;
+  route net core ~prefix:ec_prefix ~via:c_p;
+  {
+    ecnet = net;
+    victim;
+    local_adversary;
+    remote_consumer;
+    edge1;
+    edge2;
+    core;
+    ec_producer_host = producer_host;
+    ec_prefix;
+    ec_producer_key;
+  }

@@ -1,0 +1,152 @@
+(** Topology construction and the paper's experimental setups.
+
+    A network owns the simulation engine and RNG, wires {!Node}s with
+    latency/loss links, and provides the four measurement topologies of
+    the paper's Figure 3.  Link and processing latencies are calibrated
+    so the simulated RTT histograms span the same ranges as the paper's
+    testbed measurements (see DESIGN.md §5). *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh network with its own engine and a deterministic RNG
+    ([seed] defaults to 42). *)
+
+val engine : t -> Sim.Engine.t
+
+val rng : t -> Sim.Rng.t
+
+val now : t -> float
+
+val add_node :
+  t ->
+  ?cs_capacity:int ->
+  ?cs_policy:Eviction.t ->
+  ?forwarding_delay:Sim.Latency.t ->
+  ?honor_scope:bool ->
+  ?caching:bool ->
+  string ->
+  Node.t
+(** Create a node managed by this network's engine. *)
+
+val connect :
+  t ->
+  ?loss:float ->
+  ?latency_ba:Sim.Latency.t ->
+  latency:Sim.Latency.t ->
+  Node.t ->
+  Node.t ->
+  int * int
+(** [connect t a b ~latency] joins two nodes with a bidirectional link
+    and returns [(face_of_a, face_of_b)].  [latency] is the a→b model;
+    [latency_ba] defaults to it.  [loss] (default 0) drops each packet
+    independently in either direction. *)
+
+val route : t -> Node.t -> prefix:Name.t -> via:int -> unit
+(** Install a FIB route on a node. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue (bounded by [until] when given). *)
+
+val fetch_rtt :
+  t ->
+  from:Node.t ->
+  ?scope:int ->
+  ?consumer_private:bool ->
+  ?timeout_ms:float ->
+  Name.t ->
+  float option
+(** Express an interest from a node's local application, run the
+    simulation until the exchange settles, and return the measured RTT
+    in milliseconds ([None] on timeout).  This is the probe primitive
+    of every attack in the paper. *)
+
+(** {1 The paper's measurement topologies (Figure 3)} *)
+
+type probe_setup = {
+  net : t;
+  user : Node.t;  (** Honest consumer U. *)
+  adversary : Node.t;  (** Adv; in the local-host setup, equal to [user]'s host. *)
+  router : Node.t;  (** The shared first-hop router R whose cache is probed. *)
+  producer_host : Node.t;  (** Host of producer P. *)
+  prefix : Name.t;  (** Namespace served by P. *)
+  producer_key : string;  (** P's signing key. *)
+}
+
+type producer_config = {
+  producer_private : bool;  (** Mark all produced content private. *)
+  strict_match : bool;
+  payload_size : int;
+  production_delay_ms : float;
+}
+
+val default_producer_config : producer_config
+
+val lan : ?seed:int -> ?producer:producer_config -> unit -> probe_setup
+(** Figure 3(a): U and Adv on Fast Ethernet to R; P behind R. *)
+
+val wan : ?seed:int -> ?producer:producer_config -> unit -> probe_setup
+(** Figure 3(b): U and Adv several (2) hops from the shared R; P three
+    hops from R.  Intermediate hops are caching NDN routers. *)
+
+val wan_producer : ?seed:int -> ?producer:producer_config -> unit -> probe_setup
+(** Figure 3(c): P directly connected to R; U and Adv three long-haul
+    hops away — the producer-privacy setting where hit and miss
+    distributions overlap heavily. *)
+
+val local_host : ?seed:int -> ?producer:producer_config -> unit -> probe_setup
+(** Figure 3(d): honest applications and a malicious application share
+    one host's forwarder; [user == adversary] is the host node and
+    [router] is that same host (its local Content Store is the probed
+    cache). *)
+
+(** {1 Two-party interactive topology}
+
+    For the combined attack of Section I: learning whether two parties
+    are (or were recently) involved in two-way interactive
+    communication, by probing the shared router for both parties'
+    content. *)
+
+type conversation_setup = {
+  cnet : t;
+  alice : Node.t;  (** Endpoint A: produces under [alice_prefix], consumes B's. *)
+  bob : Node.t;
+  eavesdropper : Node.t;  (** The adversary host, also behind the router. *)
+  shared_router : Node.t;
+  alice_prefix : Name.t;
+  bob_prefix : Name.t;
+  alice_key : string;
+  bob_key : string;
+}
+
+val conversation : ?seed:int -> unit -> conversation_setup
+(** Alice, Bob and the adversary all attached to one router over
+    Fast Ethernet; routes installed for both parties' prefixes.  No
+    producers are registered — callers attach session endpoints (see
+    {!Core.Interactive_session} in the core library). *)
+
+(** {1 Edge/core deployment topology}
+
+    For the question the paper defers in footnote 6: {e which} routers
+    should run the countermeasure?  Two edge routers serve disjoint
+    consumer populations; both reach the producer through one core
+    router whose cache serves cross-population hits. *)
+
+type edge_core_setup = {
+  ecnet : t;
+  victim : Node.t;  (** Consumer behind [edge1] whose privacy is at stake. *)
+  local_adversary : Node.t;  (** Adversary sharing [edge1] with the victim. *)
+  remote_consumer : Node.t;  (** Honest consumer behind [edge2]. *)
+  edge1 : Node.t;
+  edge2 : Node.t;
+  core : Node.t;
+  ec_producer_host : Node.t;  (** Far from the core (slow link). *)
+  ec_prefix : Name.t;
+  ec_producer_key : string;
+}
+
+val edge_core : ?seed:int -> ?producer:producer_config -> unit -> edge_core_setup
+(** victim, adversary — edge1 — core — P; remote consumer — edge2 —
+    core.  The core-to-producer link is slow (tens of ms), so core
+    caching matters to remote consumers — which is exactly what an
+    indiscriminately-deployed delay countermeasure destroys. *)

@@ -1,0 +1,329 @@
+type response_action = Respond | Respond_after of float | Treat_as_miss
+
+type strategy = {
+  on_cache_hit : now:float -> Interest.t -> Data.t -> response_action;
+  should_cache : now:float -> Data.t -> fetch_delay:float -> bool;
+  note_miss : now:float -> Interest.t -> unit;
+  forward_delay : now:float -> Data.t -> fetch_delay:float -> float;
+}
+
+let default_strategy =
+  {
+    on_cache_hit = (fun ~now:_ _ _ -> Respond);
+    should_cache = (fun ~now:_ _ ~fetch_delay:_ -> true);
+    note_miss = (fun ~now:_ _ -> ());
+    forward_delay = (fun ~now:_ _ ~fetch_delay:_ -> 0.);
+  }
+
+type face_kind =
+  | Local_app
+  | Wire of (Packet.t -> unit)
+  | Producer_app of { handler : Interest.t -> Data.t option; delay : float }
+
+type pending_expression = {
+  issued : float;
+  on_data : rtt_ms:float -> Data.t -> unit;
+  timeout_handle : Sim.Engine.handle;
+}
+
+type mutable_counters = {
+  mutable interests_received : int;
+  mutable interests_forwarded : int;
+  mutable interests_collapsed : int;
+  mutable data_received : int;
+  mutable data_sent : int;
+  mutable cache_responses : int;
+  mutable delayed_responses : int;
+  mutable scope_drops : int;
+  mutable no_route_drops : int;
+  mutable unsolicited_data : int;
+}
+
+type counters = {
+  interests_received : int;
+  interests_forwarded : int;
+  interests_collapsed : int;
+  data_received : int;
+  data_sent : int;
+  cache_responses : int;
+  delayed_responses : int;
+  scope_drops : int;
+  no_route_drops : int;
+  unsolicited_data : int;
+}
+
+type t = {
+  label : string;
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  cs : unit Content_store.t;
+  pit : Pit.t;
+  fib : Fib.t;
+  pit_lifetime_ms : float;
+  forwarding_delay : Sim.Latency.t;
+  honor_scope : bool;
+  mutable caching : bool;
+  mutable faces : face_kind array;
+  mutable n_faces : int;
+  pending_local : pending_expression list ref Name_trie.t;
+  mutable strat : strategy;
+  c : mutable_counters;
+}
+
+let create engine ~rng ~label ?(cs_capacity = 0) ?(cs_policy = Eviction.Lru)
+    ?(pit_lifetime_ms = 4000.) ?(forwarding_delay = Sim.Latency.Constant 0.02)
+    ?(honor_scope = true) ?(caching = true) () =
+  let cs_rng =
+    match cs_policy with Eviction.Random_replacement -> Some (Sim.Rng.split rng) | _ -> None
+  in
+  {
+    label;
+    engine;
+    rng;
+    cs = Content_store.create ~policy:cs_policy ?rng:cs_rng ~capacity:cs_capacity ();
+    pit = Pit.create ~lifetime_ms:pit_lifetime_ms ();
+    fib = Fib.create ();
+    pit_lifetime_ms;
+    forwarding_delay;
+    honor_scope;
+    caching;
+    faces = [| Local_app |];
+    n_faces = 1;
+    pending_local = Name_trie.create ();
+    strat = default_strategy;
+    c =
+      {
+        interests_received = 0;
+        interests_forwarded = 0;
+        interests_collapsed = 0;
+        data_received = 0;
+        data_sent = 0;
+        cache_responses = 0;
+        delayed_responses = 0;
+        scope_drops = 0;
+        no_route_drops = 0;
+        unsolicited_data = 0;
+      };
+  }
+
+let label t = t.label
+let engine t = t.engine
+let content_store t = t.cs
+let pit t = t.pit
+let fib t = t.fib
+let set_strategy t s = t.strat <- s
+let strategy t = t.strat
+let set_caching t b = t.caching <- b
+let local_face _t = 0
+
+let add_face t kind =
+  if t.n_faces = Array.length t.faces then begin
+    let nf = Array.make (max 4 (2 * t.n_faces)) Local_app in
+    Array.blit t.faces 0 nf 0 t.n_faces;
+    t.faces <- nf
+  end;
+  t.faces.(t.n_faces) <- kind;
+  t.n_faces <- t.n_faces + 1;
+  t.n_faces - 1
+
+let add_wire_face t send = add_face t (Wire send)
+
+(* --- local application dispatch --- *)
+
+let dispatch_local t data =
+  let now = Sim.Engine.now t.engine in
+  let matched =
+    Name_trie.fold_prefixes t.pending_local data.Data.name ~init:[]
+      ~f:(fun acc name cell -> (name, cell) :: acc)
+  in
+  List.iter (fun (name, _) -> Name_trie.remove t.pending_local name) matched;
+  List.iter
+    (fun (_, cell) ->
+      List.iter
+        (fun p ->
+          Sim.Engine.cancel p.timeout_handle;
+          p.on_data ~rtt_ms:(now -. p.issued) data)
+        (List.rev !cell))
+    (List.rev matched)
+
+(* --- sending --- *)
+
+let proc_delay t = Sim.Latency.sample t.forwarding_delay t.rng
+
+let send_data t ~face data =
+  if face >= 0 && face < t.n_faces then
+    match t.faces.(face) with
+    | Wire send ->
+      t.c.data_sent <- t.c.data_sent + 1;
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
+             send (Packet.Data data)))
+    | Local_app ->
+      t.c.data_sent <- t.c.data_sent + 1;
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
+             dispatch_local t data))
+    | Producer_app _ -> () (* producers do not consume data *)
+
+let rec send_interest_on_face t ~face interest =
+  match t.faces.(face) with
+  | Wire send ->
+    (* One hop of scope budget is consumed per wire traversal. *)
+    let forwardable =
+      if t.honor_scope then Interest.decrement_scope interest
+      else Some interest
+    in
+    (match forwardable with
+    | None ->
+      t.c.scope_drops <- t.c.scope_drops + 1;
+      false
+    | Some interest ->
+      t.c.interests_forwarded <- t.c.interests_forwarded + 1;
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
+             send (Packet.Interest interest)));
+      true)
+  | Producer_app { handler; delay } -> (
+    t.c.interests_forwarded <- t.c.interests_forwarded + 1;
+    match handler interest with
+    | None -> false
+    | Some data ->
+      ignore
+        (Sim.Engine.schedule t.engine ~delay (fun () ->
+             (* The produced object behaves as data arriving on the
+                producer's app face. *)
+             handle_data_internal t ~face data));
+      true)
+  | Local_app ->
+    t.c.no_route_drops <- t.c.no_route_drops + 1;
+    false
+
+(* --- data path --- *)
+
+and handle_data_internal t ~face data =
+  let now = Sim.Engine.now t.engine in
+  t.c.data_received <- t.c.data_received + 1;
+  let faces, created = Pit.satisfy_timed t.pit data.Data.name in
+  if faces = [] then t.c.unsolicited_data <- t.c.unsolicited_data + 1
+  else begin
+    let fetch_delay = match created with Some c -> now -. c | None -> 0. in
+    if t.caching && t.strat.should_cache ~now data ~fetch_delay then
+      Content_store.insert t.cs ~now data ();
+    let pad = t.strat.forward_delay ~now data ~fetch_delay in
+    if pad <= 0. then
+      List.iter (fun f -> if f <> face then send_data t ~face:f data) faces
+    else
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:pad (fun () ->
+             List.iter (fun f -> if f <> face then send_data t ~face:f data) faces))
+  end
+
+(* --- interest path --- *)
+
+let forward_as_miss t ~face interest =
+  let now = Sim.Engine.now t.engine in
+  let name = interest.Interest.name in
+  match Pit.insert t.pit ~now ~face ~nonce:interest.Interest.nonce name with
+  | Pit.Duplicate -> ()
+  | Pit.Collapsed -> t.c.interests_collapsed <- t.c.interests_collapsed + 1
+  | Pit.Forward -> (
+    (* Arm a sweep so abandoned entries do not linger forever. *)
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:(t.pit_lifetime_ms +. 1.) (fun () ->
+           ignore (Pit.expire t.pit ~now:(Sim.Engine.now t.engine))));
+    let hops = Fib.next_hops t.fib name in
+    let usable = List.filter (fun f -> f <> face) hops in
+    match usable with
+    | [] -> t.c.no_route_drops <- t.c.no_route_drops + 1
+    | hop :: _ -> ignore (send_interest_on_face t ~face:hop interest))
+
+let handle_interest t ~face interest =
+  let now = Sim.Engine.now t.engine in
+  t.c.interests_received <- t.c.interests_received + 1;
+  match Content_store.lookup t.cs ~now interest.Interest.name with
+  | Some entry -> (
+    match t.strat.on_cache_hit ~now interest entry.Content_store.data with
+    | Respond ->
+      t.c.cache_responses <- t.c.cache_responses + 1;
+      send_data t ~face entry.Content_store.data
+    | Respond_after delay ->
+      t.c.cache_responses <- t.c.cache_responses + 1;
+      t.c.delayed_responses <- t.c.delayed_responses + 1;
+      let data = entry.Content_store.data in
+      ignore
+        (Sim.Engine.schedule t.engine ~delay (fun () -> send_data t ~face data))
+    | Treat_as_miss -> forward_as_miss t ~face interest)
+  | None ->
+    t.strat.note_miss ~now interest;
+    forward_as_miss t ~face interest
+
+let receive t ~face packet =
+  match packet with
+  | Packet.Interest i -> handle_interest t ~face i
+  | Packet.Data d -> handle_data_internal t ~face d
+
+(* --- applications --- *)
+
+let add_producer t ~prefix ?(production_delay_ms = 0.1) handler =
+  let face = add_face t (Producer_app { handler; delay = production_delay_ms }) in
+  Fib.add_route t.fib ~prefix ~face
+
+let express_interest t ?scope ?(consumer_private = false) ?timeout_ms ~on_data
+    ?(on_timeout = fun () -> ()) name =
+  let now = Sim.Engine.now t.engine in
+  let timeout_ms = Option.value timeout_ms ~default:t.pit_lifetime_ms in
+  let cell =
+    match Name_trie.find t.pending_local name with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Name_trie.add t.pending_local name cell;
+      cell
+  in
+  let rec pending =
+    lazy
+      {
+        issued = now;
+        on_data;
+        timeout_handle =
+          Sim.Engine.schedule t.engine ~delay:timeout_ms (fun () ->
+              (* Give up: unregister this expression and notify. *)
+              let p = Lazy.force pending in
+              (match Name_trie.find t.pending_local name with
+              | Some cell ->
+                cell := List.filter (fun q -> q != p) !cell;
+                if !cell = [] then Name_trie.remove t.pending_local name
+              | None -> ());
+              on_timeout ());
+      }
+  in
+  let p = Lazy.force pending in
+  cell := p :: !cell;
+  let interest =
+    Interest.create ?scope ~consumer_private ~nonce:(Sim.Rng.bits64 t.rng) name
+  in
+  handle_interest t ~face:0 interest
+
+(* --- introspection --- *)
+
+let counters t =
+  {
+    interests_received = t.c.interests_received;
+    interests_forwarded = t.c.interests_forwarded;
+    interests_collapsed = t.c.interests_collapsed;
+    data_received = t.c.data_received;
+    data_sent = t.c.data_sent;
+    cache_responses = t.c.cache_responses;
+    delayed_responses = t.c.delayed_responses;
+    scope_drops = t.c.scope_drops;
+    no_route_drops = t.c.no_route_drops;
+    unsolicited_data = t.c.unsolicited_data;
+  }
+
+let pp_counters ppf (c : counters) =
+  Format.fprintf ppf
+    "in=%d fwd=%d collapsed=%d data_in=%d data_out=%d cache=%d delayed=%d \
+     scope_drop=%d no_route=%d unsolicited=%d"
+    c.interests_received c.interests_forwarded c.interests_collapsed
+    c.data_received c.data_sent c.cache_responses c.delayed_responses
+    c.scope_drops c.no_route_drops c.unsolicited_data

@@ -1,0 +1,142 @@
+(** An NDN forwarder: Content Store + PIT + FIB wired into the
+    discrete-event engine.
+
+    The same type models routers, consumer hosts (with a local
+    application face) and producer hosts (with a registered content
+    handler).  A host's forwarder has its own Content Store, which is
+    what the local-adversary attack of the paper probes (Figure 2 /
+    Figure 3d). *)
+
+type t
+
+(** {1 Cache-response strategy}
+
+    The interposition point for the paper's countermeasures: the
+    privacy layer decides, per cache hit, whether to respond
+    immediately, respond after an artificial delay, or behave exactly
+    like a miss. *)
+
+type response_action =
+  | Respond  (** Serve the cache hit immediately. *)
+  | Respond_after of float
+      (** Serve from cache after an artificial delay (milliseconds) —
+          bandwidth is preserved, latency mimics a miss. *)
+  | Treat_as_miss
+      (** Ignore the cache: forward the interest upstream as if the
+          content were absent. *)
+
+type strategy = {
+  on_cache_hit : now:float -> Interest.t -> Data.t -> response_action;
+  should_cache : now:float -> Data.t -> fetch_delay:float -> bool;
+      (** Whether to admit arriving content; [fetch_delay] is the
+          measured interest-in → data-in delay for this object, which
+          the content-specific-delay countermeasure records. *)
+  note_miss : now:float -> Interest.t -> unit;
+      (** Observation hook fired on every cache miss. *)
+  forward_delay : now:float -> Data.t -> fetch_delay:float -> float;
+      (** Extra artificial delay (ms) applied before forwarding
+          arriving Data downstream — the constant-delay countermeasure
+          pads misses here so that hit and miss latencies match. *)
+}
+
+val default_strategy : strategy
+(** Plain NDN: serve every hit immediately, cache everything. *)
+
+(** {1 Construction} *)
+
+val create :
+  Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  label:string ->
+  ?cs_capacity:int ->
+  ?cs_policy:Eviction.t ->
+  ?pit_lifetime_ms:float ->
+  ?forwarding_delay:Sim.Latency.t ->
+  ?honor_scope:bool ->
+  ?caching:bool ->
+  unit ->
+  t
+(** [cs_capacity] defaults to unbounded; [forwarding_delay] (default a
+    small constant) models per-packet processing; [honor_scope]
+    (default [true]) — routers "are allowed to disregard this field"
+    (Section III), so it is switchable.  [caching] (default [true]):
+    when [false] the node never admits content into its CS — used for
+    consumer hosts in probing experiments, where the adversary bypasses
+    its own local cache. *)
+
+val set_caching : t -> bool -> unit
+
+val label : t -> string
+
+val engine : t -> Sim.Engine.t
+
+val content_store : t -> unit Content_store.t
+
+val pit : t -> Pit.t
+
+val fib : t -> Fib.t
+
+val set_strategy : t -> strategy -> unit
+
+val strategy : t -> strategy
+
+(** {1 Faces and wiring}
+
+    Faces are dense integer ids.  [Network] connects nodes by
+    installing transmit closures; applications attach via dedicated
+    face kinds. *)
+
+val add_wire_face : t -> (Packet.t -> unit) -> int
+(** Register a point-to-point face; the closure must deliver the packet
+    to the peer (typically via {!receive} after a sampled latency). *)
+
+val local_face : t -> int
+(** The node's application face (face 0, always present): interests
+    expressed locally arrive on it and matching Data is dispatched to
+    local callbacks. *)
+
+val add_producer : t -> prefix:Name.t -> ?production_delay_ms:float ->
+  (Interest.t -> Data.t option) -> unit
+(** Attach a producer application serving a namespace: a FIB route for
+    [prefix] pointing at an app face; interests reaching that face
+    invoke the handler after [production_delay_ms] (default [0.1]). *)
+
+val receive : t -> face:int -> Packet.t -> unit
+(** Entry point for packets arriving from the network at virtual time
+    "now". *)
+
+(** {1 Local consumer API} *)
+
+val express_interest :
+  t ->
+  ?scope:int ->
+  ?consumer_private:bool ->
+  ?timeout_ms:float ->
+  on_data:(rtt_ms:float -> Data.t -> unit) ->
+  ?on_timeout:(unit -> unit) ->
+  Name.t ->
+  unit
+(** Issue an interest from the local application.  [on_data] fires with
+    the measured round-trip time when content arrives; [on_timeout]
+    (default: ignore) fires after [timeout_ms] (default the PIT
+    lifetime) without a response.  The local Content Store is consulted
+    first — which is precisely the local-adversary channel. *)
+
+(** {1 Introspection} *)
+
+type counters = {
+  interests_received : int;
+  interests_forwarded : int;
+  interests_collapsed : int;
+  data_received : int;
+  data_sent : int;
+  cache_responses : int;  (** Served from CS (immediate or delayed). *)
+  delayed_responses : int;  (** Subset of [cache_responses]. *)
+  scope_drops : int;
+  no_route_drops : int;
+  unsolicited_data : int;
+}
+
+val counters : t -> counters
+
+val pp_counters : Format.formatter -> counters -> unit

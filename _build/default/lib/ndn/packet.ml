@@ -1,0 +1,15 @@
+type t =
+  | Interest of Interest.t
+  | Data of Data.t
+
+let name = function
+  | Interest i -> i.Interest.name
+  | Data d -> d.Data.name
+
+let size_bytes = function
+  | Interest i -> String.length (Name.to_string i.Interest.name) + 24
+  | Data d -> Data.size_bytes d
+
+let pp ppf = function
+  | Interest i -> Interest.pp ppf i
+  | Data d -> Data.pp ppf d

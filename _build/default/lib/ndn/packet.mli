@@ -1,0 +1,16 @@
+(** The two NDN packet types.
+
+    "Interest and content are the only types of packets in NDN"
+    (paper, Section II). *)
+
+type t =
+  | Interest of Interest.t
+  | Data of Data.t
+
+val name : t -> Name.t
+
+val size_bytes : t -> int
+(** Wire-size estimate for bandwidth accounting (interests are small
+    and fixed-cost; Data defers to {!Data.size_bytes}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type entry = {
+  created : float;
+  mutable arrivals : (int * int64) list; (* (face, nonce), newest first *)
+}
+
+type insert_result = Forward | Collapsed | Duplicate
+
+type t = { lifetime_ms : float; trie : entry Name_trie.t }
+
+let create ?(lifetime_ms = 4000.) () = { lifetime_ms; trie = Name_trie.create () }
+
+let insert t ~now ~face ~nonce name =
+  match Name_trie.find t.trie name with
+  | None ->
+    Name_trie.add t.trie name { created = now; arrivals = [ (face, nonce) ] };
+    Forward
+  | Some entry ->
+    if List.exists (fun (f, n) -> f = face && Int64.equal n nonce) entry.arrivals
+    then Duplicate
+    else begin
+      entry.arrivals <- (face, nonce) :: entry.arrivals;
+      Collapsed
+    end
+
+let dedup_keep_order xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let satisfy_timed t name =
+  (* Every pending name that is a prefix of the Data name is satisfied. *)
+  let matched =
+    Name_trie.fold_prefixes t.trie name ~init:[] ~f:(fun acc n entry ->
+        (n, entry) :: acc)
+  in
+  let faces =
+    List.concat_map
+      (fun (_, entry) -> List.rev_map fst entry.arrivals)
+      (List.rev matched)
+  in
+  let oldest =
+    List.fold_left
+      (fun acc (_, entry) ->
+        match acc with
+        | None -> Some entry.created
+        | Some c -> Some (Float.min c entry.created))
+      None matched
+  in
+  List.iter (fun (n, _) -> Name_trie.remove t.trie n) matched;
+  (dedup_keep_order faces, oldest)
+
+let satisfy t name = fst (satisfy_timed t name)
+
+let pending t name = Name_trie.mem t.trie name
+
+let faces t name =
+  match Name_trie.find t.trie name with
+  | None -> []
+  | Some entry -> dedup_keep_order (List.rev_map fst entry.arrivals)
+
+let expire t ~now =
+  let stale =
+    List.filter_map
+      (fun (name, entry) ->
+        if now -. entry.created > t.lifetime_ms then Some name else None)
+      (Name_trie.to_list t.trie)
+  in
+  List.iter (Name_trie.remove t.trie) stale;
+  stale
+
+let size t = Name_trie.size t.trie
+
+let clear t = Name_trie.clear t.trie

@@ -1,0 +1,47 @@
+(** Pending Interest Table.
+
+    Records, per interest name, the downstream faces awaiting content.
+    A second interest for a name already pending is *collapsed*: only
+    the new arrival face is recorded and nothing is forwarded upstream
+    (paper, Section II).  Collapsing is itself privacy-relevant: it is
+    the reason a cache miss cannot be hidden, and it is observable by
+    the timing adversary. *)
+
+type t
+
+type insert_result =
+  | Forward  (** No pending entry existed: forward the interest. *)
+  | Collapsed  (** An entry existed: face recorded, do not forward. *)
+  | Duplicate
+      (** Same face and nonce already pending (retransmission loop):
+          drop. *)
+
+val create : ?lifetime_ms:float -> unit -> t
+(** [lifetime_ms] (default [4000.]) bounds how long an entry may stay
+    pending before {!expire} removes it. *)
+
+val insert : t -> now:float -> face:int -> nonce:int64 -> Name.t -> insert_result
+
+val satisfy : t -> Name.t -> int list
+(** Faces awaiting an arriving Data packet with the given name — the
+    union over every pending name that is a prefix of it — removing
+    those entries.  Order: registration order, duplicates removed. *)
+
+val satisfy_timed : t -> Name.t -> int list * float option
+(** Like {!satisfy} but also returns the creation time of the oldest
+    satisfied entry — the forwarder uses [now - created] as the
+    measured fetch delay feeding the content-specific-delay
+    countermeasure. *)
+
+val pending : t -> Name.t -> bool
+(** Is there an entry for exactly this name? *)
+
+val faces : t -> Name.t -> int list
+(** Faces of the exact-name entry, registration order ([[]] if none). *)
+
+val expire : t -> now:float -> Name.t list
+(** Drop entries older than the lifetime; returns their names. *)
+
+val size : t -> int
+
+val clear : t -> unit

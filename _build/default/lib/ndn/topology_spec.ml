@@ -1,0 +1,242 @@
+type t = { network : Network.t; nodes : (string * Node.t) list }
+
+let node t name = List.assoc name t.nodes
+
+(* --- small parsing helpers --- *)
+
+let ( let* ) = Result.bind
+
+let float_field name s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: expected a number, got %S" name s)
+
+let int_field name s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
+
+let bool_field name s =
+  match String.lowercase_ascii s with
+  | "true" | "yes" | "1" -> Ok true
+  | "false" | "no" | "0" -> Ok false
+  | _ -> Error (Printf.sprintf "%s: expected a boolean, got %S" name s)
+
+let rec parse_latency_term s =
+  match String.split_on_char ':' s with
+  | [ "const"; ms ] ->
+    let* ms = float_field "const" ms in
+    Ok (Sim.Latency.Constant ms)
+  | [ "uniform"; lo; hi ] ->
+    let* lo = float_field "uniform lo" lo in
+    let* hi = float_field "uniform hi" hi in
+    Ok (Sim.Latency.Uniform { lo; hi })
+  | [ "normal"; mean; stddev; min ] ->
+    let* mean = float_field "normal mean" mean in
+    let* stddev = float_field "normal stddev" stddev in
+    let* min = float_field "normal min" min in
+    Ok (Sim.Latency.Normal { mean; stddev; min })
+  | [ "shifted_exp"; shift; rate ] ->
+    let* shift = float_field "shifted_exp shift" shift in
+    let* rate = float_field "shifted_exp rate" rate in
+    Ok (Sim.Latency.Shifted_exponential { shift; rate })
+  | _ -> Error (Printf.sprintf "unknown latency model %S" s)
+
+and parse_latency s =
+  match String.split_on_char '+' s with
+  | [ single ] -> parse_latency_term single
+  | parts ->
+    let* terms =
+      List.fold_left
+        (fun acc part ->
+          let* acc = acc in
+          let* term = parse_latency_term part in
+          Ok (term :: acc))
+        (Ok []) parts
+    in
+    Ok (Sim.Latency.Sum (List.rev terms))
+
+(* key=value attribute lists *)
+let parse_attrs tokens =
+  List.fold_left
+    (fun acc token ->
+      let* acc = acc in
+      match String.index_opt token '=' with
+      | Some i ->
+        let key = String.sub token 0 i in
+        let value = String.sub token (i + 1) (String.length token - i - 1) in
+        Ok ((key, value) :: acc)
+      | None -> Error (Printf.sprintf "expected key=value, got %S" token))
+    (Ok []) tokens
+
+let attr attrs key = List.assoc_opt key attrs
+
+(* --- directive state --- *)
+
+type builder = {
+  net : Network.t;
+  mutable decls : (string * Node.t) list;
+  (* (a, b) -> face id on a toward b *)
+  faces : (string * string, int) Hashtbl.t;
+}
+
+let find_node b name =
+  match List.assoc_opt name b.decls with
+  | Some node -> Ok node
+  | None -> Error (Printf.sprintf "undeclared node %S" name)
+
+let handle_node b name attrs =
+  if List.mem_assoc name b.decls then Error (Printf.sprintf "duplicate node %S" name)
+  else begin
+    let* cs_capacity =
+      match attr attrs "cs" with Some v -> int_field "cs" v | None -> Ok 0
+    in
+    let* cs_policy =
+      match attr attrs "policy" with
+      | Some v -> (
+        match Eviction.of_string v with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "unknown eviction policy %S" v))
+      | None -> Ok Eviction.Lru
+    in
+    let* forwarding_delay =
+      match attr attrs "proc" with
+      | Some v -> parse_latency v
+      | None -> Ok (Sim.Latency.Constant 0.02)
+    in
+    let* honor_scope =
+      match attr attrs "honor_scope" with
+      | Some v -> bool_field "honor_scope" v
+      | None -> Ok true
+    in
+    let* caching =
+      match attr attrs "caching" with
+      | Some v -> bool_field "caching" v
+      | None -> Ok true
+    in
+    let node =
+      Network.add_node b.net ~cs_capacity ~cs_policy ~forwarding_delay
+        ~honor_scope ~caching name
+    in
+    b.decls <- b.decls @ [ (name, node) ];
+    Ok ()
+  end
+
+let handle_link b a_name b_name attrs =
+  let* a = find_node b a_name in
+  let* bn = find_node b b_name in
+  let* latency =
+    match attr attrs "latency" with
+    | Some v -> parse_latency v
+    | None -> Ok (Sim.Latency.Constant 1.)
+  in
+  let* latency_ba =
+    match attr attrs "latency_back" with
+    | Some v ->
+      let* l = parse_latency v in
+      Ok (Some l)
+    | None -> Ok None
+  in
+  let* loss =
+    match attr attrs "loss" with Some v -> float_field "loss" v | None -> Ok 0.
+  in
+  if Hashtbl.mem b.faces (a_name, b_name) then
+    Error (Printf.sprintf "duplicate link %s-%s" a_name b_name)
+  else begin
+    let fa, fb = Network.connect b.net ~loss ?latency_ba ~latency a bn in
+    Hashtbl.replace b.faces (a_name, b_name) fa;
+    Hashtbl.replace b.faces (b_name, a_name) fb;
+    Ok ()
+  end
+
+let handle_route b node_name prefix via_name =
+  let* node = find_node b node_name in
+  let* _ = find_node b via_name in
+  match Hashtbl.find_opt b.faces (node_name, via_name) with
+  | Some face ->
+    Network.route b.net node ~prefix:(Name.of_string prefix) ~via:face;
+    Ok ()
+  | None ->
+    Error (Printf.sprintf "route %s via %s: no such link" node_name via_name)
+
+let handle_producer b node_name prefix attrs =
+  let* node = find_node b node_name in
+  let* key =
+    match attr attrs "key" with
+    | Some k -> Ok k
+    | None -> Ok (node_name ^ "-key")
+  in
+  let* payload_size =
+    match attr attrs "payload" with Some v -> int_field "payload" v | None -> Ok 1024
+  in
+  let* producer_private =
+    match attr attrs "private" with
+    | Some v -> bool_field "private" v
+    | None -> Ok false
+  in
+  let* production_delay_ms =
+    match attr attrs "delay" with Some v -> float_field "delay" v | None -> Ok 0.4
+  in
+  let prefix = Name.of_string prefix in
+  let payload_of name =
+    let h = Ndn_crypto.Sha256.hex_digest (Name.to_string name) in
+    let buf = Buffer.create payload_size in
+    while Buffer.length buf < payload_size do
+      Buffer.add_string buf h
+    done;
+    Buffer.sub buf 0 payload_size
+  in
+  Node.add_producer node ~prefix ~production_delay_ms (fun interest ->
+      let name = interest.Interest.name in
+      if Name.is_prefix ~prefix name then
+        Some
+          (Data.create ~producer_private ~producer:node_name ~key
+             ~payload:(payload_of name) name)
+      else None);
+  Ok ()
+
+let handle_line b line =
+  let tokens =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun tok -> tok <> "")
+  in
+  match tokens with
+  | [] -> Ok ()
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> Ok ()
+  | "node" :: name :: attrs ->
+    let* attrs = parse_attrs attrs in
+    handle_node b name attrs
+  | "link" :: a :: bn :: attrs ->
+    let* attrs = parse_attrs attrs in
+    handle_link b a bn attrs
+  | [ "route"; node; prefix; "via"; via ] -> handle_route b node prefix via
+  | "producer" :: node :: prefix :: attrs ->
+    let* attrs = parse_attrs attrs in
+    handle_producer b node prefix attrs
+  | directive :: _ -> Error (Printf.sprintf "unknown directive %S" directive)
+
+let parse ?(seed = 42) text =
+  let b =
+    { net = Network.create ~seed (); decls = []; faces = Hashtbl.create 16 }
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok { network = b.net; nodes = b.decls }
+    | line :: rest -> (
+      match handle_line b line with
+      | Ok () -> go (lineno + 1) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 lines
+
+let parse_file ?seed ~path () =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      parse ?seed text)
+
+let parse_latency s = parse_latency s

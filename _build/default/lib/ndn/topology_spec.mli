@@ -1,0 +1,43 @@
+(** Text format for describing experiment topologies.
+
+    Lets studies beyond the paper's built-in setups be defined in a
+    file instead of OCaml:
+
+    {v
+    # nodes first; attributes are optional
+    node R  cs=10000 policy=lru proc=normal:0.55:0.12:0.15
+    node U  caching=false
+    node P
+
+    # bidirectional links
+    link U R latency=normal:0.25:0.06:0.05
+    link R P latency=const:1.8 loss=0.01
+
+    # interest routing (via a directly linked neighbour)
+    route U /prod via R
+    route R /prod via P
+
+    # a producer application serving a namespace
+    producer P /prod key=pkey payload=1024 private=false delay=0.4
+    v}
+
+    Latency grammar: [const:MS], [uniform:LO:HI],
+    [normal:MEAN:SD:MIN], [shifted_exp:SHIFT:RATE], or a [+]-joined sum
+    of those. *)
+
+type t = {
+  network : Network.t;
+  nodes : (string * Node.t) list;  (** Declaration order. *)
+}
+
+val node : t -> string -> Node.t
+(** @raise Not_found for undeclared names. *)
+
+val parse : ?seed:int -> string -> (t, string) result
+(** Build a network from a specification text.  Errors carry the line
+    number and a description. *)
+
+val parse_file : ?seed:int -> path:string -> unit -> (t, string) result
+
+val parse_latency : string -> (Sim.Latency.t, string) result
+(** The latency sub-grammar, exposed for reuse and tests. *)

@@ -1,0 +1,1 @@
+lib/ndn_crypto/hex.mli:

@@ -1,0 +1,1 @@
+lib/ndn_crypto/hmac.ml: Char Hex Sha256 String

@@ -1,0 +1,8 @@
+(** Lowercase hexadecimal codecs for raw byte strings. *)
+
+val encode : string -> string
+(** [encode s] maps each byte of [s] to two lowercase hex characters. *)
+
+val decode : string -> string
+(** Inverse of {!encode}.  Accepts upper- and lowercase digits.
+    @raise Invalid_argument on odd length or non-hex characters. *)

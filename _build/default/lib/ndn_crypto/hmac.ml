@@ -1,0 +1,32 @@
+let block_size = Sha256.block_size
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key < block_size then
+    key ^ String.make (block_size - String.length key) '\000'
+  else key
+
+let xor_pad key byte =
+  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor byte))
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_pad key 0x36);
+  Sha256.feed inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_pad key 0x5c);
+  Sha256.feed outer inner_digest;
+  Sha256.finalize outer
+
+let hex_mac ~key msg = Hex.encode (mac ~key msg)
+
+let verify ~key ~msg ~tag =
+  let expected = mac ~key msg in
+  if String.length tag <> String.length expected then false
+  else begin
+    let diff = ref 0 in
+    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i])) tag;
+    !diff = 0
+  end

@@ -1,0 +1,18 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    The pseudo-random function used by the mutual ("unpredictable
+    names") countermeasure: interacting parties derive the random name
+    component of each content object as [HMAC(shared_secret, context)]
+    (paper, Section V-A). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag.  Keys longer than the
+    block size are hashed first, per RFC 2104. *)
+
+val hex_mac : key:string -> string -> string
+(** Like {!mac} but hex-encoded (64 chars). *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time-ish comparison of [tag] against [mac ~key msg].
+    (Timing uniformity is best-effort; the simulator's adversary model
+    never times this code.) *)

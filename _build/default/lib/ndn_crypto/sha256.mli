@@ -1,0 +1,34 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for content-object signatures and as the compression function
+    behind {!Hmac}, which in turn drives the unpredictable-name
+    countermeasure of the paper (Section V-A).  Performance is adequate
+    for simulation workloads; this is not a constant-time
+    implementation and must not be used against real adversaries. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb bytes.  May be called repeatedly. *)
+
+val feed_bytes : ctx -> bytes -> off:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** Produce the 32-byte digest.  The context must not be reused
+    afterwards.
+    @raise Invalid_argument on double finalization. *)
+
+val digest : string -> string
+(** One-shot hash: 32 raw bytes. *)
+
+val hex_digest : string -> string
+(** One-shot hash, lowercase hex (64 chars). *)
+
+val digest_size : int
+(** 32. *)
+
+val block_size : int
+(** 64 — needed by HMAC. *)

@@ -1,0 +1,1 @@
+lib/privacy/bayes.ml: Dist Hashtbl List Option Outputs

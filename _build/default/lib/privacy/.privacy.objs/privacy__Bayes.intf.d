@@ -1,0 +1,1 @@
+lib/privacy/bayes.mli: Dist

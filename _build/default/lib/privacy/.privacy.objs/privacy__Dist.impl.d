@@ -1,0 +1,1 @@
+lib/privacy/dist.ml: Float Hashtbl List Option

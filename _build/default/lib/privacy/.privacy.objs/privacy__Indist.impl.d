@@ -1,0 +1,1 @@
+lib/privacy/indist.ml: Dist Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/privacy/outputs.mli: Dist

@@ -1,0 +1,1 @@
+lib/privacy/theorems.ml: Dist Float

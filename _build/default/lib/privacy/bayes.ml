@@ -1,0 +1,56 @@
+let likelihood ~k_dist ~prior_requests ~probes =
+  Outputs.miss_count_dist ~k_dist ~prior:prior_requests ~probes
+
+let posterior ~k_dist ~count_prior ~probes ~observed_misses =
+  let weighted =
+    Dist.fold count_prior ~init:[] ~f:(fun acc count p_count ->
+        let p_obs =
+          Dist.prob (likelihood ~k_dist ~prior_requests:count ~probes) observed_misses
+        in
+        (count, p_count *. p_obs) :: acc)
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
+  if total <= 0. then
+    invalid_arg "Bayes.posterior: observation impossible under the prior";
+  Dist.of_list weighted
+
+let map_estimate d =
+  let best =
+    Dist.fold d ~init:None ~f:(fun acc x p ->
+        match acc with
+        | Some (_, bp) when bp > p -> acc
+        | Some (bx, bp) when bp = p && bx < x -> acc
+        | _ -> Some (x, p))
+  in
+  match best with
+  | Some (x, _) -> x
+  | None -> invalid_arg "Bayes.map_estimate: empty distribution"
+
+let log2 x = log x /. log 2.
+
+let entropy d =
+  -.Dist.fold d ~init:0. ~f:(fun acc _ p ->
+        if p > 0. then acc +. (p *. log2 p) else acc)
+
+let mutual_information ~k_dist ~count_prior ~probes =
+  (* I(X; M) = sum_x sum_m P(x) P(m|x) log2 (P(m|x) / P(m)). *)
+  let conditionals =
+    Dist.fold count_prior ~init:[] ~f:(fun acc x p_x ->
+        (x, p_x, likelihood ~k_dist ~prior_requests:x ~probes) :: acc)
+  in
+  (* Marginal P(m). *)
+  let marginal_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, p_x, cond) ->
+      Dist.fold cond ~init:() ~f:(fun () m p ->
+          let prev = Option.value (Hashtbl.find_opt marginal_tbl m) ~default:0. in
+          Hashtbl.replace marginal_tbl m (prev +. (p_x *. p))))
+    conditionals;
+  List.fold_left
+    (fun acc (_, p_x, cond) ->
+      Dist.fold cond ~init:acc ~f:(fun acc m p_m_given_x ->
+          if p_m_given_x <= 0. then acc
+          else
+            let p_m = Hashtbl.find marginal_tbl m in
+            acc +. (p_x *. p_m_given_x *. log2 (p_m_given_x /. p_m))))
+    0. conditionals

@@ -1,0 +1,40 @@
+let union_outcomes a b =
+  let outcomes = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace outcomes x ()) (Dist.support a);
+  List.iter (fun x -> Hashtbl.replace outcomes x ()) (Dist.support b);
+  Hashtbl.fold (fun x () acc -> x :: acc) outcomes []
+
+let ratio_ok ~eps p1 p2 =
+  (* Both positive here. *)
+  let r = log (p1 /. p2) in
+  Float.abs r <= eps +. 1e-12
+
+let min_delta ~eps a b =
+  if eps < 0. then invalid_arg "Indist.min_delta: negative eps";
+  List.fold_left
+    (fun acc x ->
+      let p1 = Dist.prob a x and p2 = Dist.prob b x in
+      if p1 > 0. && p2 > 0. && ratio_ok ~eps p1 p2 then acc else acc +. p1 +. p2)
+    0. (union_outcomes a b)
+
+let min_eps ~delta a b =
+  if delta < 0. then invalid_arg "Indist.min_eps: negative delta";
+  let candidates =
+    List.filter_map
+      (fun x ->
+        let p1 = Dist.prob a x and p2 = Dist.prob b x in
+        if p1 > 0. && p2 > 0. then Some (Float.abs (log (p1 /. p2))) else None)
+      (union_outcomes a b)
+    |> List.sort_uniq compare
+  in
+  let candidates = 0. :: candidates in
+  let rec first_ok = function
+    | [] -> infinity
+    | eps :: rest ->
+      if min_delta ~eps a b <= delta +. 1e-12 then eps else first_ok rest
+  in
+  first_ok candidates
+
+let is_indistinguishable ~eps ~delta a b = min_delta ~eps a b <= delta +. 1e-12
+
+let distinguishing_advantage a b = 0.5 +. (Dist.total_variation a b /. 2.)

@@ -1,0 +1,31 @@
+(** Exact (ε, δ)-probabilistic indistinguishability (Definition IV.1).
+
+    Two distributions D1, D2 are (ε, δ)-probabilistically
+    indistinguishable if the output space can be split into Ω1 — where
+    every outcome's probability ratio is within [e^±ε] — and a "bad"
+    set Ω2 with [Pr(D1 ∈ Ω2) + Pr(D2 ∈ Ω2) ≤ δ].
+
+    For finite distributions the optimal split is computable exactly:
+    put into Ω2 precisely the outcomes violating the ratio bound. *)
+
+val min_delta : eps:float -> 'a Dist.t -> 'a Dist.t -> float
+(** The smallest δ for which the pair is (ε, δ)-indistinguishable.
+    An outcome with probability 0 in exactly one distribution always
+    violates any finite ratio bound and lands in Ω2.
+    @raise Invalid_argument if [eps < 0.]. *)
+
+val min_eps : delta:float -> 'a Dist.t -> 'a Dist.t -> float
+(** The smallest ε for which the pair is (ε, δ)-indistinguishable —
+    exact, by scanning the finitely many candidate log-ratios.
+    Returns [infinity] when even ε = ∞ leaves more than δ of one-sided
+    mass (cannot happen: one-sided outcomes are the only ones that
+    survive ε = ∞, so the result is finite iff their mass is ≤ δ).
+    @raise Invalid_argument if [delta < 0.]. *)
+
+val is_indistinguishable : eps:float -> delta:float -> 'a Dist.t -> 'a Dist.t -> bool
+
+val distinguishing_advantage : 'a Dist.t -> 'a Dist.t -> float
+(** Success probability of the Bayes-optimal single-observation
+    distinguisher with uniform prior:
+    [1/2 + TV(D1, D2)/2] — the quantity the timing-attack detector
+    realizes empirically. *)

@@ -1,0 +1,28 @@
+let misses_observed ~k ~prior ~probes =
+  if k < 0 || prior < 0 then invalid_arg "Outputs.misses_observed: negative argument";
+  if probes <= 0 then invalid_arg "Outputs.misses_observed: probes must be positive";
+  if prior = 0 then
+    (* Probe 1 is the content's first-ever request: an unconditional
+       miss (Algorithm 1, line 8).  Probe j >= 2 is request j with
+       counter j - 1, a miss iff j - 1 <= k. *)
+    min (k + 1) probes
+  else
+    (* Probe j is request prior + j, a miss iff prior + j - 1 <= k. *)
+    let m = k - prior + 1 in
+    if m < 0 then 0 else min m probes
+
+let miss_count_dist ~k_dist ~prior ~probes =
+  Dist.map (fun k -> misses_observed ~k ~prior ~probes) k_dist
+
+let state_pair ~k_dist ~x ~probes =
+  ( miss_count_dist ~k_dist ~prior:0 ~probes,
+    miss_count_dist ~k_dist ~prior:x ~probes )
+
+let achieved_delta ~k_dist ~k ~probes ~eps =
+  let rec worst x acc =
+    if x > k then acc
+    else
+      let d0, d1 = state_pair ~k_dist ~x ~probes in
+      worst (x + 1) (Float.max acc (Indist.min_delta ~eps d0 d1))
+  in
+  worst 1 0.

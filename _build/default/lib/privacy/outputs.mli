@@ -1,0 +1,38 @@
+(** Exact output distributions of Random-Cache probing sequences.
+
+    An adversary probing one content [t] times through Algorithm 1
+    observes a sequence that is always a (possibly empty) run of cache
+    misses followed by cache hits, so the observation is fully
+    described by the number of misses.  Given the distribution of the
+    per-content threshold k_C and the number of *prior* requests for
+    the content (the router state the adversary wants to learn), the
+    miss-count distribution is exactly computable — this is what the
+    proofs of Theorems VI.1 and VI.3 enumerate, and what the property
+    tests check those theorems against. *)
+
+val misses_observed : k:int -> prior:int -> probes:int -> int
+(** Deterministic core of Algorithm 1: how many of [probes]
+    consecutive requests are answered as misses when the content's
+    threshold is [k] ([kC]) and [prior] requests happened before the
+    probes.  Request number [i] (1-based, across the content's whole
+    lifetime) is a miss iff [i = 1] (the object must first be fetched)
+    or [i - 1 <= k].
+    @raise Invalid_argument on negative arguments or [probes = 0]. *)
+
+val miss_count_dist : k_dist:int Dist.t -> prior:int -> probes:int -> int Dist.t
+(** Distribution of {!misses_observed} when [kC] is drawn from
+    [k_dist]. *)
+
+val state_pair :
+  k_dist:int Dist.t -> x:int -> probes:int -> int Dist.t * int Dist.t
+(** The two output distributions compared by Definition IV.3: state S0
+    (never requested, [prior = 0]) versus state S1 ([prior = x],
+    [1 <= x <= k]). *)
+
+val achieved_delta : k_dist:int Dist.t -> k:int -> probes:int -> eps:float -> float
+(** The exact δ achieved by a Random-Cache instantiation at privacy
+    budget [eps], against states that differ by up to [k] prior
+    requests and adversaries probing [probes] times:
+    [max over x in 1..k of Indist.min_delta ~eps (S0, S1 x)].
+    (k, eps, ·)-privacy (Definition IV.3) holds with any δ at least
+    this value — benches confront Theorems VI.1/VI.3 with it. *)

@@ -1,0 +1,60 @@
+type handle = { mutable cancelled : bool; action : unit -> unit }
+
+type t = {
+  queue : handle Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.; next_seq = 0; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  let h = { cancelled = false; action = f } in
+  Heap.add t.queue ~time ~seq:t.next_seq h;
+  t.next_seq <- t.next_seq + 1;
+  h
+
+let schedule t ~delay f =
+  let delay = if delay < 0. then 0. else delay in
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel h = h.cancelled <- true
+
+let is_cancelled h = h.cancelled
+
+let step t =
+  match Heap.pop_min t.queue with
+  | None -> false
+  | Some (time, _seq, h) ->
+    t.clock <- time;
+    if not h.cancelled then begin
+      t.processed <- t.processed + 1;
+      h.action ()
+    end;
+    true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek_min t.queue with
+    | None -> continue := false
+    | Some (time, _, _) -> (
+      match until with
+      | Some limit when time > limit ->
+        (* Leave future events queued; advance the clock to the limit so
+           that a subsequent [run ~until] picks up where we stopped. *)
+        t.clock <- limit;
+        continue := false
+      | _ ->
+        ignore (step t);
+        decr budget)
+  done
+
+let pending t = Heap.length t.queue
+
+let events_processed t = t.processed

@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    A virtual clock (milliseconds, [float]) and an event queue.  Events
+    are thunks executed at their scheduled time; events scheduled for
+    the same instant run in scheduling order.  Nothing here is
+    concurrent — the engine is a deterministic single-threaded loop,
+    which is what makes experiments exactly reproducible. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation (e.g. a PIT-entry
+    timeout that is disarmed when the Data packet arrives). *)
+
+val create : unit -> t
+(** Fresh engine with the clock at [0.]. *)
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative delays
+    are clamped to [0.] (the event runs "now", after currently pending
+    same-instant events). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant of {!schedule}.  Times in the past are clamped
+    to the current instant. *)
+
+val cancel : handle -> unit
+(** Disarm a scheduled event.  Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val step : t -> bool
+(** Execute the next pending event.  Returns [false] when the queue is
+    empty (clock unchanged). *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue.  [until] stops the clock at the given time
+    (events scheduled later stay queued); [max_events] bounds the number
+    of events executed — a guard against non-terminating protocols. *)
+
+val pending : t -> int
+(** Number of queued (not yet fired, possibly cancelled) events. *)
+
+val events_processed : t -> int
+(** Total events executed since creation. *)

@@ -1,0 +1,75 @@
+(* Array-backed binary min-heap. Keys are (time, seq); [seq] breaks ties
+   deterministically. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let key_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let ndata = Array.make ncap entry in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if key_lt t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && key_lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && key_lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time ~seq payload =
+  let entry = { time; seq; payload } in
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_min t =
+  if t.size = 0 then None
+  else
+    let e = t.data.(0) in
+    Some (e.time, e.seq, e.payload)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let e = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (e.time, e.seq, e.payload)
+  end
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0

@@ -1,0 +1,29 @@
+(** Binary min-heap keyed by [(float, int)] pairs.
+
+    The event queue of the simulator: the float key is virtual time, the
+    integer key is an insertion sequence number used to break ties so
+    that events scheduled for the same instant fire in FIFO order
+    (a deterministic total order, independent of heap internals). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert an element with the given priority key. *)
+
+val pop_min : 'a t -> (float * int * 'a) option
+(** Remove and return the element with the smallest key, or [None] when
+    empty. *)
+
+val peek_min : 'a t -> (float * int * 'a) option
+(** Return the smallest-keyed element without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)

@@ -1,0 +1,52 @@
+(** Fixed-width histograms and empirical PDFs.
+
+    Used to regenerate the probability-density plots of the paper's
+    Figure 3 (cache-hit vs. cache-miss delay distributions) and to feed
+    the Bayes-optimal distinguisher in [Attack.Detector]. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Histogram over [\[lo, hi)] with [bins] equal-width bins.  Samples
+    outside the range are clamped into the first/last bin (they are
+    still real observations; clamping keeps total mass 1).
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val of_samples : ?bins:int -> float array -> t
+(** Histogram spanning the sample range ([bins] defaults to 40).
+    @raise Invalid_argument on an empty array. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val bins : t -> int
+
+val bin_edges : t -> (float * float) array
+(** Per-bin [(left, right)] edges. *)
+
+val bin_center : t -> int -> float
+
+val counts : t -> int array
+
+val pdf : t -> float array
+(** Empirical density: bin probability divided by bin width, so the
+    curve integrates to 1 (matching the paper's PDF plots). *)
+
+val probability : t -> int -> float
+(** Mass of one bin. *)
+
+val pp_ascii : ?width:int -> Format.formatter -> t -> unit
+(** Terminal rendering: one row per bin with a proportional bar. *)
+
+val pp_two : ?width:int -> labels:string * string -> Format.formatter -> t * t -> unit
+(** Render two histograms (e.g. hit vs. miss) over a shared bin layout;
+    both must have the same [lo], [hi], [bins].
+    @raise Invalid_argument if layouts differ. *)
+
+val overlap : t -> t -> float
+(** Bhattacharyya-style overlap: sum over bins of
+    [min (p1 bin) (p2 bin)] — the Bayes error (times 2) of an optimal
+    single-sample distinguisher restricted to this binning.  Both
+    histograms must share a layout.
+    @raise Invalid_argument if layouts differ. *)

@@ -1,0 +1,51 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mean : float; stddev : float; min : float }
+  | Shifted_exponential of { shift : float; rate : float }
+  | Sum of t list
+
+let rec sample t rng =
+  let v =
+    match t with
+    | Constant d -> d
+    | Uniform { lo; hi } -> lo +. Rng.float rng (hi -. lo)
+    | Normal { mean; stddev; min } ->
+      let rec draw () =
+        let x = Rng.gaussian rng ~mean ~stddev in
+        if x >= min then x else draw ()
+      in
+      draw ()
+    | Shifted_exponential { shift; rate } -> shift +. Rng.exponential rng ~rate
+    | Sum parts -> List.fold_left (fun acc p -> acc +. sample p rng) 0. parts
+  in
+  if v < 0. then 0. else v
+
+let rec mean = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+  | Normal { mean = m; _ } -> m
+  | Shifted_exponential { shift; rate } -> shift +. (1. /. rate)
+  | Sum parts -> List.fold_left (fun acc p -> acc +. mean p) 0. parts
+
+let rec pp ppf = function
+  | Constant d -> Format.fprintf ppf "const(%.3fms)" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform[%.3f,%.3f]ms" lo hi
+  | Normal { mean; stddev; min } ->
+    Format.fprintf ppf "normal(mu=%.3f,sigma=%.3f,min=%.3f)ms" mean stddev min
+  | Shifted_exponential { shift; rate } ->
+    Format.fprintf ppf "%.3fms+exp(rate=%.3f)" shift rate
+  | Sum parts ->
+    Format.fprintf ppf "sum(%a)" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "+") pp) parts
+
+(* The constants below are chosen so that the Figure 3 topologies built in
+   [Ndn.Network] produce RTT histograms spanning the same ranges as the
+   paper's measurements. *)
+
+let fast_ethernet = Normal { mean = 0.25; stddev = 0.06; min = 0.05 }
+
+let lan_hop = Normal { mean = 1.7; stddev = 0.3; min = 0.4 }
+
+let wan_hop = Shifted_exponential { shift = 0.9; rate = 1.6 }
+
+let local_ipc = Normal { mean = 0.11; stddev = 0.03; min = 0.02 }

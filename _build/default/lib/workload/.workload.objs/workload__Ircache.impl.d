@@ -1,0 +1,1 @@
+lib/workload/ircache.ml: Array Float Format Sim Trace Zipf

@@ -1,0 +1,1 @@
+lib/workload/ircache.mli: Format Trace

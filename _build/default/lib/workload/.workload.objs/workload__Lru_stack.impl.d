@@ -1,0 +1,1 @@
+lib/workload/lru_stack.ml: Array Format Sim Trace Zipf

@@ -1,0 +1,1 @@
+lib/workload/lru_stack.mli: Format Trace

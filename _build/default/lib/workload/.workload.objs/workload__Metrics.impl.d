@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: Core Format List Ndn Replay Sim String

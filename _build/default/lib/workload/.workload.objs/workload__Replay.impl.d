@@ -1,0 +1,1 @@
+lib/workload/replay.ml: Core Format Hashtbl Ndn Sim Trace

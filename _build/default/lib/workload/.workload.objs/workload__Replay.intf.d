@@ -1,0 +1,1 @@
+lib/workload/replay.mli: Core Format Ndn Trace

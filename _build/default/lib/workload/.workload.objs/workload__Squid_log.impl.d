@@ -1,0 +1,1 @@
+lib/workload/squid_log.ml: Array Fun Hashtbl List String Trace

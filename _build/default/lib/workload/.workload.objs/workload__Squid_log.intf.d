@@ -1,0 +1,1 @@
+lib/workload/squid_log.mli: Trace

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Format Fun Hashtbl List Ndn Printf String

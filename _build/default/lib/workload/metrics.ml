@@ -1,0 +1,89 @@
+type row = {
+  policy_label : string;
+  cache_capacity : int;
+  private_fraction : float;
+  outcome : Replay.outcome;
+}
+
+let label_of_kind kind =
+  (* Build a throwaway policy purely to reuse its display name. *)
+  Core.Policy.label (Core.Policy.create ~rng:(Sim.Rng.create 0) kind)
+
+let run_one trace ~kind ~capacity ~fraction ~grouping ~seed =
+  let config =
+    {
+      Replay.cache_capacity = capacity;
+      eviction = Ndn.Eviction.Lru;
+      policy = kind;
+      grouping;
+      private_mode = Replay.Per_content fraction;
+      seed;
+    }
+  in
+  {
+    policy_label = label_of_kind kind;
+    cache_capacity = capacity;
+    private_fraction = fraction;
+    outcome = Replay.replay trace config;
+  }
+
+let sweep trace ~cache_sizes ~policies ?(private_fraction = 0.2)
+    ?(grouping = Core.Grouping.By_content) ?(seed = 99) () =
+  List.concat_map
+    (fun kind ->
+      List.map
+        (fun capacity ->
+          run_one trace ~kind ~capacity ~fraction:private_fraction ~grouping
+            ~seed)
+        cache_sizes)
+    policies
+
+let sweep_private_fraction trace ~cache_sizes ~policy ~fractions
+    ?(grouping = Core.Grouping.By_content) ?(seed = 99) () =
+  List.concat_map
+    (fun fraction ->
+      List.map
+        (fun capacity ->
+          run_one trace ~kind:policy ~capacity ~fraction ~grouping ~seed)
+        cache_sizes)
+    fractions
+
+let cache_size_label = function 0 -> "Inf" | n -> string_of_int n
+
+let pp_table ~series_of ppf rows =
+  let series =
+    List.fold_left
+      (fun acc row ->
+        let s = series_of row in
+        if List.mem s acc then acc else acc @ [ s ])
+      [] rows
+  in
+  let sizes =
+    List.fold_left
+      (fun acc row ->
+        if List.mem row.cache_capacity acc then acc else acc @ [ row.cache_capacity ])
+      [] rows
+  in
+  let width =
+    List.fold_left (fun acc s -> max acc (String.length s)) 10 series
+  in
+  Format.fprintf ppf "%-10s" "CacheSize";
+  List.iter (fun s -> Format.fprintf ppf " | %*s" width s) series;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun size ->
+      Format.fprintf ppf "%-10s" (cache_size_label size);
+      List.iter
+        (fun s ->
+          match
+            List.find_opt
+              (fun row -> row.cache_capacity = size && series_of row = s)
+              rows
+          with
+          | Some row ->
+            Format.fprintf ppf " | %*.2f" width
+              (100. *. Replay.observable_hit_rate row.outcome)
+          | None -> Format.fprintf ppf " | %*s" width "-")
+        series;
+      Format.fprintf ppf "@.")
+    sizes

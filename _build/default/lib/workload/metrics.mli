@@ -1,0 +1,40 @@
+(** Parameter sweeps and tabulation for the Figure 5 reproduction. *)
+
+type row = {
+  policy_label : string;
+  cache_capacity : int;  (** 0 = unbounded. *)
+  private_fraction : float;
+  outcome : Replay.outcome;
+}
+
+val sweep :
+  Trace.t ->
+  cache_sizes:int list ->
+  policies:Core.Policy.kind list ->
+  ?private_fraction:float ->
+  ?grouping:Core.Grouping.t ->
+  ?seed:int ->
+  unit ->
+  row list
+(** Figure 5(a): one replay per (policy, cache size); per-content
+    private marking at [private_fraction] (default 0.2). *)
+
+val sweep_private_fraction :
+  Trace.t ->
+  cache_sizes:int list ->
+  policy:Core.Policy.kind ->
+  fractions:float list ->
+  ?grouping:Core.Grouping.t ->
+  ?seed:int ->
+  unit ->
+  row list
+(** Figure 5(b): one policy, varying the private fraction. *)
+
+val pp_table :
+  series_of:(row -> string) -> Format.formatter -> row list -> unit
+(** Render rows as a cache-size × series table of observable hit rates
+    (percent), with series picked by [series_of] (policy label for
+    5(a), private fraction for 5(b)). *)
+
+val cache_size_label : int -> string
+(** ["Inf"] for 0, the number otherwise. *)

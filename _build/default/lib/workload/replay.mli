@@ -1,0 +1,50 @@
+(** Trace replay through a privacy-aware cache — the engine behind the
+    paper's Section VII evaluation (Figure 5).
+
+    Mechanics follow the paper exactly: the router caches everything
+    and evicts by LRU; a cache hit refreshes the entry even when the
+    response is disguised as a miss; requested content is divided into
+    private and non-private; the reported "cache hit rate" counts
+    {e observable} hits (a hidden hit costs the consumer a miss-like
+    delay, and — in the Always-Delay reading — upstream bandwidth). *)
+
+type private_mode =
+  | Per_content of float
+      (** Each distinct content is private with the given probability
+          (deterministic in the content id and seed) — the paper's
+          "randomly divide requested content into private and
+          non-private". *)
+  | Per_request of float
+      (** Each request is independently private — an ablation mode. *)
+
+type config = {
+  cache_capacity : int;  (** 0 = unbounded (the paper's "Inf"). *)
+  eviction : Ndn.Eviction.t;
+  policy : Core.Policy.kind;
+  grouping : Core.Grouping.t;
+  private_mode : private_mode;
+  seed : int;
+}
+
+val default_config : config
+(** LRU, No_privacy, ungrouped, 20% per-content private, capacity
+    8000. *)
+
+type outcome = {
+  requests : int;
+  observable_hits : int;
+      (** Hits as experienced by consumers — the paper's metric. *)
+  real_hits : int;  (** Objects actually present in the cache. *)
+  hidden_hits : int;  (** Real hits disguised as misses. *)
+  private_requests : int;
+  evictions : int;
+  distinct_contents : int;
+}
+
+val observable_hit_rate : outcome -> float
+
+val real_hit_rate : outcome -> float
+
+val replay : Trace.t -> config -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

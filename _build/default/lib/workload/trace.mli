@@ -1,0 +1,44 @@
+(** Request traces: the replay input of the paper's Section VII.
+
+    A trace is a time-ordered sequence of (timestamp, user, content)
+    request records.  Contents are dense integer ids; {!name_of} maps
+    them to NDN names for components that need them. *)
+
+type record = { time_s : float; user : int; content : int }
+
+type t
+
+val create : record array -> t
+(** Takes ownership of the array.
+    @raise Invalid_argument if timestamps are not non-decreasing. *)
+
+val length : t -> int
+
+val get : t -> int -> record
+
+val iter : t -> f:(record -> unit) -> unit
+
+val fold : t -> init:'acc -> f:('acc -> record -> 'acc) -> 'acc
+
+val duration_s : t -> float
+(** Last timestamp minus first ([0.] for traces shorter than 2). *)
+
+val users : t -> int
+(** Number of distinct users. *)
+
+val distinct_contents : t -> int
+
+val name_of : int -> Ndn.Name.t
+(** ["/trace/c<id>"] — stable mapping from content ids to names. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** A view-copy of a slice (timestamps keep their values).
+    @raise Invalid_argument on out-of-bounds. *)
+
+val save : t -> path:string -> unit
+(** Text format, one ["time user content"] line per record. *)
+
+val load : path:string -> t
+(** @raise Failure on malformed input. *)
+
+val pp_summary : Format.formatter -> t -> unit

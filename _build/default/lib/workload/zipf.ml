@@ -1,0 +1,37 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: negative exponent";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 1 to n do
+    acc := !acc +. (1. /. (float_of_int r ** s));
+    cdf.(r - 1) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; s; cdf }
+
+let n t = t.n
+let s t = t.s
+
+let sample t rng =
+  let u = Sim.Rng.float rng 1. in
+  (* Smallest index with cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1) + 1
+
+let prob t rank =
+  if rank < 1 || rank > t.n then invalid_arg "Zipf.prob: rank out of range";
+  if rank = 1 then t.cdf.(0) else t.cdf.(rank - 1) -. t.cdf.(rank - 2)
+
+let head_mass t k =
+  if k <= 0 then 0. else if k >= t.n then 1. else t.cdf.(k - 1)

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Attack Core Float List Ndn Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Attack Core Float Gen List Ndn Option Printf Privacy QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Gen List Ndn_crypto Printf QCheck QCheck_alcotest String

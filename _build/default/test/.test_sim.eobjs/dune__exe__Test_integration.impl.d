@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Attack Char Core Format List Ndn Option Printf Privacy Sim String Workload

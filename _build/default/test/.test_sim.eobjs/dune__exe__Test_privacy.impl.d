@@ -1,0 +1,1 @@
+test/test_privacy.ml: Alcotest Bayes Composition Dist Float Gen Hashtbl Indist List Option Outputs Printf Privacy QCheck QCheck_alcotest Sim Theorems

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Core Filename Fun Gen List Ndn Printf QCheck QCheck_alcotest Sim String Sys Workload

@@ -1,0 +1,228 @@
+(* Tests for the crypto substrate: SHA-256 against FIPS/NIST vectors,
+   HMAC-SHA256 against RFC 4231, hex codecs. *)
+
+let sha = Ndn_crypto.Sha256.hex_digest
+
+let test_sha_empty () =
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" (sha "")
+
+let test_sha_abc () =
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" (sha "abc")
+
+let test_sha_448_bits () =
+  Alcotest.(check string) "two-block 448-bit message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (sha "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha_896_bits () =
+  Alcotest.(check string) "896-bit message"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (sha
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+let test_sha_million_a () =
+  Alcotest.(check string) "one million 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (sha (String.make 1_000_000 'a'))
+
+let test_sha_exact_block_boundaries () =
+  (* 55/56/63/64/65 bytes straddle the padding edge cases. *)
+  let expected =
+    [
+      (55, sha (String.make 55 'x'));
+      (56, sha (String.make 56 'x'));
+      (63, sha (String.make 63 'x'));
+      (64, sha (String.make 64 'x'));
+      (65, sha (String.make 65 'x'));
+    ]
+  in
+  (* Recompute through the streaming interface one byte at a time. *)
+  List.iter
+    (fun (n, want) ->
+      let ctx = Ndn_crypto.Sha256.init () in
+      for _ = 1 to n do
+        Ndn_crypto.Sha256.feed ctx "x"
+      done;
+      Alcotest.(check string)
+        (Printf.sprintf "streaming %d bytes" n)
+        want
+        (Ndn_crypto.Hex.encode (Ndn_crypto.Sha256.finalize ctx)))
+    expected
+
+let test_sha_streaming_split_invariance () =
+  let msg = "the quick brown fox jumps over the lazy dog and keeps running" in
+  let whole = sha msg in
+  for split = 0 to String.length msg do
+    let ctx = Ndn_crypto.Sha256.init () in
+    Ndn_crypto.Sha256.feed ctx (String.sub msg 0 split);
+    Ndn_crypto.Sha256.feed ctx (String.sub msg split (String.length msg - split));
+    Alcotest.(check string)
+      (Printf.sprintf "split at %d" split)
+      whole
+      (Ndn_crypto.Hex.encode (Ndn_crypto.Sha256.finalize ctx))
+  done
+
+let test_sha_double_finalize_rejected () =
+  let ctx = Ndn_crypto.Sha256.init () in
+  Ndn_crypto.Sha256.feed ctx "abc";
+  ignore (Ndn_crypto.Sha256.finalize ctx);
+  Alcotest.check_raises "double finalize"
+    (Invalid_argument "Sha256.finalize: context already finalized") (fun () ->
+      ignore (Ndn_crypto.Sha256.finalize ctx))
+
+let test_sha_feed_after_finalize_rejected () =
+  let ctx = Ndn_crypto.Sha256.init () in
+  ignore (Ndn_crypto.Sha256.finalize ctx);
+  Alcotest.check_raises "feed after finalize"
+    (Invalid_argument "Sha256.feed: context already finalized") (fun () ->
+      Ndn_crypto.Sha256.feed ctx "x")
+
+let test_sha_feed_bytes_bounds () =
+  let ctx = Ndn_crypto.Sha256.init () in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Sha256.feed_bytes: out of bounds") (fun () ->
+      Ndn_crypto.Sha256.feed_bytes ctx (Bytes.create 4) ~off:2 ~len:3)
+
+let test_sha_digest_size () =
+  Alcotest.(check int) "digest size" 32
+    (String.length (Ndn_crypto.Sha256.digest "x"));
+  Alcotest.(check int) "declared size" 32 Ndn_crypto.Sha256.digest_size;
+  Alcotest.(check int) "block size" 64 Ndn_crypto.Sha256.block_size
+
+(* RFC 4231 HMAC-SHA256 test vectors. *)
+
+let hmac ~key msg = Ndn_crypto.Hmac.hex_mac ~key msg
+
+let test_hmac_rfc4231_case1 () =
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hmac ~key:(String.make 20 '\x0b') "Hi There")
+
+let test_hmac_rfc4231_case2 () =
+  Alcotest.(check string) "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hmac ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hmac_rfc4231_case3 () =
+  Alcotest.(check string) "case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (hmac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let test_hmac_rfc4231_case6_long_key () =
+  (* 131-byte key: exercises the hash-the-key path. *)
+  Alcotest.(check string) "case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (hmac
+       ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_rfc4231_case7_long_key_long_data () =
+  Alcotest.(check string) "case 7"
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+    (hmac
+       ~key:(String.make 131 '\xaa')
+       "This is a test using a larger than block-size key and a larger than \
+        block-size data. The key needs to be hashed before being used by the \
+        HMAC algorithm.")
+
+let test_hmac_key_sensitivity () =
+  Alcotest.(check bool) "different keys, different macs" true
+    (hmac ~key:"k1" "msg" <> hmac ~key:"k2" "msg")
+
+let test_hmac_message_sensitivity () =
+  Alcotest.(check bool) "different msgs, different macs" true
+    (hmac ~key:"k" "msg1" <> hmac ~key:"k" "msg2")
+
+let test_hmac_verify () =
+  let key = "secret" and msg = "payload" in
+  let tag = Ndn_crypto.Hmac.mac ~key msg in
+  Alcotest.(check bool) "valid tag accepted" true
+    (Ndn_crypto.Hmac.verify ~key ~msg ~tag);
+  Alcotest.(check bool) "wrong key rejected" false
+    (Ndn_crypto.Hmac.verify ~key:"other" ~msg ~tag);
+  Alcotest.(check bool) "tampered tag rejected" false
+    (Ndn_crypto.Hmac.verify ~key ~msg ~tag:(String.map (fun _ -> 'a') tag));
+  Alcotest.(check bool) "truncated tag rejected" false
+    (Ndn_crypto.Hmac.verify ~key ~msg ~tag:(String.sub tag 0 16))
+
+let test_hex_roundtrip () =
+  let all_bytes = String.init 256 Char.chr in
+  Alcotest.(check string) "roundtrip" all_bytes
+    (Ndn_crypto.Hex.decode (Ndn_crypto.Hex.encode all_bytes))
+
+let test_hex_uppercase_decode () =
+  Alcotest.(check string) "uppercase accepted" "\xde\xad\xbe\xef"
+    (Ndn_crypto.Hex.decode "DEADBEEF")
+
+let test_hex_errors () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Ndn_crypto.Hex.decode "abc"));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Hex.decode: non-hex character") (fun () ->
+      ignore (Ndn_crypto.Hex.decode "zz"))
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"hex roundtrip" ~count:300 QCheck.string (fun s ->
+        Ndn_crypto.Hex.decode (Ndn_crypto.Hex.encode s) = s);
+    QCheck.Test.make ~name:"sha256 deterministic and 32 bytes" ~count:300
+      QCheck.string (fun s ->
+        let d = Ndn_crypto.Sha256.digest s in
+        String.length d = 32 && d = Ndn_crypto.Sha256.digest s);
+    QCheck.Test.make ~name:"sha256 concat equals streaming" ~count:300
+      QCheck.(pair string string)
+      (fun (a, b) ->
+        let ctx = Ndn_crypto.Sha256.init () in
+        Ndn_crypto.Sha256.feed ctx a;
+        Ndn_crypto.Sha256.feed ctx b;
+        Ndn_crypto.Sha256.finalize ctx = Ndn_crypto.Sha256.digest (a ^ b));
+    QCheck.Test.make ~name:"hmac verify accepts own tag" ~count:300
+      QCheck.(pair string string)
+      (fun (key, msg) ->
+        Ndn_crypto.Hmac.verify ~key ~msg ~tag:(Ndn_crypto.Hmac.mac ~key msg));
+    QCheck.Test.make ~name:"hmac differs from plain hash" ~count:100
+      QCheck.(string_of_size Gen.(int_range 1 50))
+      (fun msg -> Ndn_crypto.Hmac.mac ~key:"k" msg <> Ndn_crypto.Sha256.digest msg);
+  ]
+
+let () =
+  Alcotest.run "ndn_crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "empty" `Quick test_sha_empty;
+          Alcotest.test_case "abc" `Quick test_sha_abc;
+          Alcotest.test_case "448 bits" `Quick test_sha_448_bits;
+          Alcotest.test_case "896 bits" `Quick test_sha_896_bits;
+          Alcotest.test_case "million a" `Slow test_sha_million_a;
+          Alcotest.test_case "block boundaries" `Quick test_sha_exact_block_boundaries;
+          Alcotest.test_case "streaming splits" `Quick test_sha_streaming_split_invariance;
+          Alcotest.test_case "double finalize" `Quick test_sha_double_finalize_rejected;
+          Alcotest.test_case "feed after finalize" `Quick
+            test_sha_feed_after_finalize_rejected;
+          Alcotest.test_case "feed_bytes bounds" `Quick test_sha_feed_bytes_bounds;
+          Alcotest.test_case "sizes" `Quick test_sha_digest_size;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "rfc4231 case 1" `Quick test_hmac_rfc4231_case1;
+          Alcotest.test_case "rfc4231 case 2" `Quick test_hmac_rfc4231_case2;
+          Alcotest.test_case "rfc4231 case 3" `Quick test_hmac_rfc4231_case3;
+          Alcotest.test_case "rfc4231 case 6" `Quick test_hmac_rfc4231_case6_long_key;
+          Alcotest.test_case "rfc4231 case 7" `Quick
+            test_hmac_rfc4231_case7_long_key_long_data;
+          Alcotest.test_case "key sensitivity" `Quick test_hmac_key_sensitivity;
+          Alcotest.test_case "message sensitivity" `Quick test_hmac_message_sensitivity;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "hex",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "uppercase" `Quick test_hex_uppercase_decode;
+          Alcotest.test_case "errors" `Quick test_hex_errors;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,652 @@
+(* Tests for the formal privacy framework: distributions, exact
+   (eps, delta)-indistinguishability, output-sequence enumeration, and
+   Theorems VI.1-VI.4 confronted with ground truth. *)
+
+open Privacy
+
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+(* --- Dist --- *)
+
+let test_dist_normalization () =
+  let d = Dist.of_list [ (1, 2.); (2, 6.) ] in
+  check_close "p1" 1e-12 0.25 (Dist.prob d 1);
+  check_close "p2" 1e-12 0.75 (Dist.prob d 2);
+  Alcotest.(check bool) "normalized" true (Dist.check_normalized d)
+
+let test_dist_merges_duplicates () =
+  let d = Dist.of_list [ (1, 1.); (1, 1.); (2, 2.) ] in
+  check_close "merged" 1e-12 0.5 (Dist.prob d 1);
+  Alcotest.(check int) "support size" 2 (Dist.size d)
+
+let test_dist_drops_zero_weight () =
+  let d = Dist.of_list [ (1, 1.); (2, 0.) ] in
+  Alcotest.(check int) "zero-weight outcome dropped" 1 (Dist.size d)
+
+let test_dist_rejects_bad_weights () =
+  Alcotest.check_raises "negative" (Invalid_argument "Dist.of_list: negative weight")
+    (fun () -> ignore (Dist.of_list [ (1, -1.); (2, 2.) ]));
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Dist.of_list: total weight must be positive") (fun () ->
+      ignore (Dist.of_list [ (1, 0.) ]))
+
+let test_dist_uniform () =
+  let d = Dist.uniform_int 4 in
+  List.iter (fun i -> check_close "uniform prob" 1e-12 0.25 (Dist.prob d i)) [ 0; 1; 2; 3 ];
+  check_close "outside support" 1e-12 0. (Dist.prob d 4);
+  check_close "mean" 1e-12 1.5 (Dist.mean d)
+
+let test_dist_geometric_truncated () =
+  let alpha = 0.5 in
+  let d = Dist.geometric_truncated ~alpha ~domain:3 in
+  (* weights 1, 0.5, 0.25 -> probs 4/7, 2/7, 1/7 *)
+  check_close "p0" 1e-12 (4. /. 7.) (Dist.prob d 0);
+  check_close "p1" 1e-12 (2. /. 7.) (Dist.prob d 1);
+  check_close "p2" 1e-12 (1. /. 7.) (Dist.prob d 2);
+  Alcotest.(check bool) "normalized" true (Dist.check_normalized d)
+
+let test_dist_geometric_alpha1_is_uniform () =
+  let d = Dist.geometric_truncated ~alpha:1. ~domain:5 in
+  List.iter (fun i -> check_close "uniform limit" 1e-12 0.2 (Dist.prob d i))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_dist_map () =
+  let d = Dist.uniform_int 4 in
+  let d' = Dist.map (fun x -> x / 2) d in
+  check_close "collision merged" 1e-12 0.5 (Dist.prob d' 0);
+  check_close "collision merged 2" 1e-12 0.5 (Dist.prob d' 1)
+
+let test_dist_expect () =
+  let d = Dist.of_list [ (0, 0.5); (10, 0.5) ] in
+  check_close "expectation" 1e-12 5. (Dist.expect d ~f:float_of_int)
+
+let test_total_variation () =
+  let a = Dist.of_list [ (0, 1.) ] in
+  let b = Dist.of_list [ (1, 1.) ] in
+  check_close "disjoint TV" 1e-12 1. (Dist.total_variation a b);
+  check_close "self TV" 1e-12 0. (Dist.total_variation a a);
+  let c = Dist.of_list [ (0, 0.5); (1, 0.5) ] in
+  check_close "half TV" 1e-12 0.5 (Dist.total_variation a c)
+
+(* --- Indist --- *)
+
+let test_min_delta_identical () =
+  let d = Dist.uniform_int 10 in
+  check_close "identical dists need no delta" 1e-12 0. (Indist.min_delta ~eps:0. d d)
+
+let test_min_delta_disjoint () =
+  let a = Dist.of_list [ (0, 1.) ] and b = Dist.of_list [ (1, 1.) ] in
+  check_close "disjoint: all mass is bad" 1e-12 2. (Indist.min_delta ~eps:10. a b)
+
+let test_min_delta_ratio () =
+  let a = Dist.of_list [ (0, 0.5); (1, 0.5) ] in
+  let b = Dist.of_list [ (0, 0.25); (1, 0.75) ] in
+  (* ratios: 2 and 2/3; ln 2 ~ 0.693, ln 1.5 ~ 0.405 *)
+  check_close "eps >= ln2 covers all" 1e-12 0. (Indist.min_delta ~eps:0.7 a b);
+  (* eps = 0.5: outcome 0 violates (|ln 2| > 0.5), outcome 1 ok *)
+  check_close "partial violation" 1e-12 0.75 (Indist.min_delta ~eps:0.5 a b);
+  check_close "eps 0 everything violates" 1e-12 2. (Indist.min_delta ~eps:0. a b)
+
+let test_min_delta_monotone_in_eps () =
+  let a = Dist.of_list [ (0, 0.1); (1, 0.4); (2, 0.5) ] in
+  let b = Dist.of_list [ (0, 0.3); (1, 0.3); (2, 0.4) ] in
+  let deltas = List.map (fun eps -> Indist.min_delta ~eps a b) [ 0.; 0.2; 0.5; 1.; 2. ] in
+  let rec non_increasing = function
+    | x :: (y :: _ as rest) -> x >= y -. 1e-12 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "delta non-increasing in eps" true (non_increasing deltas)
+
+let test_min_eps () =
+  let a = Dist.of_list [ (0, 0.5); (1, 0.5) ] in
+  let b = Dist.of_list [ (0, 0.25); (1, 0.75) ] in
+  (* with delta = 0, need eps >= ln 2 *)
+  check_close "min eps at delta 0" 1e-9 (log 2.) (Indist.min_eps ~delta:0. a b);
+  (* with delta = 0.8 we can discard outcome 0 (mass 0.75) *)
+  check_close "min eps with budget" 1e-9 (log (0.75 /. 0.5)) (Indist.min_eps ~delta:0.8 a b)
+
+let test_min_eps_one_sided () =
+  let a = Dist.of_list [ (0, 1.) ] in
+  let b = Dist.of_list [ (0, 0.9); (1, 0.1) ] in
+  (* outcome 1 is one-sided: needs delta >= 0.1 whatever eps *)
+  Alcotest.(check bool) "infeasible below one-sided mass" true
+    (Indist.min_eps ~delta:0.05 a b = infinity);
+  check_close "feasible at the mass" 1e-9 (log (1. /. 0.9))
+    (Indist.min_eps ~delta:0.1 a b)
+
+let test_is_indistinguishable () =
+  let a = Dist.of_list [ (0, 0.5); (1, 0.5) ] in
+  let b = Dist.of_list [ (0, 0.5); (1, 0.5) ] in
+  Alcotest.(check bool) "identical" true (Indist.is_indistinguishable ~eps:0. ~delta:0. a b)
+
+let test_distinguishing_advantage () =
+  let a = Dist.of_list [ (0, 1.) ] and b = Dist.of_list [ (1, 1.) ] in
+  check_close "perfect distinguisher" 1e-12 1. (Indist.distinguishing_advantage a b);
+  check_close "coin flip" 1e-12 0.5 (Indist.distinguishing_advantage a a)
+
+(* --- Outputs (Algorithm 1 enumeration) --- *)
+
+let test_misses_observed_fresh () =
+  (* prior = 0: first probe always misses; k thresholds bound the rest. *)
+  Alcotest.(check int) "k=0: one miss" 1 (Outputs.misses_observed ~k:0 ~prior:0 ~probes:5);
+  Alcotest.(check int) "k=3: four misses" 4 (Outputs.misses_observed ~k:3 ~prior:0 ~probes:5);
+  Alcotest.(check int) "k huge: all miss" 5
+    (Outputs.misses_observed ~k:100 ~prior:0 ~probes:5)
+
+let test_misses_observed_warm () =
+  (* prior = 2, k = 3: requests 3,4,... miss while i-1 <= 3, i.e.
+     requests 3 and 4 miss -> probes 1..2 miss. *)
+  Alcotest.(check int) "partially consumed threshold" 2
+    (Outputs.misses_observed ~k:3 ~prior:2 ~probes:5);
+  Alcotest.(check int) "fully consumed: all hits" 0
+    (Outputs.misses_observed ~k:2 ~prior:5 ~probes:5);
+  Alcotest.(check int) "exact boundary" 1
+    (Outputs.misses_observed ~k:3 ~prior:3 ~probes:5)
+
+let test_misses_observed_errors () =
+  Alcotest.check_raises "bad probes"
+    (Invalid_argument "Outputs.misses_observed: probes must be positive") (fun () ->
+      ignore (Outputs.misses_observed ~k:1 ~prior:0 ~probes:0))
+
+let test_miss_count_dist_matches_monte_carlo () =
+  (* Exhaustive law vs. running actual Algorithm 1 many times. *)
+  let kdist = Dist.uniform_int 6 in
+  let probes = 8 and prior = 2 in
+  let exact = Outputs.miss_count_dist ~k_dist:kdist ~prior ~probes in
+  let rng = Sim.Rng.create 42 in
+  let trials = 20_000 in
+  let counts = Hashtbl.create 8 in
+  for _ = 1 to trials do
+    let k = Sim.Rng.int rng 6 in
+    (* Simulate Algorithm 1 request-by-request. *)
+    let misses = ref 0 in
+    for i = 1 to prior + probes do
+      let is_miss = i = 1 || i - 1 <= k in
+      if i > prior && is_miss then incr misses
+    done;
+    Hashtbl.replace counts !misses
+      (1 + Option.value (Hashtbl.find_opt counts !misses) ~default:0)
+  done;
+  Hashtbl.iter
+    (fun m c ->
+      let freq = float_of_int c /. float_of_int trials in
+      check_close (Printf.sprintf "miss count %d" m) 0.02 (Dist.prob exact m) freq)
+    counts
+
+(* --- Theorem VI.1: Uniform-Random-Cache privacy is tight --- *)
+
+let test_theorem_vi1_bound_holds_and_is_tight () =
+  List.iter
+    (fun (k, domain) ->
+      let k_dist = Theorems.Uniform.k_dist ~domain in
+      let exact =
+        Outputs.achieved_delta ~k_dist ~k ~probes:(domain + k + 2) ~eps:0.
+      in
+      let bound = Theorems.Uniform.delta ~k ~domain in
+      Alcotest.(check bool)
+        (Printf.sprintf "bound holds (k=%d K=%d): %.4f <= %.4f" k domain exact bound)
+        true
+        (exact <= bound +. 1e-9);
+      check_close
+        (Printf.sprintf "bound tight (k=%d K=%d)" k domain)
+        1e-9 bound exact)
+    [ (1, 10); (2, 25); (5, 100); (3, 7) ]
+
+let test_theorem_vi1_finite_probe_anomaly () =
+  (* Reproduction finding: for probing sequences SHORTER than K, the
+     all-miss output aggregates the thresholds r >= t-1 and its
+     probability under S0 vs S1 differs by a factor > 1, so the
+     (k, 0, 2k/K) guarantee fails.  Concretely K=10, k=1, t=9:
+     achieved delta is 0.4 > 0.2.  Pinned so the subtlety stays
+     documented. *)
+  let k_dist = Theorems.Uniform.k_dist ~domain:10 in
+  let short = Outputs.achieved_delta ~k_dist ~k:1 ~probes:9 ~eps:0. in
+  check_close "short probing leaks more" 1e-9 0.4 short;
+  let saturated = Outputs.achieved_delta ~k_dist ~k:1 ~probes:10 ~eps:0. in
+  check_close "saturated probing matches the theorem" 1e-9 0.2 saturated
+
+let test_theorem_vi1_uniform_eps_is_zero () =
+  (* With eps = 0 the achieved delta already matches 2k/K, i.e. no
+     positive eps is needed: ratios inside Omega_1 are exactly 1. *)
+  let k_dist = Theorems.Uniform.k_dist ~domain:50 in
+  let d0, d1 = Outputs.state_pair ~k_dist ~x:3 ~probes:60 in
+  let delta_at_zero = Indist.min_delta ~eps:0. d0 d1 in
+  let delta_at_large = Indist.min_delta ~eps:5. d0 d1 in
+  check_close "no ratio violations beyond one-sided outputs" 1e-12 delta_at_large
+    delta_at_zero
+
+(* --- Theorem VI.3: Exponential-Random-Cache --- *)
+
+let test_theorem_vi3_bound_holds_and_is_tight () =
+  List.iter
+    (fun (k, alpha, domain) ->
+      let k_dist = Theorems.Exponential.k_dist ~alpha ~domain in
+      let eps = Theorems.Exponential.epsilon ~k ~alpha in
+      let exact = Outputs.achieved_delta ~k_dist ~k ~probes:(domain + k + 2) ~eps in
+      let bound = Theorems.Exponential.delta ~k ~alpha ~domain in
+      Alcotest.(check bool)
+        (Printf.sprintf "bound holds (k=%d a=%.2f K=%d)" k alpha domain)
+        true
+        (exact <= bound +. 1e-9);
+      check_close "bound tight" 1e-9 bound exact)
+    [ (1, 0.9, 20); (2, 0.95, 50); (5, 0.97, 150) ]
+
+let test_theorem_vi3_needs_full_eps () =
+  (* At eps' < eps = -k ln alpha, delta must strictly grow. *)
+  let k = 3 and alpha = 0.9 and domain = 30 in
+  let k_dist = Theorems.Exponential.k_dist ~alpha ~domain in
+  let eps = Theorems.Exponential.epsilon ~k ~alpha in
+  let tight = Outputs.achieved_delta ~k_dist ~k ~probes:40 ~eps in
+  let starved = Outputs.achieved_delta ~k_dist ~k ~probes:40 ~eps:(eps /. 2.) in
+  Alcotest.(check bool) "smaller eps costs more delta" true (starved > tight +. 1e-9)
+
+let test_exponential_delta_limit () =
+  let k = 4 and alpha = 0.93 in
+  check_close "limit formula" 1e-12
+    (1. -. (alpha ** 4.))
+    (Theorems.Exponential.delta_limit ~k ~alpha);
+  (* delta(K) approaches the limit from above as K grows *)
+  let d1 = Theorems.Exponential.delta ~k ~alpha ~domain:50 in
+  let d2 = Theorems.Exponential.delta ~k ~alpha ~domain:500 in
+  let lim = Theorems.Exponential.delta_limit ~k ~alpha in
+  Alcotest.(check bool) "decreasing toward limit" true (d1 >= d2 && d2 >= lim -. 1e-9)
+
+let test_domain_solvers () =
+  Alcotest.(check int) "uniform: K = 2k/delta" 200
+    (Theorems.Uniform.domain_for_delta ~k:5 ~delta:0.05);
+  (match Theorems.Exponential.domain_for_delta ~k:5 ~alpha:0.99 ~delta:0.1 with
+  | Some domain ->
+    let d = Theorems.Exponential.delta ~k:5 ~alpha:0.99 ~domain in
+    Alcotest.(check bool) "achieves target" true (d <= 0.1 +. 1e-9);
+    (* minimality: one smaller misses the target *)
+    if domain > 1 then
+      let d' = Theorems.Exponential.delta ~k:5 ~alpha:0.99 ~domain:(domain - 1) in
+      Alcotest.(check bool) "minimal" true (d' > 0.1 +. 1e-12)
+  | None -> Alcotest.fail "should be feasible");
+  (* infeasible when delta below the limit *)
+  Alcotest.(check bool) "infeasible detected" true
+    (Theorems.Exponential.domain_for_delta ~k:5 ~alpha:0.5 ~delta:0.05 = None)
+
+(* --- Theorems VI.2 / VI.4: utility --- *)
+
+let test_uniform_utility_exact_vs_monte_carlo () =
+  let domain = 30 in
+  let rng = Sim.Rng.create 7 in
+  List.iter
+    (fun c ->
+      let trials = 20_000 in
+      let total_misses = ref 0 in
+      for _ = 1 to trials do
+        let k = Sim.Rng.int rng domain in
+        (* Algorithm 1: request i misses iff i = 1 || i - 1 <= k. *)
+        for i = 1 to c do
+          if i = 1 || i - 1 <= k then incr total_misses
+        done
+      done;
+      let emp = float_of_int !total_misses /. float_of_int trials in
+      check_close
+        (Printf.sprintf "exact E[M(%d)]" c)
+        0.05
+        (Theorems.Uniform.expected_misses_exact ~c ~domain)
+        emp)
+    [ 1; 5; 15; 30; 60 ]
+
+let test_uniform_paper_vs_exact_discrepancy () =
+  (* The printed Theorem VI.2 differs from Algorithm 1 by exactly
+     Pr(k_C >= c-1)... bounded by one miss; document and pin it. *)
+  let domain = 40 in
+  List.iter
+    (fun c ->
+      let paper = Theorems.Uniform.expected_misses_paper ~c ~domain in
+      let exact = Theorems.Uniform.expected_misses_exact ~c ~domain in
+      Alcotest.(check bool)
+        (Printf.sprintf "paper <= exact <= paper + 1 at c=%d" c)
+        true
+        (paper <= exact +. 1e-9 && exact <= paper +. 1. +. 1e-9))
+    [ 1; 2; 10; 39 ]
+
+let test_uniform_utility_at_c1_physical () =
+  (* Algorithm 1's first request is always a miss: exact utility 0. *)
+  check_close "u_exact(1) = 0" 1e-12 0. (Theorems.Uniform.utility_exact ~c:1 ~domain:50)
+
+let test_exponential_paper_matches_algorithm () =
+  (* Theorem VI.4 as printed IS the Algorithm-1 expectation. *)
+  List.iter
+    (fun (c, alpha, domain) ->
+      check_close
+        (Printf.sprintf "VI.4 exact at c=%d" c)
+        1e-6
+        (Theorems.Exponential.expected_misses_exact ~c ~alpha ~domain)
+        (Theorems.Exponential.expected_misses_paper ~c ~alpha ~domain))
+    [ (1, 0.9, 20); (5, 0.95, 40); (19, 0.97, 20); (39, 0.8, 40) ]
+
+let test_exponential_unbounded_limit () =
+  let alpha = 0.9 and c = 10 in
+  let inf_form = Theorems.Exponential.expected_misses_paper_unbounded ~c ~alpha in
+  let large_k = Theorems.Exponential.expected_misses_paper ~c ~alpha ~domain:10_000 in
+  check_close "K->inf limit" 1e-6 inf_form large_k
+
+let test_utility_monotone_in_requests () =
+  (* More requests amortize the random misses: utility grows with c. *)
+  let domain = 50 in
+  let rec check_mono last c =
+    if c > 120 then ()
+    else begin
+      let u = Theorems.Uniform.utility_exact ~c ~domain in
+      Alcotest.(check bool) (Printf.sprintf "monotone at %d" c) true (u >= last -. 1e-9);
+      check_mono u (c + 1)
+    end
+  in
+  check_mono 0. 1
+
+let test_exponential_beats_uniform_at_matched_privacy () =
+  (* Figure 4's headline: at matched (k, delta), the exponential scheme
+     has higher utility for small request counts. *)
+  let k = 5 and delta = 0.05 in
+  let domain_u = Theorems.Uniform.domain_for_delta ~k ~delta in
+  let eps = 0.04 in
+  let alpha = Theorems.Exponential.alpha_for_epsilon ~k ~eps in
+  match Theorems.Exponential.domain_for_delta ~k ~alpha ~delta with
+  | None -> Alcotest.fail "expected feasible"
+  | Some domain_e ->
+    let better_count = ref 0 in
+    for c = 1 to 100 do
+      let ue = Theorems.Exponential.utility_paper ~c ~alpha ~domain:domain_e in
+      let uu = Theorems.Uniform.utility_paper ~c ~domain:domain_u in
+      if ue > uu then incr better_count
+    done;
+    Alcotest.(check bool) "exponential ahead on most of c=1..100" true (!better_count > 60)
+
+
+(* --- Bayesian leakage analysis --- *)
+
+let test_bayes_posterior_flat_under_uniform () =
+  (* Uniform thresholds give eps = 0: an observation compatible with
+     several counts leaves them in the prior ratio (here: flat). *)
+  let k_dist = Dist.uniform_int 50 in
+  let post =
+    Bayes.posterior ~k_dist ~count_prior:(Dist.uniform_int 6) ~probes:60
+      ~observed_misses:10
+  in
+  (* counts 0..5 all compatible with 10 misses: equal posteriors *)
+  let p0 = Dist.prob post 0 in
+  List.iter
+    (fun x ->
+      check_close (Printf.sprintf "flat at %d" x) 1e-9 p0 (Dist.prob post x))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_bayes_posterior_identifies_naive () =
+  (* Constant threshold: the observation pins the count exactly. *)
+  let k_dist = Dist.constant 5 in
+  (* true count 3: misses observed = k - count + 1 = 3 *)
+  let post =
+    Bayes.posterior ~k_dist ~count_prior:(Dist.uniform_int 6) ~probes:10
+      ~observed_misses:3
+  in
+  check_close "count fully identified" 1e-9 1. (Dist.prob post 3);
+  Alcotest.(check int) "map" 3 (Bayes.map_estimate post)
+
+let test_bayes_posterior_impossible_observation () =
+  let k_dist = Dist.constant 2 in
+  Alcotest.check_raises "impossible observation"
+    (Invalid_argument "Bayes.posterior: observation impossible under the prior")
+    (fun () ->
+      ignore
+        (Bayes.posterior ~k_dist ~count_prior:(Dist.uniform_int 2) ~probes:10
+           ~observed_misses:9))
+
+let test_bayes_entropy () =
+  check_close "uniform 8 = 3 bits" 1e-9 3. (Bayes.entropy (Dist.uniform_int 8));
+  check_close "constant = 0 bits" 1e-9 0. (Bayes.entropy (Dist.constant 1))
+
+let test_mutual_information_bounds () =
+  let count_prior = Dist.uniform_int 6 in
+  let probes = 60 in
+  let mi_uniform =
+    Bayes.mutual_information ~k_dist:(Dist.uniform_int 50) ~count_prior ~probes
+  in
+  let mi_naive =
+    Bayes.mutual_information ~k_dist:(Dist.constant 5) ~count_prior ~probes
+  in
+  let h = Bayes.entropy count_prior in
+  Alcotest.(check bool) "uniform leaks little" true (mi_uniform < 0.4);
+  check_close "naive leaks everything" 1e-6 h mi_naive;
+  Alcotest.(check bool) "bounds" true (mi_uniform >= 0. && mi_uniform <= h)
+
+let test_mutual_information_grows_with_smaller_domain () =
+  let count_prior = Dist.uniform_int 6 in
+  let mi domain =
+    Bayes.mutual_information ~k_dist:(Dist.uniform_int domain) ~count_prior
+      ~probes:(domain + 10)
+  in
+  Alcotest.(check bool) "K=10 leaks more than K=100" true (mi 10 > mi 100)
+
+
+(* --- Composition --- *)
+
+let test_composition_basic () =
+  let eps', delta' = Composition.basic ~eps:0.1 ~delta:0.01 ~n:5 in
+  check_close "eps adds" 1e-12 0.5 eps';
+  check_close "delta adds" 1e-12 0.05 delta';
+  Alcotest.check_raises "n=0" (Invalid_argument "Composition: n must be positive")
+    (fun () -> ignore (Composition.basic ~eps:0.1 ~delta:0.01 ~n:0))
+
+let test_composition_advanced_beats_basic_for_large_n () =
+  let eps = 0.01 and delta = 1e-6 and n = 10_000 in
+  let b_eps, _ = Composition.basic ~eps ~delta ~n in
+  let a_eps, _ = Composition.advanced ~eps ~delta ~n ~delta_slack:1e-6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "advanced %.2f < basic %.2f" a_eps b_eps)
+    true (a_eps < b_eps)
+
+let test_composition_exact_within_basic_bound () =
+  let k_dist = Theorems.Uniform.k_dist ~domain:20 in
+  let single = Outputs.achieved_delta ~k_dist ~k:2 ~probes:22 ~eps:0. in
+  List.iter
+    (fun n ->
+      let joint = Composition.exact_joint_delta ~k_dist ~k:2 ~probes:22 ~eps:0. ~n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: exact %.4f <= basic %.4f" n joint
+           (float_of_int n *. single))
+        true
+        (joint <= (float_of_int n *. single) +. 1e-9);
+      (* and the exact joint equals 1 - (1 - delta)^n for eps = 0 with
+         one-sided bad outputs on each side *)
+      Alcotest.(check bool) "joint grows with n" true (joint >= single -. 1e-9))
+    [ 1; 2; 3 ]
+
+let test_dist_product () =
+  let a = Dist.uniform_int 2 and b = Dist.uniform_int 3 in
+  let p = Dist.product a b in
+  Alcotest.(check int) "support size" 6 (Dist.size p);
+  check_close "independent prob" 1e-12 (1. /. 6.) (Dist.prob p (1, 2));
+  Alcotest.(check bool) "normalized" true (Dist.check_normalized p)
+
+let test_dist_self_product () =
+  let d = Dist.of_list [ (0, 0.5); (1, 0.5) ] in
+  let j = Dist.self_product d ~n:3 in
+  Alcotest.(check int) "2^3 outcomes" 8 (Dist.size j);
+  check_close "each outcome 1/8" 1e-12 0.125 (Dist.prob j [ 0; 1; 0 ]);
+  Alcotest.check_raises "n=0" (Invalid_argument "Dist.self_product: n must be positive")
+    (fun () -> ignore (Dist.self_product d ~n:0))
+
+(* --- property tests --- *)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"dist normalization invariant" ~count:200
+      QCheck.(list_of_size Gen.(int_range 1 20) (pair small_int (float_range 0.01 10.)))
+      (fun pairs ->
+        let d = Dist.of_list pairs in
+        Dist.check_normalized d);
+    QCheck.Test.make ~name:"TV is symmetric and in [0,1]" ~count:200
+      QCheck.(
+        pair
+          (list_of_size Gen.(int_range 1 8) (pair (int_bound 10) (float_range 0.01 5.)))
+          (list_of_size Gen.(int_range 1 8) (pair (int_bound 10) (float_range 0.01 5.))))
+      (fun (pa, pb) ->
+        let a = Dist.of_list pa and b = Dist.of_list pb in
+        let tv = Dist.total_variation a b in
+        tv >= -1e-12 && tv <= 1. +. 1e-12
+        && Float.abs (tv -. Dist.total_variation b a) < 1e-12);
+    QCheck.Test.make ~name:"min_delta decreasing in eps" ~count:200
+      QCheck.(
+        triple
+          (list_of_size Gen.(int_range 1 8) (pair (int_bound 6) (float_range 0.01 5.)))
+          (list_of_size Gen.(int_range 1 8) (pair (int_bound 6) (float_range 0.01 5.)))
+          (pair (float_range 0. 2.) (float_range 0. 2.)))
+      (fun (pa, pb, (e1, e2)) ->
+        let a = Dist.of_list pa and b = Dist.of_list pb in
+        let lo = Float.min e1 e2 and hi = Float.max e1 e2 in
+        Indist.min_delta ~eps:hi a b <= Indist.min_delta ~eps:lo a b +. 1e-12);
+    QCheck.Test.make ~name:"min_eps achieves its delta" ~count:200
+      QCheck.(
+        triple
+          (list_of_size Gen.(int_range 1 8) (pair (int_bound 6) (float_range 0.01 5.)))
+          (list_of_size Gen.(int_range 1 8) (pair (int_bound 6) (float_range 0.01 5.)))
+          (float_range 0. 1.))
+      (fun (pa, pb, delta) ->
+        let a = Dist.of_list pa and b = Dist.of_list pb in
+        let eps = Indist.min_eps ~delta a b in
+        eps = infinity || Indist.min_delta ~eps a b <= delta +. 1e-9);
+    QCheck.Test.make ~name:"bayes posterior is a distribution" ~count:100
+      QCheck.(triple (int_range 2 30) (int_range 1 6) (int_range 0 5))
+      (fun (domain, max_count, true_count) ->
+        QCheck.assume (true_count <= max_count);
+        let k_dist = Dist.uniform_int domain in
+        let probes = domain + max_count + 1 in
+        (* any observation actually produced by some count is possible *)
+        let obs = Outputs.misses_observed ~k:(domain / 2) ~prior:true_count ~probes in
+        let post =
+          Bayes.posterior ~k_dist ~count_prior:(Dist.uniform_int (max_count + 1))
+            ~probes ~observed_misses:obs
+        in
+        Dist.check_normalized post);
+    QCheck.Test.make ~name:"mutual information within [0, H(prior)]" ~count:60
+      QCheck.(pair (int_range 2 40) (int_range 1 8))
+      (fun (domain, max_count) ->
+        let count_prior = Dist.uniform_int (max_count + 1) in
+        let mi =
+          Bayes.mutual_information ~k_dist:(Dist.uniform_int domain) ~count_prior
+            ~probes:(domain + max_count + 1)
+        in
+        mi >= -1e-9 && mi <= Bayes.entropy count_prior +. 1e-9);
+    QCheck.Test.make ~name:"theorem VI.1 holds for random (k, K)" ~count:50
+      QCheck.(pair (int_range 1 5) (int_range 6 60))
+      (fun (k, domain) ->
+        let k_dist = Theorems.Uniform.k_dist ~domain in
+        Outputs.achieved_delta ~k_dist ~k ~probes:(domain + k + 2) ~eps:0.
+        <= Theorems.Uniform.delta ~k ~domain +. 1e-9);
+    QCheck.Test.make ~name:"theorem VI.3 holds for random (k, alpha, K)" ~count:50
+      QCheck.(triple (int_range 1 4) (float_range 0.7 0.99) (int_range 10 80))
+      (fun (k, alpha, domain) ->
+        let k_dist = Theorems.Exponential.k_dist ~alpha ~domain in
+        let eps = Theorems.Exponential.epsilon ~k ~alpha in
+        Outputs.achieved_delta ~k_dist ~k ~probes:(domain + k + 2) ~eps
+        <= Theorems.Exponential.delta ~k ~alpha ~domain +. 1e-9);
+    QCheck.Test.make ~name:"utility within [0,1)" ~count:200
+      QCheck.(pair (int_range 1 200) (int_range 2 200))
+      (fun (c, domain) ->
+        let u = Theorems.Uniform.utility_exact ~c ~domain in
+        u >= 0. && u < 1.);
+    QCheck.Test.make ~name:"VI.1 exact whenever probes >= K" ~count:50
+      QCheck.(triple (int_range 1 4) (int_range 5 40) (int_range 0 20))
+      (fun (k, domain, extra) ->
+        let k_dist = Theorems.Uniform.k_dist ~domain in
+        let d = Outputs.achieved_delta ~k_dist ~k ~probes:(domain + extra) ~eps:0. in
+        Float.abs (d -. Theorems.Uniform.delta ~k ~domain) < 1e-9);
+  ]
+
+let () =
+  Alcotest.run "privacy"
+    [
+      ( "dist",
+        [
+          Alcotest.test_case "normalization" `Quick test_dist_normalization;
+          Alcotest.test_case "merges duplicates" `Quick test_dist_merges_duplicates;
+          Alcotest.test_case "drops zero weight" `Quick test_dist_drops_zero_weight;
+          Alcotest.test_case "rejects bad weights" `Quick test_dist_rejects_bad_weights;
+          Alcotest.test_case "uniform" `Quick test_dist_uniform;
+          Alcotest.test_case "truncated geometric" `Quick test_dist_geometric_truncated;
+          Alcotest.test_case "alpha=1 uniform limit" `Quick
+            test_dist_geometric_alpha1_is_uniform;
+          Alcotest.test_case "map" `Quick test_dist_map;
+          Alcotest.test_case "expect" `Quick test_dist_expect;
+          Alcotest.test_case "total variation" `Quick test_total_variation;
+        ] );
+      ( "indist",
+        [
+          Alcotest.test_case "identical" `Quick test_min_delta_identical;
+          Alcotest.test_case "disjoint" `Quick test_min_delta_disjoint;
+          Alcotest.test_case "ratio accounting" `Quick test_min_delta_ratio;
+          Alcotest.test_case "monotone in eps" `Quick test_min_delta_monotone_in_eps;
+          Alcotest.test_case "min_eps" `Quick test_min_eps;
+          Alcotest.test_case "min_eps one-sided" `Quick test_min_eps_one_sided;
+          Alcotest.test_case "is_indistinguishable" `Quick test_is_indistinguishable;
+          Alcotest.test_case "distinguishing advantage" `Quick
+            test_distinguishing_advantage;
+        ] );
+      ( "outputs",
+        [
+          Alcotest.test_case "fresh state misses" `Quick test_misses_observed_fresh;
+          Alcotest.test_case "warm state misses" `Quick test_misses_observed_warm;
+          Alcotest.test_case "input validation" `Quick test_misses_observed_errors;
+          Alcotest.test_case "law matches monte carlo" `Slow
+            test_miss_count_dist_matches_monte_carlo;
+        ] );
+      ( "theorem-vi1",
+        [
+          Alcotest.test_case "bound holds and is tight" `Quick
+            test_theorem_vi1_bound_holds_and_is_tight;
+          Alcotest.test_case "finite-probe anomaly pinned" `Quick
+            test_theorem_vi1_finite_probe_anomaly;
+          Alcotest.test_case "eps is zero" `Quick test_theorem_vi1_uniform_eps_is_zero;
+        ] );
+      ( "theorem-vi3",
+        [
+          Alcotest.test_case "bound holds and is tight" `Quick
+            test_theorem_vi3_bound_holds_and_is_tight;
+          Alcotest.test_case "needs full eps" `Quick test_theorem_vi3_needs_full_eps;
+          Alcotest.test_case "delta limit" `Quick test_exponential_delta_limit;
+          Alcotest.test_case "domain solvers" `Quick test_domain_solvers;
+        ] );
+      ( "utility",
+        [
+          Alcotest.test_case "uniform exact vs monte carlo" `Slow
+            test_uniform_utility_exact_vs_monte_carlo;
+          Alcotest.test_case "paper-vs-exact discrepancy pinned" `Quick
+            test_uniform_paper_vs_exact_discrepancy;
+          Alcotest.test_case "u(1) physical" `Quick test_uniform_utility_at_c1_physical;
+          Alcotest.test_case "VI.4 matches algorithm" `Quick
+            test_exponential_paper_matches_algorithm;
+          Alcotest.test_case "unbounded limit" `Quick test_exponential_unbounded_limit;
+          Alcotest.test_case "utility monotone" `Quick test_utility_monotone_in_requests;
+          Alcotest.test_case "exponential beats uniform" `Quick
+            test_exponential_beats_uniform_at_matched_privacy;
+        ] );
+      ( "bayes",
+        [
+          Alcotest.test_case "flat posterior under uniform" `Quick
+            test_bayes_posterior_flat_under_uniform;
+          Alcotest.test_case "identifies naive counts" `Quick
+            test_bayes_posterior_identifies_naive;
+          Alcotest.test_case "impossible observation" `Quick
+            test_bayes_posterior_impossible_observation;
+          Alcotest.test_case "entropy" `Quick test_bayes_entropy;
+          Alcotest.test_case "mutual information bounds" `Quick
+            test_mutual_information_bounds;
+          Alcotest.test_case "leak grows as domain shrinks" `Quick
+            test_mutual_information_grows_with_smaller_domain;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "basic" `Quick test_composition_basic;
+          Alcotest.test_case "advanced beats basic" `Quick
+            test_composition_advanced_beats_basic_for_large_n;
+          Alcotest.test_case "exact within bound" `Quick
+            test_composition_exact_within_basic_bound;
+          Alcotest.test_case "dist product" `Quick test_dist_product;
+          Alcotest.test_case "dist self product" `Quick test_dist_self_product;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,559 @@
+(* Tests for the simulation substrate: RNG, heap, engine, latency
+   models, statistics, histograms. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg tolerance expected actual =
+  Alcotest.(check (float tolerance)) msg expected actual
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Sim.Rng.bits64 a <> Sim.Rng.bits64 b)
+
+let test_rng_copy_independent () =
+  let a = Sim.Rng.create 7 in
+  ignore (Sim.Rng.bits64 a);
+  let b = Sim.Rng.copy a in
+  let xa = Sim.Rng.bits64 a in
+  let xb = Sim.Rng.bits64 b in
+  Alcotest.(check int64) "copy continues the same stream" xa xb;
+  ignore (Sim.Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let xa2 = Sim.Rng.bits64 a and xb2 = Sim.Rng.bits64 b in
+  Alcotest.(check bool) "streams diverge after independent advance" true
+    (xa2 <> xb2 || xa2 = xb2 (* they are at different offsets *));
+  ignore (xa2, xb2)
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create 3 in
+  let b = Sim.Rng.split a in
+  let xs = List.init 50 (fun _ -> Sim.Rng.bits64 a) in
+  let ys = List.init 50 (fun _ -> Sim.Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Sim.Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of bounds: %d" v
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Sim.Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Sim.Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int_in rng (-3) 4 in
+    if v < -3 || v > 4 then Alcotest.failf "int_in out of range: %d" v
+  done
+
+let test_rng_uniformity () =
+  let rng = Sim.Rng.create 9 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Sim.Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let frac = float_of_int c /. float_of_int n in
+      if Float.abs (frac -. 0.1) > 0.01 then
+        Alcotest.failf "bucket %d has fraction %.4f" i frac)
+    counts
+
+let test_rng_float_bounds () =
+  let rng = Sim.Rng.create 10 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.float rng 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Sim.Rng.create 11 in
+  Alcotest.(check bool) "p=0 is false" false (Sim.Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 is true" true (Sim.Rng.bernoulli rng 1.);
+  Alcotest.(check bool) "p<0 is false" false (Sim.Rng.bernoulli rng (-0.5));
+  Alcotest.(check bool) "p>1 is true" true (Sim.Rng.bernoulli rng 1.5)
+
+let test_rng_bernoulli_mean () =
+  let rng = Sim.Rng.create 12 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Sim.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_close "bernoulli(0.3) mean" 0.01 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_rng_gaussian_moments () =
+  let rng = Sim.Rng.create 13 in
+  let stats = Sim.Stats.create () in
+  for _ = 1 to 100_000 do
+    Sim.Stats.add stats (Sim.Rng.gaussian rng ~mean:5. ~stddev:2.)
+  done;
+  check_close "gaussian mean" 0.05 5. (Sim.Stats.mean stats);
+  check_close "gaussian stddev" 0.05 2. (Sim.Stats.stddev stats)
+
+let test_rng_exponential_moments () =
+  let rng = Sim.Rng.create 14 in
+  let stats = Sim.Stats.create () in
+  for _ = 1 to 100_000 do
+    Sim.Stats.add stats (Sim.Rng.exponential rng ~rate:4.)
+  done;
+  check_close "exponential mean" 0.01 0.25 (Sim.Stats.mean stats)
+
+let test_rng_exponential_rejects () =
+  let rng = Sim.Rng.create 14 in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Rng.exponential: rate must be positive") (fun () ->
+      ignore (Sim.Rng.exponential rng ~rate:0.))
+
+let test_rng_geometric_mean () =
+  let rng = Sim.Rng.create 15 in
+  let stats = Sim.Stats.create () in
+  let p = 0.2 in
+  for _ = 1 to 100_000 do
+    Sim.Stats.add stats (float_of_int (Sim.Rng.geometric rng ~p))
+  done;
+  (* mean = (1-p)/p = 4 *)
+  check_close "geometric mean" 0.12 4. (Sim.Stats.mean stats)
+
+let test_rng_geometric_p1 () =
+  let rng = Sim.Rng.create 16 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "geometric(1) = 0" 0 (Sim.Rng.geometric rng ~p:1.)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Sim.Rng.create 17 in
+  let a = Array.init 100 Fun.id in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Sim.Rng.create 18 in
+  for _ = 1 to 50 do
+    let sample = Sim.Rng.sample_without_replacement rng 20 7 in
+    Alcotest.(check int) "size" 7 (List.length sample);
+    Alcotest.(check bool) "sorted distinct" true
+      (List.sort_uniq compare sample = sample);
+    List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 20)) sample
+  done;
+  Alcotest.(check (list int)) "k = n is everything"
+    (List.init 5 Fun.id)
+    (Sim.Rng.sample_without_replacement rng 5 5)
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Sim.Heap.create () in
+  let rng = Sim.Rng.create 20 in
+  for i = 0 to 999 do
+    Sim.Heap.add h ~time:(Sim.Rng.float rng 100.) ~seq:i i
+  done;
+  let rec drain last n =
+    match Sim.Heap.pop_min h with
+    | None -> n
+    | Some (t, _, _) ->
+      if t < last then Alcotest.failf "heap order violated: %f after %f" t last;
+      drain t (n + 1)
+  in
+  Alcotest.(check int) "all popped" 1000 (drain neg_infinity 0)
+
+let test_heap_fifo_ties () =
+  let h = Sim.Heap.create () in
+  for i = 0 to 9 do
+    Sim.Heap.add h ~time:1. ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Sim.Heap.pop_min h with
+    | Some (_, seq, v) ->
+      Alcotest.(check int) "fifo seq" i seq;
+      Alcotest.(check int) "fifo payload" i v
+    | None -> Alcotest.fail "heap empty early"
+  done
+
+let test_heap_peek () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check bool) "empty peek" true (Sim.Heap.peek_min h = None);
+  Sim.Heap.add h ~time:2. ~seq:0 "b";
+  Sim.Heap.add h ~time:1. ~seq:1 "a";
+  (match Sim.Heap.peek_min h with
+  | Some (t, _, v) ->
+    check_float "peek time" 1. t;
+    Alcotest.(check string) "peek value" "a" v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "peek does not remove" 2 (Sim.Heap.length h)
+
+let test_heap_clear () =
+  let h = Sim.Heap.create () in
+  for i = 0 to 5 do
+    Sim.Heap.add h ~time:(float_of_int i) ~seq:i i
+  done;
+  Sim.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Sim.Heap.is_empty h)
+
+(* --- Engine --- *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:3. (fun () -> log := 3 :: !log));
+  ignore (Sim.Engine.schedule e ~delay:1. (fun () -> log := 1 :: !log));
+  ignore (Sim.Engine.schedule e ~delay:2. (fun () -> log := 2 :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "events fire in time order" [ 3; 2; 1 ] !log;
+  check_float "clock at last event" 3. (Sim.Engine.now e)
+
+let test_engine_same_instant_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Sim.Engine.schedule e ~delay:1. (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo among ties" (List.init 10 (fun i -> 9 - i)) !log
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay:1. (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Sim.Engine.schedule e ~delay:1. (fun () -> fired := "inner" :: !fired))));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "nested event fires" [ "inner"; "outer" ] !fired;
+  check_float "clock" 2. (Sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~delay:1. (fun () -> fired := true) in
+  Sim.Engine.cancel h;
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired;
+  Alcotest.(check bool) "handle reports cancelled" true (Sim.Engine.is_cancelled h)
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count))
+  done;
+  Sim.Engine.run ~until:5. e;
+  Alcotest.(check int) "only events up to the limit" 5 !count;
+  check_float "clock clamped to limit" 5. (Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "remaining events fire on resume" 10 !count
+
+let test_engine_max_events () =
+  let e = Sim.Engine.create () in
+  (* Self-perpetuating event chain. *)
+  let rec arm () = ignore (Sim.Engine.schedule e ~delay:1. arm) in
+  arm ();
+  Sim.Engine.run ~max_events:100 e;
+  Alcotest.(check int) "bounded by max_events" 100 (Sim.Engine.events_processed e)
+
+let test_engine_negative_delay_clamped () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:5. (fun () -> ()));
+  Sim.Engine.run e;
+  let fired_at = ref (-1.) in
+  ignore (Sim.Engine.schedule e ~delay:(-3.) (fun () -> fired_at := Sim.Engine.now e));
+  Sim.Engine.run e;
+  check_float "negative delay runs now" 5. !fired_at
+
+let test_engine_schedule_at_past () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:2. (fun () -> ()));
+  Sim.Engine.run e;
+  let fired_at = ref (-1.) in
+  ignore (Sim.Engine.schedule_at e ~time:0.5 (fun () -> fired_at := Sim.Engine.now e));
+  Sim.Engine.run e;
+  check_float "past time clamps to now" 2. !fired_at
+
+(* --- Latency --- *)
+
+let test_latency_constant () =
+  let rng = Sim.Rng.create 30 in
+  check_float "constant" 4.2 (Sim.Latency.sample (Sim.Latency.Constant 4.2) rng)
+
+let test_latency_uniform_bounds () =
+  let rng = Sim.Rng.create 31 in
+  let m = Sim.Latency.Uniform { lo = 2.; hi = 3. } in
+  for _ = 1 to 1000 do
+    let v = Sim.Latency.sample m rng in
+    if v < 2. || v > 3. then Alcotest.failf "uniform out of bounds: %f" v
+  done
+
+let test_latency_normal_truncation () =
+  let rng = Sim.Rng.create 32 in
+  let m = Sim.Latency.Normal { mean = 1.; stddev = 5.; min = 0.5 } in
+  for _ = 1 to 2000 do
+    let v = Sim.Latency.sample m rng in
+    if v < 0.5 then Alcotest.failf "normal below min: %f" v
+  done
+
+let test_latency_shifted_exponential_floor () =
+  let rng = Sim.Rng.create 33 in
+  let m = Sim.Latency.Shifted_exponential { shift = 3.; rate = 2. } in
+  for _ = 1 to 2000 do
+    let v = Sim.Latency.sample m rng in
+    if v < 3. then Alcotest.failf "below shift: %f" v
+  done
+
+let test_latency_sum_mean () =
+  let rng = Sim.Rng.create 34 in
+  let m = Sim.Latency.Sum [ Sim.Latency.Constant 1.; Sim.Latency.Constant 2. ] in
+  check_float "sum of constants" 3. (Sim.Latency.sample m rng);
+  check_float "analytic mean" 3. (Sim.Latency.mean m)
+
+let test_latency_mean_estimates () =
+  let rng = Sim.Rng.create 35 in
+  let models =
+    [
+      Sim.Latency.Uniform { lo = 1.; hi = 5. };
+      Sim.Latency.Shifted_exponential { shift = 2.; rate = 0.5 };
+      Sim.Latency.Normal { mean = 10.; stddev = 1.; min = 0. };
+    ]
+  in
+  List.iter
+    (fun m ->
+      let stats = Sim.Stats.create () in
+      for _ = 1 to 50_000 do
+        Sim.Stats.add stats (Sim.Latency.sample m rng)
+      done;
+      check_close "empirical mean matches analytic" 0.1 (Sim.Latency.mean m)
+        (Sim.Stats.mean stats))
+    models
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Sim.Stats.create () in
+  Sim.Stats.add_list s [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Sim.Stats.count s);
+  check_float "mean" 2.5 (Sim.Stats.mean s);
+  check_close "variance" 1e-9 (5. /. 3.) (Sim.Stats.variance s);
+  check_float "min" 1. (Sim.Stats.min s);
+  check_float "max" 4. (Sim.Stats.max s);
+  check_float "total" 10. (Sim.Stats.total s)
+
+let test_stats_empty () =
+  let s = Sim.Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Sim.Stats.mean s));
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Sim.Stats.variance s))
+
+let test_stats_merge () =
+  let a = Sim.Stats.create () and b = Sim.Stats.create () and whole = Sim.Stats.create () in
+  let rng = Sim.Rng.create 40 in
+  for i = 1 to 1000 do
+    let x = Sim.Rng.float rng 10. in
+    Sim.Stats.add whole x;
+    if i <= 300 then Sim.Stats.add a x else Sim.Stats.add b x
+  done;
+  let merged = Sim.Stats.merge a b in
+  Alcotest.(check int) "merged count" (Sim.Stats.count whole) (Sim.Stats.count merged);
+  check_close "merged mean" 1e-9 (Sim.Stats.mean whole) (Sim.Stats.mean merged);
+  check_close "merged variance" 1e-8 (Sim.Stats.variance whole)
+    (Sim.Stats.variance merged)
+
+let test_percentiles () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Sim.Stats.median xs);
+  check_float "p0" 1. (Sim.Stats.percentile xs 0.);
+  check_float "p100" 5. (Sim.Stats.percentile xs 100.);
+  check_float "p25" 2. (Sim.Stats.percentile xs 25.)
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Sim.Stats.percentile [||] 50.));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Sim.Stats.percentile [| 1. |] 101.))
+
+(* --- Histogram --- *)
+
+let test_histogram_binning () =
+  let h = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Sim.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9 ];
+  let counts = Sim.Histogram.counts h in
+  Alcotest.(check int) "bin 0" 1 counts.(0);
+  Alcotest.(check int) "bin 1" 2 counts.(1);
+  Alcotest.(check int) "bin 9" 1 counts.(9);
+  Alcotest.(check int) "total" 4 (Sim.Histogram.count h)
+
+let test_histogram_clamping () =
+  let h = Sim.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Sim.Histogram.add h (-5.);
+  Sim.Histogram.add h 100.;
+  let counts = Sim.Histogram.counts h in
+  Alcotest.(check int) "low clamps to first" 1 counts.(0);
+  Alcotest.(check int) "high clamps to last" 1 counts.(3)
+
+let test_histogram_pdf_integrates () =
+  let rng = Sim.Rng.create 50 in
+  let h = Sim.Histogram.create ~lo:0. ~hi:5. ~bins:25 in
+  for _ = 1 to 10_000 do
+    Sim.Histogram.add h (Sim.Rng.float rng 5.)
+  done;
+  let pdf = Sim.Histogram.pdf h in
+  let edges = Sim.Histogram.bin_edges h in
+  let integral =
+    Array.fold_left ( +. ) 0.
+      (Array.mapi (fun i p -> p *. (snd edges.(i) -. fst edges.(i))) pdf)
+  in
+  check_close "pdf integrates to 1" 1e-9 1. integral
+
+let test_histogram_overlap () =
+  let a = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  let b = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  for _ = 1 to 100 do
+    Sim.Histogram.add a 1.5;
+    Sim.Histogram.add b 8.5
+  done;
+  check_float "disjoint overlap" 0. (Sim.Histogram.overlap a b);
+  check_float "self overlap" 1. (Sim.Histogram.overlap a a)
+
+let test_histogram_overlap_layout_mismatch () =
+  let a = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  let b = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:20 in
+  Alcotest.check_raises "layouts differ"
+    (Invalid_argument "Histogram.overlap: layouts differ") (fun () ->
+      ignore (Sim.Histogram.overlap a b))
+
+let test_histogram_of_samples () =
+  let h = Sim.Histogram.of_samples ~bins:5 [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "count" 3 (Sim.Histogram.count h);
+  Alcotest.(check int) "bins" 5 (Sim.Histogram.bins h)
+
+(* --- property tests --- *)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"rng int always within bound" ~count:500
+      QCheck.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Sim.Rng.create seed in
+        let v = Sim.Rng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+      QCheck.(
+        pair
+          (array_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+          (pair (float_range 0. 100.) (float_range 0. 100.)))
+      (fun (xs, (p1, p2)) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Sim.Stats.percentile xs lo <= Sim.Stats.percentile xs hi +. 1e-9);
+    QCheck.Test.make ~name:"heap drains in key order" ~count:200
+      QCheck.(list (float_range 0. 1000.))
+      (fun times ->
+        let h = Sim.Heap.create () in
+        List.iteri (fun i t -> Sim.Heap.add h ~time:t ~seq:i i) times;
+        let rec drain last =
+          match Sim.Heap.pop_min h with
+          | None -> true
+          | Some (t, _, _) -> t >= last && drain t
+        in
+        drain neg_infinity);
+    QCheck.Test.make ~name:"welford matches direct mean" ~count:200
+      QCheck.(array_of_size Gen.(int_range 1 100) (float_range (-1e3) 1e3))
+      (fun xs ->
+        let s = Sim.Stats.create () in
+        Array.iter (Sim.Stats.add s) xs;
+        let direct = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs) in
+        Float.abs (Sim.Stats.mean s -. direct) < 1e-6);
+    QCheck.Test.make ~name:"latency samples are non-negative" ~count:500
+      QCheck.(triple small_int (float_range 0. 10.) (float_range 0.1 5.))
+      (fun (seed, mean, stddev) ->
+        let rng = Sim.Rng.create seed in
+        Sim.Latency.sample (Sim.Latency.Normal { mean; stddev; min = 0. }) rng >= 0.);
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "uniformity" `Slow test_rng_uniformity;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli mean" `Slow test_rng_bernoulli_mean;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "exponential moments" `Slow test_rng_exponential_moments;
+          Alcotest.test_case "exponential rejects" `Quick test_rng_exponential_rejects;
+          Alcotest.test_case "geometric mean" `Slow test_rng_geometric_mean;
+          Alcotest.test_case "geometric p=1" `Quick test_rng_geometric_p1;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_rng_sample_without_replacement;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "same instant fifo" `Quick test_engine_same_instant_fifo;
+          Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+          Alcotest.test_case "schedule_at past" `Quick test_engine_schedule_at_past;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "constant" `Quick test_latency_constant;
+          Alcotest.test_case "uniform bounds" `Quick test_latency_uniform_bounds;
+          Alcotest.test_case "normal truncation" `Quick test_latency_normal_truncation;
+          Alcotest.test_case "shifted exponential floor" `Quick
+            test_latency_shifted_exponential_floor;
+          Alcotest.test_case "sum" `Quick test_latency_sum_mean;
+          Alcotest.test_case "empirical means" `Slow test_latency_mean_estimates;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "clamping" `Quick test_histogram_clamping;
+          Alcotest.test_case "pdf integrates" `Quick test_histogram_pdf_integrates;
+          Alcotest.test_case "overlap" `Quick test_histogram_overlap;
+          Alcotest.test_case "overlap layout mismatch" `Quick
+            test_histogram_overlap_layout_mismatch;
+          Alcotest.test_case "of_samples" `Quick test_histogram_of_samples;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

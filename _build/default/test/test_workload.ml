@@ -1,0 +1,570 @@
+(* Tests for the workload substrate: Zipf sampling, traces, the
+   synthetic IRCache generator, replay, and sweeps. *)
+
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+(* --- Zipf --- *)
+
+let test_zipf_probabilities_sum () =
+  let z = Workload.Zipf.create ~n:100 ~s:1. in
+  let total = ref 0. in
+  for r = 1 to 100 do
+    total := !total +. Workload.Zipf.prob z r
+  done;
+  check_close "pmf sums to 1" 1e-9 1. !total
+
+let test_zipf_rank_ordering () =
+  let z = Workload.Zipf.create ~n:50 ~s:0.9 in
+  for r = 1 to 49 do
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d more popular than %d" r (r + 1))
+      true
+      (Workload.Zipf.prob z r >= Workload.Zipf.prob z (r + 1))
+  done
+
+let test_zipf_s0_uniform () =
+  let z = Workload.Zipf.create ~n:10 ~s:0. in
+  for r = 1 to 10 do
+    check_close "uniform when s=0" 1e-9 0.1 (Workload.Zipf.prob z r)
+  done
+
+let test_zipf_sampling_matches_pmf () =
+  let z = Workload.Zipf.create ~n:20 ~s:1. in
+  let rng = Sim.Rng.create 5 in
+  let counts = Array.make 21 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let r = Workload.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  for r = 1 to 20 do
+    check_close
+      (Printf.sprintf "rank %d frequency" r)
+      0.01
+      (Workload.Zipf.prob z r)
+      (float_of_int counts.(r) /. float_of_int n)
+  done
+
+let test_zipf_head_mass () =
+  let z = Workload.Zipf.create ~n:100 ~s:1. in
+  check_close "head 0" 1e-9 0. (Workload.Zipf.head_mass z 0);
+  check_close "full head" 1e-9 1. (Workload.Zipf.head_mass z 100);
+  Alcotest.(check bool) "head grows" true
+    (Workload.Zipf.head_mass z 10 < Workload.Zipf.head_mass z 50)
+
+let test_zipf_rejects_bad_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Workload.Zipf.create ~n:0 ~s:1.));
+  Alcotest.check_raises "negative s" (Invalid_argument "Zipf.create: negative exponent")
+    (fun () -> ignore (Workload.Zipf.create ~n:5 ~s:(-1.)))
+
+(* --- Trace --- *)
+
+let mk_trace records = Workload.Trace.create (Array.of_list records)
+
+let rec_ t u c = { Workload.Trace.time_s = t; user = u; content = c }
+
+let test_trace_basics () =
+  let t = mk_trace [ rec_ 0. 0 1; rec_ 1. 1 2; rec_ 2. 0 1 ] in
+  Alcotest.(check int) "length" 3 (Workload.Trace.length t);
+  Alcotest.(check int) "users" 2 (Workload.Trace.users t);
+  Alcotest.(check int) "distinct" 2 (Workload.Trace.distinct_contents t);
+  check_close "duration" 1e-9 2. (Workload.Trace.duration_s t)
+
+let test_trace_rejects_disorder () =
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Trace.create: timestamps must be non-decreasing") (fun () ->
+      ignore (mk_trace [ rec_ 5. 0 0; rec_ 1. 0 1 ]))
+
+let test_trace_save_load_roundtrip () =
+  let t = mk_trace [ rec_ 0.5 3 7; rec_ 1.25 1 9; rec_ 2. 3 7 ] in
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workload.Trace.save t ~path;
+      let t' = Workload.Trace.load ~path in
+      Alcotest.(check int) "length" (Workload.Trace.length t) (Workload.Trace.length t');
+      for i = 0 to Workload.Trace.length t - 1 do
+        let a = Workload.Trace.get t i and b = Workload.Trace.get t' i in
+        Alcotest.(check int) "user" a.Workload.Trace.user b.Workload.Trace.user;
+        Alcotest.(check int) "content" a.Workload.Trace.content b.Workload.Trace.content;
+        check_close "time" 1e-5 a.Workload.Trace.time_s b.Workload.Trace.time_s
+      done)
+
+let test_trace_sub () =
+  let t = mk_trace [ rec_ 0. 0 0; rec_ 1. 0 1; rec_ 2. 0 2; rec_ 3. 0 3 ] in
+  let s = Workload.Trace.sub t ~pos:1 ~len:2 in
+  Alcotest.(check int) "sub length" 2 (Workload.Trace.length s);
+  Alcotest.(check int) "sub first" 1 (Workload.Trace.get s 0).Workload.Trace.content
+
+let test_trace_name_mapping () =
+  Alcotest.(check string) "stable name" "/trace/c42"
+    (Ndn.Name.to_string (Workload.Trace.name_of 42));
+  Alcotest.(check bool) "distinct ids distinct names" false
+    (Ndn.Name.equal (Workload.Trace.name_of 1) (Workload.Trace.name_of 2))
+
+(* --- Ircache generator --- *)
+
+let small_cfg =
+  { Workload.Ircache.default with Workload.Ircache.requests = 20_000; seed = 3 }
+
+let test_ircache_shape () =
+  let t = Workload.Ircache.generate small_cfg in
+  Alcotest.(check int) "request count" 20_000 (Workload.Trace.length t);
+  Alcotest.(check int) "user population" 185 (Workload.Trace.users t);
+  Alcotest.(check bool) "spans most of 24h" true
+    (Workload.Trace.duration_s t > 0.9 *. 86_400.);
+  let distinct = Workload.Trace.distinct_contents t in
+  (* ~40% one-timers plus catalog hits *)
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct contents plausible (%d)" distinct)
+    true
+    (distinct > 8_000 && distinct < 16_000)
+
+let test_ircache_deterministic () =
+  let a = Workload.Ircache.generate small_cfg in
+  let b = Workload.Ircache.generate small_cfg in
+  Alcotest.(check int) "same length" (Workload.Trace.length a) (Workload.Trace.length b);
+  for i = 0 to 200 do
+    let ra = Workload.Trace.get a i and rb = Workload.Trace.get b i in
+    Alcotest.(check int) "same content" ra.Workload.Trace.content rb.Workload.Trace.content;
+    Alcotest.(check int) "same user" ra.Workload.Trace.user rb.Workload.Trace.user
+  done
+
+let test_ircache_seed_changes_trace () =
+  let a = Workload.Ircache.generate small_cfg in
+  let b = Workload.Ircache.generate { small_cfg with Workload.Ircache.seed = 4 } in
+  let differs = ref false in
+  for i = 0 to 200 do
+    if
+      (Workload.Trace.get a i).Workload.Trace.content
+      <> (Workload.Trace.get b i).Workload.Trace.content
+    then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_ircache_diurnal_variation () =
+  let t = Workload.Ircache.generate { small_cfg with Workload.Ircache.requests = 50_000 } in
+  (* Count requests in the busiest vs quietest 4-hour window. *)
+  let buckets = Array.make 6 0 in
+  Workload.Trace.iter t ~f:(fun r ->
+      let b = int_of_float (r.Workload.Trace.time_s /. (4. *. 3600.)) in
+      let b = min 5 (max 0 b) in
+      buckets.(b) <- buckets.(b) + 1);
+  let mx = Array.fold_left max 0 buckets and mn = Array.fold_left min max_int buckets in
+  Alcotest.(check bool)
+    (Printf.sprintf "diurnal swing (min %d max %d)" mn mx)
+    true
+    (float_of_int mx > 1.5 *. float_of_int mn)
+
+(* --- Replay --- *)
+
+let tiny_trace () =
+  (* contents: 1 repeated heavily, 2 moderately, 3.. one-timers *)
+  let records =
+    List.concat_map
+      (fun i ->
+        [ rec_ (float_of_int i) 0 1; rec_ (float_of_int i +. 0.1) 1 (100 + i) ])
+      (List.init 50 Fun.id)
+  in
+  Workload.Trace.create
+    (Array.of_list (List.sort (fun a b -> compare a.Workload.Trace.time_s b.Workload.Trace.time_s) records))
+
+let test_replay_no_privacy_counts_real_hits () =
+  let t = tiny_trace () in
+  let o =
+    Workload.Replay.replay t
+      {
+        Workload.Replay.default_config with
+        Workload.Replay.policy = Core.Policy.No_privacy;
+        private_mode = Workload.Replay.Per_content 0.;
+        cache_capacity = 0;
+      }
+  in
+  (* content 1 requested 50 times -> 49 hits; one-timers -> 0 hits *)
+  Alcotest.(check int) "real hits" 49 o.Workload.Replay.real_hits;
+  Alcotest.(check int) "observable = real under no-privacy" 49
+    o.Workload.Replay.observable_hits;
+  Alcotest.(check int) "no hidden hits" 0 o.Workload.Replay.hidden_hits
+
+let test_replay_always_delay_hides_private () =
+  let t = tiny_trace () in
+  let o =
+    Workload.Replay.replay t
+      {
+        Workload.Replay.default_config with
+        Workload.Replay.policy = Core.Policy.Always_delay;
+        private_mode = Workload.Replay.Per_content 1.;
+        cache_capacity = 0;
+      }
+  in
+  Alcotest.(check int) "everything private: zero observable hits" 0
+    o.Workload.Replay.observable_hits;
+  Alcotest.(check int) "real hits unchanged" 49 o.Workload.Replay.real_hits;
+  Alcotest.(check int) "hidden = real" 49 o.Workload.Replay.hidden_hits
+
+let test_replay_random_cache_between () =
+  let t = tiny_trace () in
+  let run policy =
+    Workload.Replay.observable_hit_rate
+      (Workload.Replay.replay t
+         {
+           Workload.Replay.default_config with
+           Workload.Replay.policy;
+           private_mode = Workload.Replay.Per_content 1.;
+           cache_capacity = 0;
+         })
+  in
+  let no_privacy = run Core.Policy.No_privacy in
+  let always = run Core.Policy.Always_delay in
+  let rc = run (Core.Policy.Random_cache (Core.Kdist.Uniform 20)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "always (%.2f) <= rc (%.2f) <= no-privacy (%.2f)" always rc no_privacy)
+    true
+    (always <= rc +. 1e-9 && rc <= no_privacy +. 1e-9)
+
+let test_replay_capacity_monotone () =
+  let t = Workload.Ircache.generate { small_cfg with Workload.Ircache.requests = 30_000 } in
+  let rate cap =
+    Workload.Replay.observable_hit_rate
+      (Workload.Replay.replay t
+         {
+           Workload.Replay.default_config with
+           Workload.Replay.cache_capacity = cap;
+           policy = Core.Policy.No_privacy;
+         })
+  in
+  let r500 = rate 500 and r2000 = rate 2000 and rinf = rate 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "hit rate grows with capacity (%.3f <= %.3f <= %.3f)" r500 r2000 rinf)
+    true
+    (r500 <= r2000 +. 0.01 && r2000 <= rinf +. 0.01);
+  let bounded =
+    Workload.Replay.replay t
+      {
+        Workload.Replay.default_config with
+        Workload.Replay.cache_capacity = 500;
+        policy = Core.Policy.No_privacy;
+      }
+  in
+  Alcotest.(check bool) "bounded cache evicts" true
+    (bounded.Workload.Replay.evictions > 0)
+
+let test_replay_per_content_privacy_deterministic () =
+  let t = tiny_trace () in
+  let cfg =
+    {
+      Workload.Replay.default_config with
+      Workload.Replay.private_mode = Workload.Replay.Per_content 0.5;
+      policy = Core.Policy.Always_delay;
+    }
+  in
+  let a = Workload.Replay.replay t cfg and b = Workload.Replay.replay t cfg in
+  Alcotest.(check int) "same private count" a.Workload.Replay.private_requests
+    b.Workload.Replay.private_requests;
+  Alcotest.(check int) "same observable hits" a.Workload.Replay.observable_hits
+    b.Workload.Replay.observable_hits
+
+let test_replay_private_fraction_effect () =
+  let t = Workload.Ircache.generate { small_cfg with Workload.Ircache.requests = 30_000 } in
+  let rate fraction =
+    Workload.Replay.observable_hit_rate
+      (Workload.Replay.replay t
+         {
+           Workload.Replay.default_config with
+           Workload.Replay.policy = Core.Policy.Always_delay;
+           private_mode = Workload.Replay.Per_content fraction;
+           cache_capacity = 4000;
+         })
+  in
+  let r5 = rate 0.05 and r40 = rate 0.4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more private content, fewer observable hits (%.3f > %.3f)" r5 r40)
+    true (r5 > r40)
+
+(* --- Metrics sweeps --- *)
+
+let test_sweep_structure () =
+  let t = Workload.Ircache.generate { small_cfg with Workload.Ircache.requests = 5_000 } in
+  let rows =
+    Workload.Metrics.sweep t ~cache_sizes:[ 100; 0 ]
+      ~policies:[ Core.Policy.No_privacy; Core.Policy.Always_delay ]
+      ()
+  in
+  Alcotest.(check int) "rows = sizes x policies" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "all requests processed" 5_000
+        r.Workload.Metrics.outcome.Workload.Replay.requests)
+    rows
+
+let test_sweep_private_fraction_structure () =
+  let t = Workload.Ircache.generate { small_cfg with Workload.Ircache.requests = 5_000 } in
+  let rows =
+    Workload.Metrics.sweep_private_fraction t ~cache_sizes:[ 100 ]
+      ~policy:Core.Policy.Always_delay ~fractions:[ 0.05; 0.4 ] ()
+  in
+  Alcotest.(check int) "rows" 2 (List.length rows);
+  match rows with
+  | [ a; b ] ->
+    Alcotest.(check bool) "fractions recorded" true
+      (a.Workload.Metrics.private_fraction = 0.05
+      && b.Workload.Metrics.private_fraction = 0.4)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_cache_size_label () =
+  Alcotest.(check string) "inf" "Inf" (Workload.Metrics.cache_size_label 0);
+  Alcotest.(check string) "number" "8000" (Workload.Metrics.cache_size_label 8000)
+
+
+(* --- Squid log parsing --- *)
+
+let squid_lines =
+  [
+    "1189036512.145  124 client-a TCP_MISS/200 4122 GET http://example.com/one - DIRECT/1.2.3.4 text/html";
+    "1189036513.001   17 client-b TCP_HIT/200 412 GET http://example.com/two - NONE/- image/png";
+    "1189036514.500   80 client-a TCP_MISS/200 999 GET http://example.com/one - DIRECT/1.2.3.4 text/html";
+  ]
+
+let test_squid_parse_line () =
+  (match Workload.Squid_log.parse_line (List.hd squid_lines) with
+  | Some (ts, client, url) ->
+    Alcotest.(check (float 1e-6)) "timestamp" 1189036512.145 ts;
+    Alcotest.(check string) "client" "client-a" client;
+    Alcotest.(check string) "url" "http://example.com/one" url
+  | None -> Alcotest.fail "line should parse");
+  Alcotest.(check bool) "garbage rejected" true
+    (Workload.Squid_log.parse_line "not a log line" = None);
+  Alcotest.(check bool) "negative timestamp rejected" true
+    (Workload.Squid_log.parse_line
+       "-5.0 1 c TCP_MISS/200 1 GET http://x - D/1 t"
+    = None)
+
+let test_squid_of_lines () =
+  let trace, stats = Workload.Squid_log.of_lines ("" :: "junk" :: squid_lines) in
+  Alcotest.(check int) "parsed" 3 stats.Workload.Squid_log.parsed;
+  Alcotest.(check int) "skipped" 1 stats.Workload.Squid_log.skipped;
+  Alcotest.(check int) "records" 3 (Workload.Trace.length trace);
+  Alcotest.(check int) "users interned" 2 (Workload.Trace.users trace);
+  Alcotest.(check int) "contents interned" 2 (Workload.Trace.distinct_contents trace);
+  (* timestamps normalized to start at 0 *)
+  Alcotest.(check (float 1e-6)) "starts at zero" 0.
+    (Workload.Trace.get trace 0).Workload.Trace.time_s;
+  (* same URL -> same content id *)
+  let c0 = (Workload.Trace.get trace 0).Workload.Trace.content in
+  let c2 = (Workload.Trace.get trace 2).Workload.Trace.content in
+  Alcotest.(check int) "repeat URL shares id" c0 c2
+
+let test_squid_out_of_order_sorted () =
+  let lines =
+    [
+      "200.0 1 c TCP_MISS/200 1 GET http://x/2 - D/1 t";
+      "100.0 1 c TCP_MISS/200 1 GET http://x/1 - D/1 t";
+    ]
+  in
+  let trace, _ = Workload.Squid_log.of_lines lines in
+  Alcotest.(check (float 1e-6)) "sorted" 0.
+    (Workload.Trace.get trace 0).Workload.Trace.time_s;
+  Alcotest.(check (float 1e-6)) "gap preserved" 100.
+    (Workload.Trace.get trace 1).Workload.Trace.time_s
+
+let test_squid_replayable () =
+  let trace, _ = Workload.Squid_log.of_lines squid_lines in
+  let o =
+    Workload.Replay.replay trace
+      {
+        Workload.Replay.default_config with
+        Workload.Replay.policy = Core.Policy.No_privacy;
+        private_mode = Workload.Replay.Per_content 0.;
+        cache_capacity = 0;
+      }
+  in
+  (* URL /one requested twice -> 1 real hit. *)
+  Alcotest.(check int) "hits" 1 o.Workload.Replay.real_hits
+
+
+(* --- LRU-stack temporal-locality generator --- *)
+
+let test_lru_stack_shape () =
+  let t =
+    Workload.Lru_stack.generate
+      { Workload.Lru_stack.default with Workload.Lru_stack.requests = 10_000; seed = 6 }
+  in
+  Alcotest.(check int) "length" 10_000 (Workload.Trace.length t);
+  Alcotest.(check bool) "users bounded" true (Workload.Trace.users t <= 185);
+  Alcotest.(check bool) "has repeats" true
+    (Workload.Trace.distinct_contents t < 10_000)
+
+let test_lru_stack_deterministic () =
+  let cfg = { Workload.Lru_stack.default with Workload.Lru_stack.requests = 2_000 } in
+  let a = Workload.Lru_stack.generate cfg and b = Workload.Lru_stack.generate cfg in
+  for i = 0 to 100 do
+    Alcotest.(check int) "same content"
+      (Workload.Trace.get a i).Workload.Trace.content
+      (Workload.Trace.get b i).Workload.Trace.content
+  done
+
+let test_lru_stack_locality_beats_iid () =
+  (* The point of the model: an LRU cache does far better under
+     stack-model traffic than under i.i.d. Zipf at equal cache size. *)
+  let rate trace =
+    Workload.Replay.observable_hit_rate
+      (Workload.Replay.replay trace
+         {
+           Workload.Replay.default_config with
+           Workload.Replay.cache_capacity = 500;
+           policy = Core.Policy.No_privacy;
+           private_mode = Workload.Replay.Per_content 0.;
+         })
+  in
+  let local =
+    rate
+      (Workload.Lru_stack.generate
+         { Workload.Lru_stack.default with Workload.Lru_stack.requests = 20_000 })
+  in
+  let iid =
+    rate
+      (Workload.Ircache.generate
+         { Workload.Ircache.default with Workload.Ircache.requests = 20_000 })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "locality %.2f >> iid %.2f" local iid)
+    true
+    (local > iid +. 0.15)
+
+let test_lru_stack_validation () =
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Lru_stack.generate: fresh_fraction out of range") (fun () ->
+      ignore
+        (Workload.Lru_stack.generate
+           { Workload.Lru_stack.default with Workload.Lru_stack.fresh_fraction = 1.5 }))
+
+(* --- property tests --- *)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"zipf samples within range" ~count:200
+      QCheck.(triple small_int (int_range 1 100) (float_range 0. 2.))
+      (fun (seed, n, s) ->
+        let z = Workload.Zipf.create ~n ~s in
+        let rng = Sim.Rng.create seed in
+        let r = Workload.Zipf.sample z rng in
+        r >= 1 && r <= n);
+    QCheck.Test.make ~name:"head_mass monotone" ~count:200
+      QCheck.(triple (int_range 2 100) (float_range 0. 2.) (pair small_nat small_nat))
+      (fun (n, s, (a, b)) ->
+        let z = Workload.Zipf.create ~n ~s in
+        let lo = min a b and hi = max a b in
+        Workload.Zipf.head_mass z lo <= Workload.Zipf.head_mass z hi +. 1e-12);
+    QCheck.Test.make ~name:"squid parser never raises" ~count:300
+      QCheck.(string) (fun line ->
+        ignore (Workload.Squid_log.parse_line line);
+        true);
+    QCheck.Test.make ~name:"squid of_lines accounts every line" ~count:100
+      QCheck.(list (string_of_size Gen.(int_range 0 80)))
+      (fun lines ->
+        let _, stats = Workload.Squid_log.of_lines lines in
+        let non_blank =
+          List.length (List.filter (fun l -> String.trim l <> "") lines)
+        in
+        stats.Workload.Squid_log.parsed + stats.Workload.Squid_log.skipped
+        = non_blank);
+    QCheck.Test.make ~name:"replay hit counts bounded by requests" ~count:20
+      QCheck.(pair (int_range 100 2000) (int_range 0 100))
+      (fun (n, cap) ->
+        let t =
+          Workload.Ircache.generate
+            { small_cfg with Workload.Ircache.requests = n; seed = n }
+        in
+        let o =
+          Workload.Replay.replay t
+            {
+              Workload.Replay.default_config with
+              Workload.Replay.cache_capacity = cap;
+              policy = Core.Policy.Random_cache (Core.Kdist.Uniform 10);
+              private_mode = Workload.Replay.Per_content 0.3;
+            }
+        in
+        o.Workload.Replay.observable_hits <= o.Workload.Replay.real_hits
+        && o.Workload.Replay.real_hits <= n
+        && o.Workload.Replay.observable_hits + o.Workload.Replay.hidden_hits
+           = o.Workload.Replay.real_hits);
+    QCheck.Test.make ~name:"observable rate <= real rate" ~count:20
+      QCheck.(int_range 0 1000)
+      (fun seed ->
+        let t =
+          Workload.Ircache.generate
+            { small_cfg with Workload.Ircache.requests = 1000; seed }
+        in
+        let o =
+          Workload.Replay.replay t
+            {
+              Workload.Replay.default_config with
+              Workload.Replay.policy = Core.Policy.Always_delay;
+              private_mode = Workload.Replay.Per_content 0.5;
+            }
+        in
+        Workload.Replay.observable_hit_rate o <= Workload.Replay.real_hit_rate o +. 1e-12);
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf sums" `Quick test_zipf_probabilities_sum;
+          Alcotest.test_case "rank ordering" `Quick test_zipf_rank_ordering;
+          Alcotest.test_case "s=0 uniform" `Quick test_zipf_s0_uniform;
+          Alcotest.test_case "sampling matches pmf" `Slow test_zipf_sampling_matches_pmf;
+          Alcotest.test_case "head mass" `Quick test_zipf_head_mass;
+          Alcotest.test_case "argument validation" `Quick test_zipf_rejects_bad_args;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_trace_basics;
+          Alcotest.test_case "rejects disorder" `Quick test_trace_rejects_disorder;
+          Alcotest.test_case "save/load" `Quick test_trace_save_load_roundtrip;
+          Alcotest.test_case "sub" `Quick test_trace_sub;
+          Alcotest.test_case "name mapping" `Quick test_trace_name_mapping;
+        ] );
+      ( "ircache",
+        [
+          Alcotest.test_case "shape" `Quick test_ircache_shape;
+          Alcotest.test_case "deterministic" `Quick test_ircache_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_ircache_seed_changes_trace;
+          Alcotest.test_case "diurnal variation" `Quick test_ircache_diurnal_variation;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "no-privacy real hits" `Quick
+            test_replay_no_privacy_counts_real_hits;
+          Alcotest.test_case "always-delay hides" `Quick test_replay_always_delay_hides_private;
+          Alcotest.test_case "random-cache between" `Quick test_replay_random_cache_between;
+          Alcotest.test_case "capacity monotone" `Slow test_replay_capacity_monotone;
+          Alcotest.test_case "per-content deterministic" `Quick
+            test_replay_per_content_privacy_deterministic;
+          Alcotest.test_case "private fraction effect" `Slow test_replay_private_fraction_effect;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "sweep structure" `Quick test_sweep_structure;
+          Alcotest.test_case "fraction sweep" `Quick test_sweep_private_fraction_structure;
+          Alcotest.test_case "labels" `Quick test_cache_size_label;
+        ] );
+      ( "squid",
+        [
+          Alcotest.test_case "parse line" `Quick test_squid_parse_line;
+          Alcotest.test_case "of_lines" `Quick test_squid_of_lines;
+          Alcotest.test_case "out-of-order sorted" `Quick test_squid_out_of_order_sorted;
+          Alcotest.test_case "replayable" `Quick test_squid_replayable;
+        ] );
+      ( "lru_stack",
+        [
+          Alcotest.test_case "shape" `Quick test_lru_stack_shape;
+          Alcotest.test_case "deterministic" `Quick test_lru_stack_deterministic;
+          Alcotest.test_case "locality beats iid" `Slow test_lru_stack_locality_beats_iid;
+          Alcotest.test_case "validation" `Quick test_lru_stack_validation;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
