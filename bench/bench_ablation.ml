@@ -5,7 +5,7 @@
      content-specific vs dynamic): latency experienced by consumers;
    - threshold-distribution shape beyond uniform/geometric. *)
 
-let run ~scale () =
+let run ~scale ~jobs () =
   Format.printf "@.================ Ablations ================@.";
 
   (* --- countermeasure deployment (paper footnote 6) --- *)
@@ -13,11 +13,13 @@ let run ~scale () =
     "@.--- countermeasure placement: which routers should delay? ---@.";
   Format.printf
     "victim+adversary share edge1; honest remote consumer benefits from the core cache@.";
-  List.iter
-    (fun placement ->
-      let r = Attack.Deployment_experiment.run placement ~trials:(15 * scale) () in
-      Format.printf "%a@." Attack.Deployment_experiment.pp_result r)
-    Attack.Deployment_experiment.all_placements;
+  (* Placements are measured concurrently (each is deterministic in its
+     own seed) and printed in placement order. *)
+  let placements = Array.of_list Attack.Deployment_experiment.all_placements in
+  Sim.Parallel.map ~jobs (Array.length placements) (fun i ->
+      Attack.Deployment_experiment.run placements.(i) ~trials:(15 * scale) ())
+  |> Array.iter (fun r ->
+         Format.printf "%a@." Attack.Deployment_experiment.pp_result r);
   Format.printf
     "(consumer-facing deployment defeats the local adversary without taxing@.";
   Format.printf
@@ -39,25 +41,35 @@ let run ~scale () =
     (fun p -> Format.printf " | %8s" (Ndn.Eviction.to_string p))
     Ndn.Eviction.all;
   Format.printf "@.";
-  List.iter
-    (fun capacity ->
+  let capacities = [| 2000; 8000; 32000 |] in
+  let evictions = Array.of_list Ndn.Eviction.all in
+  let n_ev = Array.length evictions in
+  (* The (capacity, eviction) grid replays concurrently; each cell is
+     seeded by its config, and cells are printed in grid order. *)
+  let grid =
+    Sim.Parallel.map ~jobs
+      (Array.length capacities * n_ev)
+      (fun i ->
+        let o =
+          Workload.Replay.replay trace
+            {
+              Workload.Replay.default_config with
+              Workload.Replay.cache_capacity = capacities.(i / n_ev);
+              eviction = evictions.(i mod n_ev);
+              policy = Core.Policy.No_privacy;
+              private_mode = Workload.Replay.Per_content 0.;
+            }
+        in
+        100. *. Workload.Replay.observable_hit_rate o)
+  in
+  Array.iteri
+    (fun ci capacity ->
       Format.printf "%10s" (Workload.Metrics.cache_size_label capacity);
-      List.iter
-        (fun eviction ->
-          let o =
-            Workload.Replay.replay trace
-              {
-                Workload.Replay.default_config with
-                Workload.Replay.cache_capacity = capacity;
-                eviction;
-                policy = Core.Policy.No_privacy;
-                private_mode = Workload.Replay.Per_content 0.;
-              }
-          in
-          Format.printf " | %8.2f" (100. *. Workload.Replay.observable_hit_rate o))
-        Ndn.Eviction.all;
+      Array.iteri
+        (fun ei _ -> Format.printf " | %8.2f" grid.((ci * n_ev) + ei))
+        evictions;
       Format.printf "@.")
-    [ 2000; 8000; 32000 ];
+    capacities;
 
   (* --- delay policies: consumer-visible latency --- *)
   Format.printf "@.--- artificial-delay policies: consumer latency on private content ---@.";
@@ -127,13 +139,26 @@ let run ~scale () =
   in
   Format.printf "%10s | %12s | %12s | %16s | %16s@." "CacheSize" "iid no-priv"
     "local no-priv" "iid expo-RC" "local expo-RC";
-  List.iter
-    (fun cap ->
-      Format.printf "%10d | %12.2f | %12.2f | %16.2f | %16.2f@." cap
-        (rate iid Core.Policy.No_privacy cap)
-        (rate local Core.Policy.No_privacy cap)
-        (rate iid expo cap) (rate local expo cap))
-    [ 500; 2000; 8000 ];
+  let caps = [| 500; 2000; 8000 |] in
+  let cells =
+    [|
+      (fun cap -> rate iid Core.Policy.No_privacy cap);
+      (fun cap -> rate local Core.Policy.No_privacy cap);
+      (fun cap -> rate iid expo cap);
+      (fun cap -> rate local expo cap);
+    |]
+  in
+  let table =
+    Sim.Parallel.map ~jobs
+      (Array.length caps * Array.length cells)
+      (fun i -> cells.(i mod Array.length cells) caps.(i / Array.length cells))
+  in
+  Array.iteri
+    (fun ci cap ->
+      let cell j = table.((ci * Array.length cells) + j) in
+      Format.printf "%10d | %12.2f | %12.2f | %16.2f | %16.2f@." cap (cell 0)
+        (cell 1) (cell 2) (cell 3))
+    caps;
   Format.printf
     "(temporal locality lifts small-cache hit rates dramatically — and raises@.";
   Format.printf

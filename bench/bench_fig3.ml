@@ -11,35 +11,35 @@ let paper_reference = function
   | "Local host" -> "paper: support ~0.4-12.1 ms, near-perfect distinguisher"
   | _ -> ""
 
-let run_one ~label ~make_setup ~contents ~runs =
-  let result = Attack.Timing_experiment.run ~make_setup ~contents ~runs () in
+let run_one ~label ~make_setup ~contents ~runs ~jobs =
+  let result = Attack.Timing_experiment.run ~make_setup ~contents ~runs ~jobs () in
   section "@.--- Figure 3: %s ---@." label;
   section "%s@." (paper_reference label);
   Attack.Timing_experiment.pp_result Format.std_formatter result;
   result.Attack.Timing_experiment.success_rate
 
-let run ~scale () =
+let run ~scale ~jobs () =
   let contents = 50 * scale and runs = 4 * scale in
   section "@.================ Figure 3: timing attacks ================@.";
   let lan =
     run_one ~label:"LAN"
       ~make_setup:(fun ~seed -> Ndn.Network.lan ~seed ())
-      ~contents ~runs
+      ~contents ~runs ~jobs
   in
   let wan =
     run_one ~label:"WAN"
       ~make_setup:(fun ~seed -> Ndn.Network.wan ~seed ())
-      ~contents ~runs
+      ~contents ~runs ~jobs
   in
   let producer =
     run_one ~label:"WAN producer privacy"
       ~make_setup:(fun ~seed -> Ndn.Network.wan_producer ~seed ())
-      ~contents ~runs
+      ~contents ~runs ~jobs
   in
   let local =
     run_one ~label:"Local host"
       ~make_setup:(fun ~seed -> Ndn.Network.local_host ~seed ())
-      ~contents ~runs
+      ~contents ~runs ~jobs
   in
   section "@.Figure 3 summary (distinguisher success, paper -> measured):@.";
   section "  (a) LAN:              >99.9%%  ->  %5.2f%%@." (100. *. lan);

@@ -20,7 +20,7 @@ let kdists () =
   in
   (uniform, exponential)
 
-let run ~scale () =
+let run ~scale ~jobs () =
   let requests = 100_000 * scale in
   Format.printf "@.================ Figure 5: trace-driven evaluation ================@.";
   let cfg = { Workload.Ircache.default with Workload.Ircache.requests } in
@@ -46,7 +46,7 @@ let run ~scale () =
           Core.Policy.Random_cache uniform;
           Core.Policy.Always_delay;
         ]
-      ~private_fraction:0.2 ()
+      ~private_fraction:0.2 ~jobs ()
   in
   Workload.Metrics.pp_table
     ~series_of:(fun r -> r.Workload.Metrics.policy_label)
@@ -57,9 +57,26 @@ let run ~scale () =
   let rows_b =
     Workload.Metrics.sweep_private_fraction trace ~cache_sizes
       ~policy:(Core.Policy.Random_cache exponential)
-      ~fractions:[ 0.05; 0.1; 0.2; 0.4 ] ()
+      ~fractions:[ 0.05; 0.1; 0.2; 0.4 ] ~jobs ()
   in
   Workload.Metrics.pp_table
     ~series_of:(fun r ->
       Printf.sprintf "%.0f%% Private" (100. *. r.Workload.Metrics.private_fraction))
-    Format.std_formatter rows_b
+    Format.std_formatter rows_b;
+  (* Seed-sensitivity of one representative cell: a multi-trial
+     ensemble under varying seeds, merged with Metrics.merge.  Trial
+     [i] is a pure function of [seed + i], so the line is identical for
+     any --jobs. *)
+  Format.printf
+    "@.--- Figure 5 seed sensitivity: Exponential RC, cache 8000, 8 seeds ---@.";
+  let agg =
+    Workload.Metrics.replay_trials trace
+      {
+        Workload.Replay.default_config with
+        Workload.Replay.cache_capacity = 8000;
+        policy = Core.Policy.Random_cache exponential;
+        private_mode = Workload.Replay.Per_content 0.2;
+      }
+      ~trials:8 ~jobs ()
+  in
+  Format.printf "%a@." Workload.Metrics.pp_agg agg

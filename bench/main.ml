@@ -6,6 +6,11 @@
      dune exec bench/main.exe -- fig3         # one experiment family
      dune exec bench/main.exe -- fig5 --full  # paper-scale trace (3.2M)
      dune exec bench/main.exe -- all --fast   # quick smoke pass
+     dune exec bench/main.exe -- fig5 --jobs 4  # fan trials over 4 domains
+
+   --jobs N sets the Sim.Parallel domain-pool size (default: one per
+   hardware thread).  Output is bit-identical for any N — trial RNGs
+   are split before dispatch and results merge in trial order.
 
    Experiment index (see DESIGN.md for the full mapping):
      fig3  - Figure 3(a-d): timing-attack RTT distributions
@@ -19,7 +24,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|micro]... [--fast|--full]";
+    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|micro]... \
+     [--fast|--full] [--jobs N]";
   exit 1
 
 let () =
@@ -32,6 +38,23 @@ let () =
        --full matches the paper's 3.2M requests. *)
     if List.mem "--full" args then 32 else if List.mem "--fast" args then 1 else 3
   in
+  let jobs, args =
+    let rec grab acc = function
+      | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | _ ->
+          prerr_endline "--jobs expects a positive integer";
+          usage ())
+      | "--jobs" :: [] ->
+        prerr_endline "--jobs expects a positive integer";
+        usage ()
+      | a :: rest -> grab (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    grab [] args
+  in
+  let jobs = match jobs with Some j -> j | None -> Sim.Parallel.default_jobs () in
   let selected =
     match List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args with
     | [] -> [ "all" ]
@@ -43,11 +66,11 @@ let () =
       if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "micro" ])
       then usage ())
     selected;
-  if want "fig3" then Bench_fig3.run ~scale ();
+  if want "fig3" then Bench_fig3.run ~scale ~jobs ();
   if want "fig4" then Bench_fig4.run ();
-  if want "fig5" then Bench_fig5.run ~scale:fig5_scale ();
+  if want "fig5" then Bench_fig5.run ~scale:fig5_scale ~jobs ();
   if want "text" then Bench_text.run ~scale ();
-  if want "thms" then Bench_thms.run ~scale ();
-  if want "ablation" then Bench_ablation.run ~scale ();
+  if want "thms" then Bench_thms.run ~scale ~jobs ();
+  if want "ablation" then Bench_ablation.run ~scale ~jobs ();
   if want "micro" then Bench_micro.run ();
   Format.printf "@.done.@."

@@ -1,55 +1,66 @@
 (* Privacy-utility frontier explorer (Section VI).
 
-     dune exec examples/tradeoff_explorer.exe -- [k] [requests_c]
+     dune exec examples/tradeoff_explorer.exe -- [k] [requests_c] [jobs]
 
    For a content expected to be requested c times, tabulates the
    utility u(c) achievable at each privacy level (delta), for both
    Random-Cache instantiations — the designer's dial between "hide
    everything" and "cache everything".  All numbers come from the
    closed forms of Theorems VI.1-VI.4, cross-checked against exact
-   enumeration. *)
+   enumeration.
+
+   The per-delta rows are independent searches, so they are evaluated
+   on a Sim.Parallel domain pool (and printed in delta order — the
+   table is identical for any [jobs]). *)
 
 open Privacy
 
 let () =
   let k = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 5 in
   let c = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 50 in
+  let jobs =
+    if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3)
+    else Sim.Parallel.default_jobs ()
+  in
   Format.printf "== Privacy-utility frontier (k = %d, c = %d requests) ==@.@." k c;
   Format.printf
     "delta = probability mass on outputs that betray up-to-%d-request state@.@." k;
   Format.printf "%8s | %22s | %30s | %10s@." "delta" "Uniform (K, u)"
     "Exponential (eps, K, u)" "expo gain";
-  List.iter
-    (fun delta ->
-      let domain_u = Theorems.Uniform.domain_for_delta ~k ~delta in
-      let u_uni = Theorems.Uniform.utility_exact ~c ~domain:domain_u in
-      (* Pick the most utility-friendly feasible eps: the largest eps
-         keeping delta attainable is unbounded, so sweep a few and keep
-         the best utility. *)
-      let best =
-        List.filter_map
-          (fun eps ->
-            let alpha = Theorems.Exponential.alpha_for_epsilon ~k ~eps in
-            match Theorems.Exponential.domain_for_delta ~k ~alpha ~delta with
-            | Some domain ->
-              Some (eps, domain, Theorems.Exponential.utility_exact ~c ~alpha ~domain)
-            | None -> None)
-          [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.5 ]
-        |> List.fold_left
-             (fun acc (eps, domain, u) ->
-               match acc with
-               | Some (_, _, u') when u' >= u -> acc
-               | _ -> Some (eps, domain, u))
-             None
-      in
-      match best with
-      | Some (eps, domain_e, u_exp) ->
-        Format.printf "%8.3f | %10d %10.4f | %8.3f %8d %11.4f | %+9.4f@." delta
-          domain_u u_uni eps domain_e u_exp (u_exp -. u_uni)
-      | None ->
-        Format.printf "%8.3f | %10d %10.4f | %30s | %10s@." delta domain_u u_uni
-          "infeasible" "-")
-    [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.5 ];
+  let deltas = [| 0.01; 0.02; 0.05; 0.1; 0.2; 0.5 |] in
+  let explore delta =
+    let domain_u = Theorems.Uniform.domain_for_delta ~k ~delta in
+    let u_uni = Theorems.Uniform.utility_exact ~c ~domain:domain_u in
+    (* Pick the most utility-friendly feasible eps: the largest eps
+       keeping delta attainable is unbounded, so sweep a few and keep
+       the best utility. *)
+    let best =
+      List.filter_map
+        (fun eps ->
+          let alpha = Theorems.Exponential.alpha_for_epsilon ~k ~eps in
+          match Theorems.Exponential.domain_for_delta ~k ~alpha ~delta with
+          | Some domain ->
+            Some (eps, domain, Theorems.Exponential.utility_exact ~c ~alpha ~domain)
+          | None -> None)
+        [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.5 ]
+      |> List.fold_left
+           (fun acc (eps, domain, u) ->
+             match acc with
+             | Some (_, _, u') when u' >= u -> acc
+             | _ -> Some (eps, domain, u))
+           None
+    in
+    (delta, domain_u, u_uni, best)
+  in
+  Sim.Parallel.map ~jobs (Array.length deltas) (fun i -> explore deltas.(i))
+  |> Array.iter (fun (delta, domain_u, u_uni, best) ->
+         match best with
+         | Some (eps, domain_e, u_exp) ->
+           Format.printf "%8.3f | %10d %10.4f | %8.3f %8d %11.4f | %+9.4f@." delta
+             domain_u u_uni eps domain_e u_exp (u_exp -. u_uni)
+         | None ->
+           Format.printf "%8.3f | %10d %10.4f | %30s | %10s@." delta domain_u
+             u_uni "infeasible" "-");
   Format.printf
     "@.Exact achieved delta (enumeration) for the delta = 0.05 uniform row:@.";
   let domain = Theorems.Uniform.domain_for_delta ~k ~delta:0.05 in

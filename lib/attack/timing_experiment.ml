@@ -7,29 +7,40 @@ type result = {
   timeouts : int;
 }
 
-let collect ~make_setup ~contents ~runs ~seed =
+(* One measurement run over a fresh setup = the paper's "every time
+   starting with an empty cache for R".  Runs are mutually independent
+   (run [r] is a pure function of [seed + r]), which is what lets
+   [collect] fan them out over domains below. *)
+let collect_run ~make_setup ~contents ~seed run =
   let hits = ref [] and misses = ref [] and timeouts = ref 0 in
-  for run = 0 to runs - 1 do
-    (* A fresh setup per run = the paper's "every time starting with an
-       empty cache for R". *)
-    let setup = make_setup ~seed:(seed + run) in
-    for i = 0 to contents - 1 do
-      let warm_name =
-        Ndn.Name.of_string (Printf.sprintf "/prod/run%d/warm/%d" run i)
-      in
-      let cold_name =
-        Ndn.Name.of_string (Printf.sprintf "/prod/run%d/cold/%d" run i)
-      in
-      Probe.warm setup warm_name;
-      (match Probe.measure setup ~from:setup.Ndn.Network.adversary warm_name with
-      | Some rtt -> hits := rtt :: !hits
-      | None -> incr timeouts);
-      match Probe.measure setup ~from:setup.Ndn.Network.adversary cold_name with
-      | Some rtt -> misses := rtt :: !misses
-      | None -> incr timeouts
-    done
+  let setup = make_setup ~seed:(seed + run) in
+  for i = 0 to contents - 1 do
+    let warm_name =
+      Ndn.Name.of_string (Printf.sprintf "/prod/run%d/warm/%d" run i)
+    in
+    let cold_name =
+      Ndn.Name.of_string (Printf.sprintf "/prod/run%d/cold/%d" run i)
+    in
+    Probe.warm setup warm_name;
+    (match Probe.measure setup ~from:setup.Ndn.Network.adversary warm_name with
+    | Some rtt -> hits := rtt :: !hits
+    | None -> incr timeouts);
+    match Probe.measure setup ~from:setup.Ndn.Network.adversary cold_name with
+    | Some rtt -> misses := rtt :: !misses
+    | None -> incr timeouts
   done;
-  (Array.of_list (List.rev !hits), Array.of_list (List.rev !misses), !timeouts)
+  (List.rev !hits, List.rev !misses, !timeouts)
+
+let collect ?jobs ~make_setup ~contents ~runs ~seed () =
+  (* Per-run sample lists are concatenated in run order, so the merged
+     arrays are byte-identical to a sequential (jobs = 1) campaign. *)
+  let per_run =
+    Sim.Parallel.map ?jobs runs (collect_run ~make_setup ~contents ~seed)
+  in
+  let hits = List.concat_map (fun (h, _, _) -> h) (Array.to_list per_run) in
+  let misses = List.concat_map (fun (_, m, _) -> m) (Array.to_list per_run) in
+  let timeouts = Array.fold_left (fun acc (_, _, t) -> acc + t) 0 per_run in
+  (Array.of_list hits, Array.of_list misses, timeouts)
 
 let summarize ~bins (hit_samples, miss_samples, timeouts) =
   let lo =
@@ -52,8 +63,9 @@ let summarize ~bins (hit_samples, miss_samples, timeouts) =
   in
   { hit_samples; miss_samples; hit_hist; miss_hist; success_rate; timeouts }
 
-let run ~make_setup ?(contents = 100) ?(runs = 10) ?(seed = 7) ?(bins = 40) () =
-  summarize ~bins (collect ~make_setup ~contents ~runs ~seed)
+let run ~make_setup ?(contents = 100) ?(runs = 10) ?(seed = 7) ?(bins = 40)
+    ?jobs () =
+  summarize ~bins (collect ?jobs ~make_setup ~contents ~runs ~seed ())
 
 let run_producer_privacy = run
 

@@ -20,13 +20,18 @@ val run :
   ?runs:int ->
   ?seed:int ->
   ?bins:int ->
+  ?jobs:int ->
   unit ->
   result
 (** Reproduce the paper's procedure: per run (fresh caches), the
     producer publishes [contents] objects, the honest user U fetches
     the "warm" half, and the adversary then probes warm names (hit
     samples) and never-requested names (miss samples).  Defaults:
-    [contents = 100] per run, [runs = 10], 40 histogram [bins]. *)
+    [contents = 100] per run, [runs = 10], 40 histogram [bins].
+
+    Runs execute on [jobs] domains via {!Sim.Parallel} — run [r] is a
+    pure function of [seed + r] and per-run samples are concatenated in
+    run order, so the result is identical for any [jobs]. *)
 
 val run_producer_privacy :
   make_setup:(seed:int -> Ndn.Network.probe_setup) ->
@@ -34,6 +39,7 @@ val run_producer_privacy :
   ?runs:int ->
   ?seed:int ->
   ?bins:int ->
+  ?jobs:int ->
   unit ->
   result
 (** Variant for Figure 3(c): "hit" means {e some consumer} recently

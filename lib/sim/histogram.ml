@@ -55,6 +55,24 @@ let pdf t = Array.init t.nbins (fun i -> probability t i /. t.width)
 
 let same_layout a b = a.lo = b.lo && a.hi = b.hi && a.nbins = b.nbins
 
+let merge a b =
+  if not (same_layout a b) then invalid_arg "Histogram.merge: layouts differ";
+  let t = create ~lo:a.lo ~hi:a.hi ~bins:a.nbins in
+  for i = 0 to a.nbins - 1 do
+    t.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  t.total <- a.total + b.total;
+  t
+
+let merge_into ~into b =
+  if not (same_layout into b) then invalid_arg "Histogram.merge_into: layouts differ";
+  for i = 0 to into.nbins - 1 do
+    into.counts.(i) <- into.counts.(i) + b.counts.(i)
+  done;
+  into.total <- into.total + b.total
+
+let equal a b = same_layout a b && a.counts = b.counts && a.total = b.total
+
 let pp_ascii ?(width = 50) ppf t =
   let maxc = Array.fold_left max 1 t.counts in
   Array.iteri

@@ -36,6 +36,20 @@ val pdf : t -> float array
 val probability : t -> int -> float
 (** Mass of one bin. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram whose bins are the element-wise
+    sums of [a] and [b] — the counts obtained by adding both sample
+    sets into one histogram.  Both inputs are left untouched, so
+    parallel trial shards can be folded in any grouping.
+    @raise Invalid_argument if layouts differ. *)
+
+val merge_into : into:t -> t -> unit
+(** In-place variant of {!merge}: accumulate [b]'s counts into [into].
+    @raise Invalid_argument if layouts differ. *)
+
+val equal : t -> t -> bool
+(** Same layout and identical per-bin counts. *)
+
 val pp_ascii : ?width:int -> Format.formatter -> t -> unit
 (** Terminal rendering: one row per bin with a proportional bar. *)
 

@@ -27,26 +27,97 @@ let run_one trace ~kind ~capacity ~fraction ~grouping ~seed =
     outcome = Replay.replay trace config;
   }
 
+(* Sweeps fan the independent (config, capacity) replays out over
+   domains; each cell is fully determined by its own seed, and results
+   are re-assembled in grid order, so the table is identical for any
+   [jobs]. *)
+let grid_map ?jobs outer inner f =
+  let outer = Array.of_list outer and inner = Array.of_list inner in
+  let n_inner = Array.length inner in
+  Sim.Parallel.map ?jobs
+    (Array.length outer * n_inner)
+    (fun i -> f outer.(i / n_inner) inner.(i mod n_inner))
+  |> Array.to_list
+
 let sweep trace ~cache_sizes ~policies ?(private_fraction = 0.2)
-    ?(grouping = Core.Grouping.By_content) ?(seed = 99) () =
-  List.concat_map
-    (fun kind ->
-      List.map
-        (fun capacity ->
-          run_one trace ~kind ~capacity ~fraction:private_fraction ~grouping
-            ~seed)
-        cache_sizes)
-    policies
+    ?(grouping = Core.Grouping.By_content) ?(seed = 99) ?jobs () =
+  grid_map ?jobs policies cache_sizes (fun kind capacity ->
+      run_one trace ~kind ~capacity ~fraction:private_fraction ~grouping ~seed)
 
 let sweep_private_fraction trace ~cache_sizes ~policy ~fractions
-    ?(grouping = Core.Grouping.By_content) ?(seed = 99) () =
-  List.concat_map
-    (fun fraction ->
-      List.map
-        (fun capacity ->
-          run_one trace ~kind:policy ~capacity ~fraction ~grouping ~seed)
-        cache_sizes)
-    fractions
+    ?(grouping = Core.Grouping.By_content) ?(seed = 99) ?jobs () =
+  grid_map ?jobs fractions cache_sizes (fun fraction capacity ->
+      run_one trace ~kind:policy ~capacity ~fraction ~grouping ~seed)
+
+(* --- mergeable multi-trial aggregate --- *)
+
+type agg = {
+  trials : int;
+  requests : int;
+  observable_hits : int;
+  real_hits : int;
+  hidden_hits : int;
+  private_requests : int;
+  agg_evictions : int;
+  hit_rate_stats : Sim.Stats.t;
+}
+
+let agg_empty () =
+  {
+    trials = 0;
+    requests = 0;
+    observable_hits = 0;
+    real_hits = 0;
+    hidden_hits = 0;
+    private_requests = 0;
+    agg_evictions = 0;
+    hit_rate_stats = Sim.Stats.create ();
+  }
+
+let agg_of_outcome (o : Replay.outcome) =
+  let hit_rate_stats = Sim.Stats.create () in
+  Sim.Stats.add hit_rate_stats (Replay.observable_hit_rate o);
+  {
+    trials = 1;
+    requests = o.Replay.requests;
+    observable_hits = o.Replay.observable_hits;
+    real_hits = o.Replay.real_hits;
+    hidden_hits = o.Replay.hidden_hits;
+    private_requests = o.Replay.private_requests;
+    agg_evictions = o.Replay.evictions;
+    hit_rate_stats;
+  }
+
+let merge a b =
+  {
+    trials = a.trials + b.trials;
+    requests = a.requests + b.requests;
+    observable_hits = a.observable_hits + b.observable_hits;
+    real_hits = a.real_hits + b.real_hits;
+    hidden_hits = a.hidden_hits + b.hidden_hits;
+    private_requests = a.private_requests + b.private_requests;
+    agg_evictions = a.agg_evictions + b.agg_evictions;
+    hit_rate_stats = Sim.Stats.merge a.hit_rate_stats b.hit_rate_stats;
+  }
+
+let agg_observable_hit_rate a =
+  if a.requests = 0 then 0.
+  else float_of_int a.observable_hits /. float_of_int a.requests
+
+let replay_trials trace config ~trials ?jobs () =
+  (* Trial [i] replays under seed [config.seed + i]: the ensemble is a
+     pure function of the base seed, independent of [jobs]. *)
+  Sim.Parallel.map ?jobs trials (fun i ->
+      agg_of_outcome
+        (Replay.replay trace { config with Replay.seed = config.Replay.seed + i }))
+  |> Array.fold_left merge (agg_empty ())
+
+let pp_agg ppf a =
+  Format.fprintf ppf
+    "trials=%d requests=%d pooled-hit-rate=%.4f per-trial mean=%.4f sd=%.4f"
+    a.trials a.requests (agg_observable_hit_rate a)
+    (Sim.Stats.mean a.hit_rate_stats)
+    (Sim.Stats.stddev a.hit_rate_stats)
 
 let cache_size_label = function 0 -> "Inf" | n -> string_of_int n
 

@@ -14,10 +14,14 @@ val sweep :
   ?private_fraction:float ->
   ?grouping:Core.Grouping.t ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
   row list
 (** Figure 5(a): one replay per (policy, cache size); per-content
-    private marking at [private_fraction] (default 0.2). *)
+    private marking at [private_fraction] (default 0.2).  The grid is
+    evaluated on [jobs] domains via {!Sim.Parallel} (each cell is
+    deterministic in [seed]); the returned rows are in grid order, so
+    the output is identical for any [jobs]. *)
 
 val sweep_private_fraction :
   Trace.t ->
@@ -26,9 +30,52 @@ val sweep_private_fraction :
   fractions:float list ->
   ?grouping:Core.Grouping.t ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
   row list
-(** Figure 5(b): one policy, varying the private fraction. *)
+(** Figure 5(b): one policy, varying the private fraction.  Parallel
+    and deterministic as in {!sweep}. *)
+
+(** {2 Mergeable multi-trial aggregates}
+
+    A commutative-monoid summary of replay outcomes, so trial ensembles
+    computed on different domains (or machines) can be combined without
+    re-touching the raw outcomes.  [merge (aggregate xs) (aggregate ys)]
+    equals [aggregate (xs @ ys)] exactly on the integer counters and to
+    floating-point accuracy (Chan's parallel update) on the per-trial
+    hit-rate moments. *)
+
+type agg = {
+  trials : int;
+  requests : int;
+  observable_hits : int;
+  real_hits : int;
+  hidden_hits : int;
+  private_requests : int;
+  agg_evictions : int;
+  hit_rate_stats : Sim.Stats.t;
+      (** Distribution of per-trial observable hit rates. *)
+}
+
+val agg_empty : unit -> agg
+(** Identity element of {!merge}. *)
+
+val agg_of_outcome : Replay.outcome -> agg
+(** Single-trial aggregate. *)
+
+val merge : agg -> agg -> agg
+(** Combine two disjoint trial ensembles; neither input is mutated. *)
+
+val agg_observable_hit_rate : agg -> float
+(** Request-weighted (pooled) observable hit rate of the ensemble. *)
+
+val replay_trials :
+  Trace.t -> Replay.config -> trials:int -> ?jobs:int -> unit -> agg
+(** Replay [trials] independent trials of [config] (trial [i] uses seed
+    [config.seed + i]) on [jobs] domains and merge the outcomes in
+    trial order.  Identical result for any [jobs]. *)
+
+val pp_agg : Format.formatter -> agg -> unit
 
 val pp_table :
   series_of:(row -> string) -> Format.formatter -> row list -> unit

@@ -1,0 +1,211 @@
+(* Model-based property test: Ndn.Content_store under random op
+   sequences (insert / exact lookup / clock advance) must agree with a
+   naive list-based reference model.
+
+   For LRU and FIFO the model predicts the cache contents exactly:
+   both policies evict from the tail of a recency/insertion list, so a
+   handful of list operations specify the whole observable behavior
+   (including freshness expiry, which removes stale entries on lookup).
+
+   Random replacement picks its victim from the store's RNG, which a
+   black-box model cannot predict; there the model keeps an insertion
+   shadow and checks every property that holds for *any* victim choice:
+   size bounds, presence of the most recent insert, misses on
+   never-inserted or stale names, and counter consistency. *)
+
+(* --- operation language --- *)
+
+type op =
+  | Insert of int * float option  (* name index, freshness_ms *)
+  | Lookup of int
+  | Advance of float  (* move the virtual clock forward, ms *)
+
+let pp_op = function
+  | Insert (i, None) -> Printf.sprintf "insert %d" i
+  | Insert (i, Some f) -> Printf.sprintf "insert %d (fresh %.0fms)" i f
+  | Lookup i -> Printf.sprintf "lookup %d" i
+  | Advance dt -> Printf.sprintf "advance %.0fms" dt
+
+let universe = 8
+let capacity = 3
+
+let name_of i = Ndn.Name.of_string (Printf.sprintf "/model/content/%d" i)
+
+let names = Array.init universe name_of
+
+(* Signing on every insert is wasteful inside a property test: intern
+   one data object per (name, freshness) pair. *)
+let data_cache = Hashtbl.create 32
+
+let data_of i freshness =
+  match Hashtbl.find_opt data_cache (i, freshness) with
+  | Some d -> d
+  | None ->
+    let d =
+      Ndn.Data.create ?freshness_ms:freshness ~producer:"model" ~key:"model-key"
+        ~payload:"x" names.(i)
+    in
+    Hashtbl.add data_cache (i, freshness) d;
+    d
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map2
+            (fun i f -> Insert (i, f))
+            (int_bound (universe - 1))
+            (frequency
+               [ (3, return None); (1, return (Some 5.)); (1, return (Some 20.)) ])
+        );
+        (5, map (fun i -> Lookup i) (int_bound (universe - 1)));
+        (2, map (fun dt -> Advance (float_of_int dt)) (int_range 1 12));
+      ])
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 60) gen_op)
+
+(* --- exact reference model for LRU / FIFO --- *)
+
+(* Head of the list = most recently used (LRU) / most recently inserted
+   (FIFO); eviction takes the last element, mirroring the store's
+   intrusive list. *)
+type model_entry = { idx : int; inserted_at : float; freshness : float option }
+
+let model_fresh now e =
+  match e.freshness with None -> true | Some f -> now -. e.inserted_at <= f
+
+let model_insert model ~now idx freshness =
+  let model = List.filter (fun e -> e.idx <> idx) model in
+  let rec trim m =
+    if capacity > 0 && List.length m >= capacity then
+      trim (List.filteri (fun i _ -> i < List.length m - 1) m)
+    else m
+  in
+  { idx; inserted_at = now; freshness } :: trim model
+
+let model_lookup ~policy model ~now idx =
+  match List.find_opt (fun e -> e.idx = idx) model with
+  | None -> (false, model)
+  | Some e ->
+    if not (model_fresh now e) then
+      (* Stale entries are expired by the lookup, not returned. *)
+      (false, List.filter (fun e' -> e'.idx <> idx) model)
+    else
+      let model =
+        match policy with
+        | Ndn.Eviction.Lru ->
+          e :: List.filter (fun e' -> e'.idx <> idx) model
+        | _ -> model (* FIFO: hits do not reorder *)
+      in
+      (true, model)
+
+let store_contents cs =
+  Ndn.Content_store.fold cs ~init:[] ~f:(fun acc e ->
+      Ndn.Name.to_string e.Ndn.Content_store.data.Ndn.Data.name :: acc)
+  |> List.sort compare
+
+let model_contents model =
+  List.map (fun e -> Ndn.Name.to_string names.(e.idx)) model |> List.sort compare
+
+let exact_model_agrees policy ops =
+  let cs = Ndn.Content_store.create ~policy ~capacity () in
+  let rec go model now = function
+    | [] -> true
+    | op :: rest ->
+      let model, now =
+        match op with
+        | Insert (idx, freshness) ->
+          Ndn.Content_store.insert cs ~now (data_of idx freshness) ();
+          (model_insert model ~now idx freshness, now)
+        | Lookup idx ->
+          let store_hit =
+            Ndn.Content_store.lookup cs ~now ~exact:true names.(idx)
+            |> Option.is_some
+          in
+          let model_hit, model = model_lookup ~policy model ~now idx in
+          if store_hit <> model_hit then
+            QCheck.Test.fail_reportf "%s: lookup %d store=%b model=%b"
+              (Ndn.Eviction.to_string policy) idx store_hit model_hit;
+          (model, now)
+        | Advance dt -> (model, now +. dt)
+      in
+      if Ndn.Content_store.size cs <> List.length model then
+        QCheck.Test.fail_reportf "%s after %s: size store=%d model=%d"
+          (Ndn.Eviction.to_string policy) (pp_op op)
+          (Ndn.Content_store.size cs) (List.length model);
+      if store_contents cs <> model_contents model then
+        QCheck.Test.fail_reportf "%s after %s: contents diverge"
+          (Ndn.Eviction.to_string policy) (pp_op op);
+      go model now rest
+  in
+  go [] 0. ops
+
+(* --- invariant shadow for Random_replacement --- *)
+
+let random_invariants_hold seed ops =
+  let cs =
+    Ndn.Content_store.create ~policy:Ndn.Eviction.Random_replacement
+      ~rng:(Sim.Rng.create seed) ~capacity ()
+  in
+  (* Shadow: last insertion time and freshness per name, eviction
+     ignored — an upper bound on what can still be cached. *)
+  let shadow = Hashtbl.create 16 in
+  let rec go now = function
+    | [] -> true
+    | op :: rest ->
+      let now =
+        match op with
+        | Insert (idx, freshness) ->
+          Ndn.Content_store.insert cs ~now (data_of idx freshness) ();
+          Hashtbl.replace shadow idx (now, freshness);
+          if not (Ndn.Content_store.mem cs names.(idx)) then
+            QCheck.Test.fail_reportf "inserted %d not present" idx;
+          now
+        | Lookup idx ->
+          let hit =
+            Ndn.Content_store.lookup cs ~now ~exact:true names.(idx)
+            |> Option.is_some
+          in
+          (match (hit, Hashtbl.find_opt shadow idx) with
+          | true, None -> QCheck.Test.fail_reportf "hit on never-inserted %d" idx
+          | true, Some (at, freshness) ->
+            let fresh =
+              match freshness with None -> true | Some f -> now -. at <= f
+            in
+            if not fresh then
+              QCheck.Test.fail_reportf "hit on stale %d (age %.0f)" idx (now -. at)
+          | false, _ -> ());
+          now
+        | Advance dt -> now +. dt
+      in
+      if Ndn.Content_store.size cs > capacity then
+        QCheck.Test.fail_reportf "size %d exceeds capacity %d"
+          (Ndn.Content_store.size cs) capacity;
+      go now rest
+  in
+  let ok = go 0. ops in
+  let c = Ndn.Content_store.counters cs in
+  ok
+  && c.Ndn.Content_store.hits + c.Ndn.Content_store.misses
+     = c.Ndn.Content_store.lookups
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"content store agrees with list model (LRU)" ~count:400
+      arb_ops
+      (exact_model_agrees Ndn.Eviction.Lru);
+    QCheck.Test.make ~name:"content store agrees with list model (FIFO)" ~count:400
+      arb_ops
+      (exact_model_agrees Ndn.Eviction.Fifo);
+    QCheck.Test.make ~name:"random replacement invariants" ~count:400
+      QCheck.(pair (make Gen.(int_bound 1_000_000) ~print:string_of_int) arb_ops)
+      (fun (seed, ops) -> random_invariants_hold seed ops);
+  ]
+
+let () =
+  Alcotest.run "content_store_model"
+    [ ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

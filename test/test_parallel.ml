@@ -1,0 +1,223 @@
+(* Determinism regression tests for Sim.Parallel: the runner must give
+   bit-identical results for any domain count and reproduce exactly
+   under a fixed seed — the property every parallelized bench
+   (fig3/fig5/thms/ablation) relies on. *)
+
+let check_floats = Alcotest.(check (array (float 0.)))
+
+(* --- map --- *)
+
+let test_map_order () =
+  let expected = Array.init 100 (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Sim.Parallel.map ~jobs 100 (fun i -> i * i)))
+    [ 1; 2; 4; 7; 100; 1000 ]
+
+let test_map_empty () =
+  Alcotest.(check (array int)) "n=0" [||] (Sim.Parallel.map ~jobs:4 0 (fun i -> i))
+
+let test_map_exception () =
+  Alcotest.check_raises "trial failure propagates" (Failure "trial 3") (fun () ->
+      ignore
+        (Sim.Parallel.map ~jobs:4 8 (fun i ->
+             if i = 3 then failwith "trial 3" else i)))
+
+(* --- run: per-trial RNG streams --- *)
+
+let trial_samples ~trial:_ ~rng = Array.init 16 (fun _ -> Sim.Rng.float rng 1.)
+
+let test_run_jobs_invariant () =
+  let reference = Sim.Parallel.run ~jobs:1 ~seed:42 ~trials:24 trial_samples in
+  List.iter
+    (fun jobs ->
+      let got = Sim.Parallel.run ~jobs ~seed:42 ~trials:24 trial_samples in
+      Array.iteri
+        (fun i expected ->
+          check_floats (Printf.sprintf "jobs=%d trial %d" jobs i) expected got.(i))
+        reference)
+    [ 2; 3; 4; 8 ]
+
+let test_run_seed_reproducible () =
+  let a = Sim.Parallel.run ~jobs:4 ~seed:7 ~trials:12 trial_samples in
+  let b = Sim.Parallel.run ~jobs:4 ~seed:7 ~trials:12 trial_samples in
+  Array.iteri (fun i xs -> check_floats (Printf.sprintf "trial %d" i) xs b.(i)) a;
+  let c = Sim.Parallel.run ~jobs:4 ~seed:8 ~trials:12 trial_samples in
+  Alcotest.(check bool) "different seed differs" true (a.(0) <> c.(0))
+
+let test_run_reduce_matches_fold () =
+  let merge acc x = (2 * acc) + x in
+  let direct =
+    Array.fold_left merge 1
+      (Sim.Parallel.run ~jobs:3 ~seed:5 ~trials:9 (fun ~trial ~rng ->
+           trial + Sim.Rng.int rng 10))
+  in
+  let reduced =
+    Sim.Parallel.run_reduce ~jobs:3 ~seed:5 ~trials:9 ~merge ~init:1
+      (fun ~trial ~rng -> trial + Sim.Rng.int rng 10)
+  in
+  (* The merge is deliberately non-commutative: only an in-order fold
+     can match. *)
+  Alcotest.(check int) "non-commutative fold in trial order" direct reduced
+
+(* --- merged histograms and stats for a fig3-style workload --- *)
+
+(* A miniature Figure-3 campaign: per trial, measure warm (hit) and
+   cold (miss) RTTs on a fresh LAN setup and histogram them. *)
+let fig3_style_trial ~trial ~rng:_ =
+  let setup = Ndn.Network.lan ~seed:(1000 + trial) () in
+  let hist = Sim.Histogram.create ~lo:0. ~hi:50. ~bins:25 in
+  let stats = Sim.Stats.create () in
+  for i = 0 to 9 do
+    let warm = Ndn.Name.of_string (Printf.sprintf "/prod/t%d/warm/%d" trial i) in
+    let cold = Ndn.Name.of_string (Printf.sprintf "/prod/t%d/cold/%d" trial i) in
+    Attack.Probe.warm setup warm;
+    List.iter
+      (fun name ->
+        match Attack.Probe.measure setup ~from:setup.Ndn.Network.adversary name with
+        | Some rtt ->
+          Sim.Histogram.add hist rtt;
+          Sim.Stats.add stats rtt
+        | None -> ())
+      [ warm; cold ]
+  done;
+  (hist, stats)
+
+let merged_campaign ~jobs =
+  Sim.Parallel.run_reduce ~jobs ~seed:3 ~trials:6
+    ~merge:(fun (h, s) (h', s') -> (Sim.Histogram.merge h h', Sim.Stats.merge s s'))
+    ~init:(Sim.Histogram.create ~lo:0. ~hi:50. ~bins:25, Sim.Stats.create ())
+    fig3_style_trial
+
+let test_fig3_style_jobs_invariant () =
+  let h1, s1 = merged_campaign ~jobs:1 in
+  let h4, s4 = merged_campaign ~jobs:4 in
+  Alcotest.(check bool) "merged histograms identical" true (Sim.Histogram.equal h1 h4);
+  Alcotest.(check int) "sample counts" (Sim.Stats.count s1) (Sim.Stats.count s4);
+  Alcotest.(check (float 0.)) "means bit-identical" (Sim.Stats.mean s1)
+    (Sim.Stats.mean s4);
+  Alcotest.(check (float 0.)) "stddev bit-identical" (Sim.Stats.stddev s1)
+    (Sim.Stats.stddev s4)
+
+let test_timing_experiment_jobs_invariant () =
+  let campaign jobs =
+    Attack.Timing_experiment.run
+      ~make_setup:(fun ~seed -> Ndn.Network.lan ~seed ())
+      ~contents:8 ~runs:4 ~seed:11 ~bins:16 ~jobs ()
+  in
+  let a = campaign 1 and b = campaign 4 in
+  check_floats "hit samples" a.Attack.Timing_experiment.hit_samples
+    b.Attack.Timing_experiment.hit_samples;
+  check_floats "miss samples" a.Attack.Timing_experiment.miss_samples
+    b.Attack.Timing_experiment.miss_samples;
+  Alcotest.(check bool) "hit histograms" true
+    (Sim.Histogram.equal a.Attack.Timing_experiment.hit_hist
+       b.Attack.Timing_experiment.hit_hist);
+  Alcotest.(check (float 0.)) "success rate" a.Attack.Timing_experiment.success_rate
+    b.Attack.Timing_experiment.success_rate;
+  Alcotest.(check int) "timeouts" a.Attack.Timing_experiment.timeouts
+    b.Attack.Timing_experiment.timeouts
+
+(* --- Workload.Metrics aggregates --- *)
+
+let small_trace =
+  lazy
+    (Workload.Ircache.generate
+       { Workload.Ircache.default with Workload.Ircache.requests = 3_000 })
+
+let outcome seed =
+  Workload.Replay.replay (Lazy.force small_trace)
+    { Workload.Replay.default_config with Workload.Replay.seed }
+
+let test_metrics_merge_splits () =
+  let outcomes = List.init 6 (fun i -> outcome (100 + i)) in
+  let aggregate os =
+    List.fold_left
+      (fun acc o -> Workload.Metrics.merge acc (Workload.Metrics.agg_of_outcome o))
+      (Workload.Metrics.agg_empty ()) os
+  in
+  let whole = aggregate outcomes in
+  let left = aggregate (List.filteri (fun i _ -> i < 2) outcomes) in
+  let right = aggregate (List.filteri (fun i _ -> i >= 2) outcomes) in
+  let merged = Workload.Metrics.merge left right in
+  Alcotest.(check int) "trials" whole.Workload.Metrics.trials
+    merged.Workload.Metrics.trials;
+  Alcotest.(check int) "requests" whole.Workload.Metrics.requests
+    merged.Workload.Metrics.requests;
+  Alcotest.(check int) "observable hits" whole.Workload.Metrics.observable_hits
+    merged.Workload.Metrics.observable_hits;
+  Alcotest.(check int) "evictions" whole.Workload.Metrics.agg_evictions
+    merged.Workload.Metrics.agg_evictions;
+  Alcotest.(check (float 1e-9)) "hit-rate mean (Chan)"
+    (Sim.Stats.mean whole.Workload.Metrics.hit_rate_stats)
+    (Sim.Stats.mean merged.Workload.Metrics.hit_rate_stats);
+  Alcotest.(check (float 1e-9)) "hit-rate variance (Chan)"
+    (Sim.Stats.variance whole.Workload.Metrics.hit_rate_stats)
+    (Sim.Stats.variance merged.Workload.Metrics.hit_rate_stats)
+
+let test_replay_trials_jobs_invariant () =
+  let ensemble jobs =
+    Workload.Metrics.replay_trials (Lazy.force small_trace)
+      Workload.Replay.default_config ~trials:5 ~jobs ()
+  in
+  let a = ensemble 1 and b = ensemble 3 in
+  Alcotest.(check int) "requests" a.Workload.Metrics.requests
+    b.Workload.Metrics.requests;
+  Alcotest.(check int) "observable hits" a.Workload.Metrics.observable_hits
+    b.Workload.Metrics.observable_hits;
+  Alcotest.(check (float 0.)) "per-trial mean bit-identical"
+    (Sim.Stats.mean a.Workload.Metrics.hit_rate_stats)
+    (Sim.Stats.mean b.Workload.Metrics.hit_rate_stats)
+
+let test_sweep_jobs_invariant () =
+  let sweep jobs =
+    Workload.Metrics.sweep (Lazy.force small_trace) ~cache_sizes:[ 200; 0 ]
+      ~policies:[ Core.Policy.No_privacy; Core.Policy.Always_delay ]
+      ~jobs ()
+  in
+  let a = sweep 1 and b = sweep 4 in
+  Alcotest.(check int) "row count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Workload.Metrics.row) (y : Workload.Metrics.row) ->
+      Alcotest.(check string) "row order" x.Workload.Metrics.policy_label
+        y.Workload.Metrics.policy_label;
+      Alcotest.(check int) "capacity" x.Workload.Metrics.cache_capacity
+        y.Workload.Metrics.cache_capacity;
+      Alcotest.(check (float 0.)) "hit rate bit-identical"
+        (Workload.Replay.observable_hit_rate x.Workload.Metrics.outcome)
+        (Workload.Replay.observable_hit_rate y.Workload.Metrics.outcome))
+    a b
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "order" `Quick test_map_order;
+          Alcotest.test_case "empty" `Quick test_map_empty;
+          Alcotest.test_case "exception" `Quick test_map_exception;
+        ] );
+      ( "run determinism",
+        [
+          Alcotest.test_case "jobs invariant" `Quick test_run_jobs_invariant;
+          Alcotest.test_case "seed reproducible" `Quick test_run_seed_reproducible;
+          Alcotest.test_case "run_reduce order" `Quick test_run_reduce_matches_fold;
+        ] );
+      ( "fig3-style campaign",
+        [
+          Alcotest.test_case "merged hist/stats jobs invariant" `Quick
+            test_fig3_style_jobs_invariant;
+          Alcotest.test_case "timing experiment jobs invariant" `Quick
+            test_timing_experiment_jobs_invariant;
+        ] );
+      ( "metrics aggregates",
+        [
+          Alcotest.test_case "merge of splits" `Quick test_metrics_merge_splits;
+          Alcotest.test_case "replay_trials jobs invariant" `Quick
+            test_replay_trials_jobs_invariant;
+          Alcotest.test_case "sweep jobs invariant" `Quick test_sweep_jobs_invariant;
+        ] );
+    ]

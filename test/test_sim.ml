@@ -441,6 +441,55 @@ let test_histogram_of_samples () =
   Alcotest.(check int) "count" 3 (Sim.Histogram.count h);
   Alcotest.(check int) "bins" 5 (Sim.Histogram.bins h)
 
+(* --- merge laws (the contracts Sim.Parallel relies on) --- *)
+
+let test_histogram_merge_splits () =
+  let rng = Sim.Rng.create 77 in
+  let samples = Array.init 1_000 (fun _ -> Sim.Rng.float rng 10.) in
+  let whole = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:32 in
+  Array.iter (Sim.Histogram.add whole) samples;
+  let left = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:32 in
+  let right = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:32 in
+  Array.iteri
+    (fun i x -> Sim.Histogram.add (if i < 400 then left else right) x)
+    samples;
+  let merged = Sim.Histogram.merge left right in
+  Alcotest.(check bool) "merge of splits = unsplit accumulation" true
+    (Sim.Histogram.equal whole merged);
+  Alcotest.(check int) "count adds up" 1_000 (Sim.Histogram.count merged);
+  (* merge leaves its arguments untouched *)
+  Alcotest.(check int) "left untouched" 400 (Sim.Histogram.count left);
+  Sim.Histogram.merge_into ~into:left right;
+  Alcotest.(check bool) "merge_into agrees with merge" true
+    (Sim.Histogram.equal whole left)
+
+let test_histogram_merge_layout_mismatch () =
+  let a = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  let b = Sim.Histogram.create ~lo:0. ~hi:5. ~bins:10 in
+  Alcotest.check_raises "layouts differ"
+    (Invalid_argument "Histogram.merge: layouts differ") (fun () ->
+      ignore (Sim.Histogram.merge a b))
+
+let test_stats_merge_chan () =
+  (* Chan's parallel update must agree with the unsplit Welford stream
+     to 1e-9 even when the two halves have very different means. *)
+  let rng = Sim.Rng.create 78 in
+  let low = Array.init 500 (fun _ -> Sim.Rng.gaussian rng ~mean:2. ~stddev:0.5) in
+  let high = Array.init 700 (fun _ -> Sim.Rng.gaussian rng ~mean:900. ~stddev:4.) in
+  let whole = Sim.Stats.create () in
+  Array.iter (Sim.Stats.add whole) low;
+  Array.iter (Sim.Stats.add whole) high;
+  let a = Sim.Stats.create () and b = Sim.Stats.create () in
+  Array.iter (Sim.Stats.add a) low;
+  Array.iter (Sim.Stats.add b) high;
+  let merged = Sim.Stats.merge a b in
+  Alcotest.(check int) "count" (Sim.Stats.count whole) (Sim.Stats.count merged);
+  check_close "mean" 1e-9 (Sim.Stats.mean whole) (Sim.Stats.mean merged);
+  check_close "variance (relative)" 1e-9 1.
+    (Sim.Stats.variance merged /. Sim.Stats.variance whole);
+  check_float "min" (Sim.Stats.min whole) (Sim.Stats.min merged);
+  check_float "max" (Sim.Stats.max whole) (Sim.Stats.max merged)
+
 (* --- property tests --- *)
 
 let qcheck_tests =
@@ -477,6 +526,44 @@ let qcheck_tests =
         Array.iter (Sim.Stats.add s) xs;
         let direct = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs) in
         Float.abs (Sim.Stats.mean s -. direct) < 1e-6);
+    QCheck.Test.make ~name:"histogram merge of random splits = unsplit" ~count:200
+      QCheck.(
+        pair
+          (list_of_size Gen.(int_range 0 200) (float_range (-5.) 15.))
+          (int_range 0 200))
+      (fun (samples, cut) ->
+        let cut = min cut (List.length samples) in
+        let fill xs =
+          let h = Sim.Histogram.create ~lo:0. ~hi:10. ~bins:16 in
+          List.iter (Sim.Histogram.add h) xs;
+          h
+        in
+        let whole = fill samples in
+        let left = fill (List.filteri (fun i _ -> i < cut) samples) in
+        let right = fill (List.filteri (fun i _ -> i >= cut) samples) in
+        Sim.Histogram.equal whole (Sim.Histogram.merge left right));
+    QCheck.Test.make ~name:"stats merge matches unsplit stream (Chan)" ~count:200
+      QCheck.(
+        pair
+          (list_of_size Gen.(int_range 0 100) (float_range (-1e3) 1e3))
+          (list_of_size Gen.(int_range 0 100) (float_range (-1e3) 1e3)))
+      (fun (xs, ys) ->
+        let fill zs =
+          let s = Sim.Stats.create () in
+          List.iter (Sim.Stats.add s) zs;
+          s
+        in
+        let whole = fill (xs @ ys) in
+        let merged = Sim.Stats.merge (fill xs) (fill ys) in
+        let close a b =
+          (Float.is_nan a && Float.is_nan b)
+          || Float.abs (a -. b)
+             <= 1e-7 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+        in
+        Sim.Stats.count whole = Sim.Stats.count merged
+        && close (Sim.Stats.mean whole) (Sim.Stats.mean merged)
+        && close (Sim.Stats.variance whole) (Sim.Stats.variance merged)
+        && close (Sim.Stats.total whole) (Sim.Stats.total merged));
     QCheck.Test.make ~name:"latency samples are non-negative" ~count:500
       QCheck.(triple small_int (float_range 0. 10.) (float_range 0.1 5.))
       (fun (seed, mean, stddev) ->
@@ -554,6 +641,11 @@ let () =
           Alcotest.test_case "overlap layout mismatch" `Quick
             test_histogram_overlap_layout_mismatch;
           Alcotest.test_case "of_samples" `Quick test_histogram_of_samples;
+          Alcotest.test_case "merge splits" `Quick test_histogram_merge_splits;
+          Alcotest.test_case "merge layout mismatch" `Quick
+            test_histogram_merge_layout_mismatch;
         ] );
+      ( "merge laws",
+        [ Alcotest.test_case "stats merge (Chan)" `Quick test_stats_merge_chan ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
