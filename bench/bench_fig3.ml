@@ -11,38 +11,58 @@ let paper_reference = function
   | "Local host" -> "paper: support ~0.4-12.1 ms, near-perfect distinguisher"
   | _ -> ""
 
-let run_one ~label ~make_setup ~contents ~runs ~jobs =
-  let result = Attack.Timing_experiment.run ~make_setup ~contents ~runs ~jobs () in
+let run_one ~label ~make_setup ~contents ~runs ~jobs ~tracing =
+  let result =
+    Attack.Timing_experiment.run ~make_setup ~contents ~runs ~jobs
+      ~trace:tracing ()
+  in
   section "@.--- Figure 3: %s ---@." label;
   section "%s@." (paper_reference label);
   Attack.Timing_experiment.pp_result Format.std_formatter result;
-  result.Attack.Timing_experiment.success_rate
+  (result.Attack.Timing_experiment.success_rate,
+   result.Attack.Timing_experiment.trace)
 
-let run ~scale ~jobs () =
+let run ~scale ~jobs ?trace () =
   let contents = 50 * scale and runs = 4 * scale in
+  let tracing = trace <> None in
   section "@.================ Figure 3: timing attacks ================@.";
-  let lan =
+  let lan, lan_tr =
     run_one ~label:"LAN"
-      ~make_setup:(fun ~seed -> Ndn.Network.lan ~seed ())
-      ~contents ~runs ~jobs
+      ~make_setup:(fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ())
+      ~contents ~runs ~jobs ~tracing
   in
-  let wan =
+  let wan, wan_tr =
     run_one ~label:"WAN"
-      ~make_setup:(fun ~seed -> Ndn.Network.wan ~seed ())
-      ~contents ~runs ~jobs
+      ~make_setup:(fun ~seed ~tracer -> Ndn.Network.wan ~seed ~tracer ())
+      ~contents ~runs ~jobs ~tracing
   in
-  let producer =
+  let producer, producer_tr =
     run_one ~label:"WAN producer privacy"
-      ~make_setup:(fun ~seed -> Ndn.Network.wan_producer ~seed ())
-      ~contents ~runs ~jobs
+      ~make_setup:(fun ~seed ~tracer ->
+        Ndn.Network.wan_producer ~seed ~tracer ())
+      ~contents ~runs ~jobs ~tracing
   in
-  let local =
+  let local, local_tr =
     run_one ~label:"Local host"
-      ~make_setup:(fun ~seed -> Ndn.Network.local_host ~seed ())
-      ~contents ~runs ~jobs
+      ~make_setup:(fun ~seed ~tracer -> Ndn.Network.local_host ~seed ~tracer ())
+      ~contents ~runs ~jobs ~tracing
   in
   section "@.Figure 3 summary (distinguisher success, paper -> measured):@.";
   section "  (a) LAN:              >99.9%%  ->  %5.2f%%@." (100. *. lan);
   section "  (b) WAN:              >99%%    ->  %5.2f%%@." (100. *. wan);
   section "  (c) producer privacy:  59%%    ->  %5.2f%%@." (100. *. producer);
-  section "  (d) local host:       ~100%%   ->  %5.2f%%@." (100. *. local)
+  section "  (d) local host:       ~100%%   ->  %5.2f%%@." (100. *. local);
+  match trace with
+  | None -> ()
+  | Some (file, fmt) ->
+    (* All four campaigns in a fixed order, each already merged in run
+       order — the file is identical for any --jobs. *)
+    let merged = Sim.Trace.create () in
+    List.iter
+      (fun tr -> Sim.Trace.merge_into ~into:merged tr)
+      [ lan_tr; wan_tr; producer_tr; local_tr ];
+    let oc = open_out file in
+    Sim.Trace.write fmt oc merged;
+    close_out oc;
+    section "trace: %d events -> %s (%s)@." (Sim.Trace.length merged) file
+      (Sim.Trace.format_to_string fmt)

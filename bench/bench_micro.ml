@@ -41,6 +41,76 @@ let test_cs_ops =
            (Ndn.Content_store.lookup cs ~now:(float_of_int !i) ~exact:true
               names.((j + 512) land 1023))))
 
+(* Trace overhead: the same CS workload as content_store/insert+lookup,
+   with a disabled tracer (the default — measures the guard cost, which
+   must stay within noise of the baseline above), a buffering tracer,
+   and a null-sink streaming tracer. *)
+let cs_workload cs data =
+  let i = ref 0 in
+  fun () ->
+    let j = !i land 1023 in
+    incr i;
+    Ndn.Content_store.insert cs ~now:(float_of_int !i) data.(j) ();
+    ignore
+      (Ndn.Content_store.lookup cs ~now:(float_of_int !i) ~exact:true
+         names.((j + 512) land 1023))
+
+let bench_data =
+  lazy
+    (Array.map
+       (fun n -> Ndn.Data.create ~producer:"bench" ~key:"k" ~payload:"x" n)
+       names)
+
+let test_cs_trace_disabled =
+  let cs = Ndn.Content_store.create ~tracer:Sim.Trace.disabled ~capacity:512 () in
+  Test.make ~name:"trace/cs-ops-disabled"
+    (Staged.stage (cs_workload cs (Lazy.force bench_data)))
+
+let test_cs_trace_buffered =
+  let tracer = Sim.Trace.create () in
+  let cs = Ndn.Content_store.create ~tracer ~capacity:512 () in
+  let work = cs_workload cs (Lazy.force bench_data) in
+  let i = ref 0 in
+  Test.make ~name:"trace/cs-ops-buffered"
+    (Staged.stage (fun () ->
+         (* Bound the buffer so the benchmark measures emission, not
+            unbounded growth. *)
+         incr i;
+         if !i land 0xffff = 0 then Sim.Trace.clear tracer;
+         work ()))
+
+let test_cs_trace_null_sink =
+  let tracer = Sim.Trace.with_sink ignore in
+  let cs = Ndn.Content_store.create ~tracer ~capacity:512 () in
+  Test.make ~name:"trace/cs-ops-null-sink"
+    (Staged.stage (cs_workload cs (Lazy.force bench_data)))
+
+let test_trace_emit =
+  let tracer = Sim.Trace.with_sink ignore in
+  Test.make ~name:"trace/emit"
+    (Staged.stage (fun () ->
+         Sim.Trace.emit tracer
+           {
+             Sim.Trace.time = 1.25;
+             node = "R";
+             kind = Sim.Trace.Cs_hit;
+             name = "/bench/ns0/content/0";
+             attrs = [ ("policy", "lru") ];
+           }))
+
+let test_trace_jsonl =
+  let event =
+    {
+      Sim.Trace.time = 1.25;
+      node = "R";
+      kind = Sim.Trace.Cs_hit;
+      name = "/bench/ns0/content/0";
+      attrs = [ ("policy", "lru"); ("count", "3") ];
+    }
+  in
+  Test.make ~name:"trace/event_to_jsonl"
+    (Staged.stage (fun () -> Sim.Trace.event_to_jsonl event))
+
 let test_pit =
   let pit = Ndn.Pit.create () in
   let i = ref 0 in
@@ -109,6 +179,11 @@ let tests =
       test_name_prefix;
       test_trie_longest_prefix;
       test_cs_ops;
+      test_cs_trace_disabled;
+      test_cs_trace_buffered;
+      test_cs_trace_null_sink;
+      test_trace_emit;
+      test_trace_jsonl;
       test_pit;
       test_random_cache;
       test_hmac;

@@ -7,10 +7,15 @@
      dune exec bench/main.exe -- fig5 --full  # paper-scale trace (3.2M)
      dune exec bench/main.exe -- all --fast   # quick smoke pass
      dune exec bench/main.exe -- fig5 --jobs 4  # fan trials over 4 domains
+     dune exec bench/main.exe -- fig3 --trace fig3.jsonl  # export a trace
 
    --jobs N sets the Sim.Parallel domain-pool size (default: one per
    hardware thread).  Output is bit-identical for any N — trial RNGs
    are split before dispatch and results merge in trial order.
+
+   --trace FILE [--trace-format jsonl|csv] records the fig3 campaigns'
+   structured event traces (merged in run order, so also bit-identical
+   for any --jobs) to FILE.
 
    Experiment index (see DESIGN.md for the full mapping):
      fig3  - Figure 3(a-d): timing-attack RTT distributions
@@ -25,7 +30,7 @@
 let usage () =
   print_endline
     "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|micro]... \
-     [--fast|--full] [--jobs N]";
+     [--fast|--full] [--jobs N] [--trace FILE] [--trace-format jsonl|csv]";
   exit 1
 
 let () =
@@ -55,6 +60,35 @@ let () =
     grab [] args
   in
   let jobs = match jobs with Some j -> j | None -> Sim.Parallel.default_jobs () in
+  let trace_file, args =
+    let rec grab acc = function
+      | "--trace" :: file :: rest when file = "" || file.[0] <> '-' ->
+        (Some file, List.rev_append acc rest)
+      | "--trace" :: _ ->
+        prerr_endline "--trace expects a file name";
+        usage ()
+      | a :: rest -> grab (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    grab [] args
+  in
+  let trace_format, args =
+    let rec grab acc = function
+      | "--trace-format" :: f :: rest -> (
+        match Sim.Trace.format_of_string f with
+        | Some fmt -> (fmt, List.rev_append acc rest)
+        | None ->
+          prerr_endline "--trace-format expects jsonl or csv";
+          usage ())
+      | "--trace-format" :: [] ->
+        prerr_endline "--trace-format expects jsonl or csv";
+        usage ()
+      | a :: rest -> grab (a :: acc) rest
+      | [] -> (Sim.Trace.Jsonl, List.rev acc)
+    in
+    grab [] args
+  in
+  let trace = Option.map (fun file -> (file, trace_format)) trace_file in
   let selected =
     match List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args with
     | [] -> [ "all" ]
@@ -66,7 +100,7 @@ let () =
       if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "micro" ])
       then usage ())
     selected;
-  if want "fig3" then Bench_fig3.run ~scale ~jobs ();
+  if want "fig3" then Bench_fig3.run ~scale ~jobs ?trace ();
   if want "fig4" then Bench_fig4.run ();
   if want "fig5" then Bench_fig5.run ~scale:fig5_scale ~jobs ();
   if want "text" then Bench_text.run ~scale ();

@@ -36,10 +36,41 @@ let topology_arg =
         ~doc:"Measurement topology: $(b,lan), $(b,wan), $(b,producer) or $(b,local).")
 
 let make_setup_of_topology = function
-  | `Lan -> fun ~seed -> Ndn.Network.lan ~seed ()
-  | `Wan -> fun ~seed -> Ndn.Network.wan ~seed ()
-  | `Producer -> fun ~seed -> Ndn.Network.wan_producer ~seed ()
-  | `Local -> fun ~seed -> Ndn.Network.local_host ~seed ()
+  | `Lan -> fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ()
+  | `Wan -> fun ~seed ~tracer -> Ndn.Network.wan ~seed ~tracer ()
+  | `Producer -> fun ~seed ~tracer -> Ndn.Network.wan_producer ~seed ~tracer ()
+  | `Local -> fun ~seed ~tracer -> Ndn.Network.local_host ~seed ~tracer ()
+
+(* --- structured event tracing (--trace / --trace-format) --- *)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the structured simulation event trace (engine steps, \
+           Content-Store operations, packet hops, latency draws) to $(docv).")
+
+let trace_format_arg =
+  let parse s =
+    match Sim.Trace.format_of_string s with
+    | Some fmt -> Ok fmt
+    | None -> Error (`Msg (Printf.sprintf "unknown trace format %S" s))
+  in
+  let print ppf fmt = Format.pp_print_string ppf (Sim.Trace.format_to_string fmt) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Sim.Trace.Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Trace file format: $(b,jsonl) (default) or $(b,csv).")
+
+let write_trace ~file ~format tracer =
+  let oc = open_out file in
+  Sim.Trace.write format oc tracer;
+  close_out oc;
+  Format.printf "trace: %d events -> %s (%s)@." (Sim.Trace.length tracer) file
+    (Sim.Trace.format_to_string format)
 
 let countermeasure_arg =
   let parse s =
@@ -78,28 +109,33 @@ let countermeasure_arg =
            $(b,constant:GAMMA), $(b,dynamic), $(b,uniform:K:DELTA) or \
            $(b,expo:K:EPS:DELTA).")
 
-let attach_countermeasure router ~seed = function
+let attach_countermeasure ?tracer router ~seed = function
   | `None -> ()
   | `Delay policy ->
     ignore
-      (Core.Private_router.attach router ~rng:(Sim.Rng.create seed)
+      (Core.Private_router.attach ?tracer router ~rng:(Sim.Rng.create seed)
          (Core.Private_router.Delay_private policy))
   | `Random kdist ->
     ignore
-      (Core.Private_router.attach router ~rng:(Sim.Rng.create seed)
+      (Core.Private_router.attach ?tracer router ~rng:(Sim.Rng.create seed)
          (Core.Private_router.Random_cache_mimic
             { kdist; grouping = Core.Grouping.By_namespace 2 }))
 
 (* --- attack: the Figure 3 measurement campaign --- *)
 
 let attack_cmd =
-  let run topology contents runs seed =
+  let run topology contents runs seed jobs trace_file trace_format =
     let result =
       Attack.Timing_experiment.run
         ~make_setup:(make_setup_of_topology topology)
-        ~contents ~runs ~seed ()
+        ~contents ~runs ~seed ?jobs
+        ~trace:(trace_file <> None) ()
     in
-    Attack.Timing_experiment.pp_result Format.std_formatter result
+    Attack.Timing_experiment.pp_result Format.std_formatter result;
+    match trace_file with
+    | Some file ->
+      write_trace ~file ~format:trace_format result.Attack.Timing_experiment.trace
+    | None -> ()
   in
   let contents =
     Arg.(value & opt int 100 & info [ "contents" ] ~docv:"N" ~doc:"Contents per run.")
@@ -107,51 +143,87 @@ let attack_cmd =
   let runs =
     Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Independent runs (fresh caches).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Fan runs over $(docv) domains (default: one per hardware \
+             thread).  Results and traces are identical for any value.")
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Run the cache timing attack and report hit/miss RTT histograms.")
-    Term.(const run $ topology_arg $ contents $ runs $ seed_arg)
+    Term.(
+      const run $ topology_arg $ contents $ runs $ seed_arg $ jobs
+      $ trace_file_arg $ trace_format_arg)
 
 (* --- defend: attack vs countermeasure --- *)
 
 let defend_cmd =
-  let run topology cm contents runs seed =
+  let run topology cm contents runs seed jobs trace_file trace_format =
     let base_make = make_setup_of_topology topology in
     (* The defended variant marks all content producer-private so the
        countermeasure engages. *)
     let private_producer =
       { Ndn.Network.default_producer_config with producer_private = true }
     in
-    let producer_make ~seed =
+    let producer_make ~seed ~tracer =
       let setup =
         match topology with
-        | `Lan -> Ndn.Network.lan ~seed ~producer:private_producer ()
-        | `Wan -> Ndn.Network.wan ~seed ~producer:private_producer ()
-        | `Producer -> Ndn.Network.wan_producer ~seed ~producer:private_producer ()
-        | `Local -> Ndn.Network.local_host ~seed ~producer:private_producer ()
+        | `Lan -> Ndn.Network.lan ~seed ~tracer ~producer:private_producer ()
+        | `Wan -> Ndn.Network.wan ~seed ~tracer ~producer:private_producer ()
+        | `Producer ->
+          Ndn.Network.wan_producer ~seed ~tracer ~producer:private_producer ()
+        | `Local ->
+          Ndn.Network.local_host ~seed ~tracer ~producer:private_producer ()
       in
-      attach_countermeasure setup.Ndn.Network.router ~seed:(seed + 10_000) cm;
+      attach_countermeasure ~tracer setup.Ndn.Network.router
+        ~seed:(seed + 10_000) cm;
       setup
     in
+    let trace = trace_file <> None in
     let baseline =
-      Attack.Timing_experiment.run ~make_setup:base_make ~contents ~runs ~seed ()
+      Attack.Timing_experiment.run ~make_setup:base_make ~contents ~runs ~seed
+        ?jobs ~trace ()
     in
     let defended =
-      Attack.Timing_experiment.run ~make_setup:producer_make ~contents ~runs ~seed ()
+      Attack.Timing_experiment.run ~make_setup:producer_make ~contents ~runs
+        ~seed ?jobs ~trace ()
     in
     Format.printf "undefended distinguisher: %.2f%%@."
       (100. *. baseline.Attack.Timing_experiment.success_rate);
     Format.printf "defended distinguisher:   %.2f%%@."
-      (100. *. defended.Attack.Timing_experiment.success_rate)
+      (100. *. defended.Attack.Timing_experiment.success_rate);
+    match trace_file with
+    | Some file ->
+      (* Baseline campaign first, then the defended one. *)
+      let merged = Sim.Trace.create () in
+      Sim.Trace.merge_into ~into:merged baseline.Attack.Timing_experiment.trace;
+      Sim.Trace.merge_into ~into:merged defended.Attack.Timing_experiment.trace;
+      write_trace ~file ~format:trace_format merged
+    | None -> ()
   in
   let contents =
     Arg.(value & opt int 60 & info [ "contents" ] ~docv:"N" ~doc:"Contents per run.")
   in
   let runs = Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Runs.") in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Fan runs over $(docv) domains (default: one per hardware \
+             thread).  Results and traces are identical for any value.")
+  in
   Cmd.v
     (Cmd.info "defend"
        ~doc:"Measure distinguisher accuracy with and without a countermeasure.")
-    Term.(const run $ topology_arg $ countermeasure_arg $ contents $ runs $ seed_arg)
+    Term.(
+      const run $ topology_arg $ countermeasure_arg $ contents $ runs $ seed_arg
+      $ jobs $ trace_file_arg $ trace_format_arg)
 
 (* --- trace generation --- *)
 
@@ -361,8 +433,11 @@ let interact_cmd =
 (* --- probe: one-off interactive probing --- *)
 
 let probe_cmd =
-  let run topology warm target scope seed =
-    let setup = (make_setup_of_topology topology) ~seed in
+  let run topology warm target scope seed trace_file trace_format =
+    let tracer =
+      if trace_file <> None then Sim.Trace.create () else Sim.Trace.disabled
+    in
+    let setup = (make_setup_of_topology topology) ~seed ~tracer in
     List.iter
       (fun w ->
         ignore
@@ -371,12 +446,15 @@ let probe_cmd =
         Format.printf "warmed %s (via honest user U)@." w)
       warm;
     let name = Ndn.Name.of_string target in
-    match
-      Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.adversary
-        ?scope ~timeout_ms:1000. name
-    with
+    (match
+       Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.adversary
+         ?scope ~timeout_ms:1000. name
+     with
     | Some rtt -> Format.printf "probe %s -> %.3f ms@." target rtt
-    | None -> Format.printf "probe %s -> timeout@." target
+    | None -> Format.printf "probe %s -> timeout@." target);
+    match trace_file with
+    | Some file -> write_trace ~file ~format:trace_format tracer
+    | None -> ()
   in
   let warm =
     Arg.(
@@ -391,13 +469,19 @@ let probe_cmd =
   in
   Cmd.v
     (Cmd.info "probe" ~doc:"Issue a single adversarial probe in a chosen topology.")
-    Term.(const run $ topology_arg $ warm $ target $ scope $ seed_arg)
+    Term.(
+      const run $ topology_arg $ warm $ target $ scope $ seed_arg
+      $ trace_file_arg $ trace_format_arg)
 
 (* --- topo: run probes in a user-defined topology --- *)
 
 let topo_cmd =
-  let run file warm_node warm probe_node target scope seed =
-    match Ndn.Topology_spec.parse_file ~seed ~path:file () with
+  let run file warm_node warm probe_node target scope seed trace_file
+      trace_format =
+    let tracer =
+      if trace_file <> None then Sim.Trace.create () else Sim.Trace.disabled
+    in
+    match Ndn.Topology_spec.parse_file ~seed ~tracer ~path:file () with
     | Error msg ->
       Format.eprintf "%s@." msg;
       exit 1
@@ -430,6 +514,9 @@ let topo_cmd =
         with
         | Some rtt -> Format.printf "%s probes %s: %.3f ms@." probe_node t rtt
         | None -> Format.printf "%s probes %s: timeout@." probe_node t)
+      | None -> ());
+      (match trace_file with
+      | Some file -> write_trace ~file ~format:trace_format tracer
       | None -> ())
   in
   let file =
@@ -455,7 +542,9 @@ let topo_cmd =
   in
   Cmd.v
     (Cmd.info "topo" ~doc:"Run fetches and probes in a topology defined in a spec file.")
-    Term.(const run $ file $ warm_node $ warm $ probe_node $ target $ scope $ seed_arg)
+    Term.(
+      const run $ file $ warm_node $ warm $ probe_node $ target $ scope
+      $ seed_arg $ trace_file_arg $ trace_format_arg)
 
 let () =
   let doc = "NDN cache-privacy laboratory (ICDCS 2013 reproduction)" in

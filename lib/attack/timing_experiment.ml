@@ -5,15 +5,19 @@ type result = {
   miss_hist : Sim.Histogram.t;
   success_rate : float;
   timeouts : int;
+  trace : Sim.Trace.t;
 }
 
 (* One measurement run over a fresh setup = the paper's "every time
    starting with an empty cache for R".  Runs are mutually independent
    (run [r] is a pure function of [seed + r]), which is what lets
    [collect] fan them out over domains below. *)
-let collect_run ~make_setup ~contents ~seed run =
+let collect_run ~make_setup ~contents ~seed ~trace run =
   let hits = ref [] and misses = ref [] and timeouts = ref 0 in
-  let setup = make_setup ~seed:(seed + run) in
+  (* A per-run tracer keeps each domain writing to its own buffer; the
+     buffers are merged in run order afterwards. *)
+  let tracer = if trace then Sim.Trace.create () else Sim.Trace.disabled in
+  let setup = make_setup ~seed:(seed + run) ~tracer in
   for i = 0 to contents - 1 do
     let warm_name =
       Ndn.Name.of_string (Printf.sprintf "/prod/run%d/warm/%d" run i)
@@ -29,20 +33,29 @@ let collect_run ~make_setup ~contents ~seed run =
     | Some rtt -> misses := rtt :: !misses
     | None -> incr timeouts
   done;
-  (List.rev !hits, List.rev !misses, !timeouts)
+  (List.rev !hits, List.rev !misses, !timeouts, tracer)
 
-let collect ?jobs ~make_setup ~contents ~runs ~seed () =
-  (* Per-run sample lists are concatenated in run order, so the merged
-     arrays are byte-identical to a sequential (jobs = 1) campaign. *)
+let collect ?jobs ?(trace = false) ~make_setup ~contents ~runs ~seed () =
+  (* Per-run sample lists (and trace buffers) are concatenated in run
+     order, so the merged arrays — and the exported trace bytes — are
+     identical to a sequential (jobs = 1) campaign. *)
   let per_run =
-    Sim.Parallel.map ?jobs runs (collect_run ~make_setup ~contents ~seed)
+    Sim.Parallel.map ?jobs runs (collect_run ~make_setup ~contents ~seed ~trace)
   in
-  let hits = List.concat_map (fun (h, _, _) -> h) (Array.to_list per_run) in
-  let misses = List.concat_map (fun (_, m, _) -> m) (Array.to_list per_run) in
-  let timeouts = Array.fold_left (fun acc (_, _, t) -> acc + t) 0 per_run in
-  (Array.of_list hits, Array.of_list misses, timeouts)
+  let hits = List.concat_map (fun (h, _, _, _) -> h) (Array.to_list per_run) in
+  let misses = List.concat_map (fun (_, m, _, _) -> m) (Array.to_list per_run) in
+  let timeouts = Array.fold_left (fun acc (_, _, t, _) -> acc + t) 0 per_run in
+  let merged =
+    if trace then begin
+      let into = Sim.Trace.create () in
+      Array.iter (fun (_, _, _, tr) -> Sim.Trace.merge_into ~into tr) per_run;
+      into
+    end
+    else Sim.Trace.disabled
+  in
+  (Array.of_list hits, Array.of_list misses, timeouts, merged)
 
-let summarize ~bins (hit_samples, miss_samples, timeouts) =
+let summarize ~bins (hit_samples, miss_samples, timeouts, trace) =
   let lo =
     Float.min
       (Array.fold_left Float.min infinity hit_samples)
@@ -61,11 +74,11 @@ let summarize ~bins (hit_samples, miss_samples, timeouts) =
   let success_rate =
     Detector.success_rate ~hit_samples ~miss_samples ()
   in
-  { hit_samples; miss_samples; hit_hist; miss_hist; success_rate; timeouts }
+  { hit_samples; miss_samples; hit_hist; miss_hist; success_rate; timeouts; trace }
 
 let run ~make_setup ?(contents = 100) ?(runs = 10) ?(seed = 7) ?(bins = 40)
-    ?jobs () =
-  summarize ~bins (collect ?jobs ~make_setup ~contents ~runs ~seed ())
+    ?jobs ?trace () =
+  summarize ~bins (collect ?jobs ?trace ~make_setup ~contents ~runs ~seed ())
 
 let run_producer_privacy = run
 

@@ -12,15 +12,19 @@ type result = {
           number the paper reports (99.9% LAN, >99% WAN, 59%
           producer). *)
   timeouts : int;
+  trace : Sim.Trace.t;
+      (** Per-run traces merged in run order; {!Sim.Trace.disabled}
+          unless the campaign ran with [trace:true]. *)
 }
 
 val run :
-  make_setup:(seed:int -> Ndn.Network.probe_setup) ->
+  make_setup:(seed:int -> tracer:Sim.Trace.t -> Ndn.Network.probe_setup) ->
   ?contents:int ->
   ?runs:int ->
   ?seed:int ->
   ?bins:int ->
   ?jobs:int ->
+  ?trace:bool ->
   unit ->
   result
 (** Reproduce the paper's procedure: per run (fresh caches), the
@@ -31,15 +35,22 @@ val run :
 
     Runs execute on [jobs] domains via {!Sim.Parallel} — run [r] is a
     pure function of [seed + r] and per-run samples are concatenated in
-    run order, so the result is identical for any [jobs]. *)
+    run order, so the result is identical for any [jobs].
+
+    [make_setup] receives a per-run [tracer]: {!Sim.Trace.disabled}
+    unless [trace] (default [false]) is set, in which case each run
+    buffers its events privately and the buffers are merged in run
+    order into [result.trace] — rendering that trace yields the same
+    bytes for any [jobs]. *)
 
 val run_producer_privacy :
-  make_setup:(seed:int -> Ndn.Network.probe_setup) ->
+  make_setup:(seed:int -> tracer:Sim.Trace.t -> Ndn.Network.probe_setup) ->
   ?contents:int ->
   ?runs:int ->
   ?seed:int ->
   ?bins:int ->
   ?jobs:int ->
+  ?trace:bool ->
   unit ->
   result
 (** Variant for Figure 3(c): "hit" means {e some consumer} recently

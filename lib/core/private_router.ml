@@ -156,10 +156,15 @@ let forward_delay t ~now:_ (data : Ndn.Data.t) ~fetch_delay =
     pad
   | Delay_private _ | No_countermeasure | Random_cache_mimic _ -> 0.
 
-let attach node ~rng cm =
+let attach ?tracer node ~rng cm =
   let algorithm =
     match cm with
-    | Random_cache_mimic { kdist; _ } -> Some (Random_cache.create ~kdist ~rng ())
+    | Random_cache_mimic { kdist; _ } ->
+      let engine = Ndn.Node.engine node in
+      Some
+        (Random_cache.create ?tracer ~label:(Ndn.Node.label node)
+           ~clock:(fun () -> Sim.Engine.now engine)
+           ~kdist ~rng ())
     | No_countermeasure | Delay_private _ -> None
   in
   let t =

@@ -29,8 +29,12 @@ type stats = {
 
 type t
 
-val attach : Ndn.Node.t -> rng:Sim.Rng.t -> countermeasure -> t
+val attach :
+  ?tracer:Sim.Trace.t -> Ndn.Node.t -> rng:Sim.Rng.t -> countermeasure -> t
 (** Install the countermeasure on a node (replacing its strategy).
+    [tracer] (default {!Sim.Trace.disabled}) feeds the Algorithm 1
+    instance, which then emits [rc.draw]/[rc.fake_miss]/[rc.hit]
+    records labelled with the node and timestamped by its engine.
 
     Hidden hits mimic misses against {e every} observation channel:
     timing (artificial delay), and the scope=2 oracle — a scope-limited

@@ -2,11 +2,31 @@ type output = Hit | Miss
 
 type state = { k_c : int; mutable c_c : int }
 
-type t = { kdist : Kdist.t; rng : Sim.Rng.t; table : state Ndn.Name.Tbl.t }
+type t = {
+  kdist : Kdist.t;
+  rng : Sim.Rng.t;
+  table : state Ndn.Name.Tbl.t;
+  tracer : Sim.Trace.t;
+  label : string;
+  clock : unit -> float;
+}
 
-let create ~kdist ~rng () = { kdist; rng; table = Ndn.Name.Tbl.create 256 }
+let create ?(tracer = Sim.Trace.disabled) ?(label = "")
+    ?(clock = fun () -> 0.) ~kdist ~rng () =
+  { kdist; rng; table = Ndn.Name.Tbl.create 256; tracer; label; clock }
 
 let kdist t = t.kdist
+
+let trace t kind key attrs =
+  if Sim.Trace.enabled t.tracer then
+    Sim.Trace.emit t.tracer
+      {
+        Sim.Trace.time = t.clock ();
+        node = t.label;
+        kind;
+        name = Ndn.Name.to_string key;
+        attrs;
+      }
 
 let on_request t key =
   match Ndn.Name.Tbl.find_opt t.table key with
@@ -14,11 +34,21 @@ let on_request t key =
     (* Algorithm 1, lines 4-8. *)
     let k_c = Kdist.sample t.kdist t.rng in
     Ndn.Name.Tbl.replace t.table key { k_c; c_c = 0 };
+    trace t Sim.Trace.Rc_draw key [ ("k", string_of_int k_c) ];
     Miss
   | Some st ->
     (* Algorithm 1, lines 10-14. *)
     st.c_c <- st.c_c + 1;
-    if st.c_c <= st.k_c then Miss else Hit
+    if st.c_c <= st.k_c then begin
+      trace t Sim.Trace.Rc_fake_miss key
+        [ ("count", string_of_int st.c_c); ("k", string_of_int st.k_c) ];
+      Miss
+    end
+    else begin
+      trace t Sim.Trace.Rc_hit key
+        [ ("count", string_of_int st.c_c); ("k", string_of_int st.k_c) ];
+      Hit
+    end
 
 let request_count t key =
   match Ndn.Name.Tbl.find_opt t.table key with

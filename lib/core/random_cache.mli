@@ -11,7 +11,20 @@ type output = Hit | Miss
 
 type t
 
-val create : kdist:Kdist.t -> rng:Sim.Rng.t -> unit -> t
+val create :
+  ?tracer:Sim.Trace.t ->
+  ?label:string ->
+  ?clock:(unit -> float) ->
+  kdist:Kdist.t ->
+  rng:Sim.Rng.t ->
+  unit ->
+  t
+(** When [tracer] (default {!Sim.Trace.disabled}) is enabled,
+    {!on_request} emits [rc.draw] (fresh threshold, with its [k]),
+    [rc.fake_miss] (request disguised as a miss) and [rc.hit] records
+    tagged with [label] (typically the owning node) and timestamped by
+    [clock] (typically the simulation engine's clock; defaults to a
+    constant [0.]). *)
 
 val kdist : t -> Kdist.t
 

@@ -27,6 +27,8 @@ type 'meta t = {
   policy : Eviction.t;
   capacity : int; (* 0 = unbounded *)
   rng : Sim.Rng.t option;
+  tracer : Sim.Trace.t;
+  owner : string; (* label of the node this store belongs to *)
   table : 'meta node Name.Tbl.t;
   index : unit Name_trie.t; (* prefix index for NDN extension matching *)
   mutable head : 'meta node option;
@@ -47,7 +49,8 @@ type 'meta t = {
   mutable expirations : int;
 }
 
-let create ?(policy = Eviction.Lru) ?rng ~capacity () =
+let create ?(policy = Eviction.Lru) ?rng ?(tracer = Sim.Trace.disabled)
+    ?(owner = "") ~capacity () =
   (match (policy, rng) with
   | Eviction.Random_replacement, None ->
     invalid_arg "Content_store.create: random replacement needs an rng"
@@ -56,6 +59,8 @@ let create ?(policy = Eviction.Lru) ?rng ~capacity () =
     policy;
     capacity = (if capacity < 0 then 0 else capacity);
     rng;
+    tracer;
+    owner;
     table = Name.Tbl.create 256;
     index = Name_trie.create ();
     head = None;
@@ -72,6 +77,19 @@ let create ?(policy = Eviction.Lru) ?rng ~capacity () =
     evictions = 0;
     expirations = 0;
   }
+
+(* Every CS record carries the owning node's label and the eviction
+   policy, so a mixed-policy topology stays attributable in the trace. *)
+let trace t ~now kind name attrs =
+  if Sim.Trace.enabled t.tracer then
+    Sim.Trace.emit t.tracer
+      {
+        Sim.Trace.time = now;
+        node = t.owner;
+        kind;
+        name = Name.to_string name;
+        attrs = ("policy", Eviction.to_string t.policy) :: attrs;
+      }
 
 let size t = Name.Tbl.length t.table
 
@@ -166,12 +184,14 @@ let choose_victim t =
       let name = t.slots.(Sim.Rng.int rng t.slots_len) in
       Name.Tbl.find_opt t.table name
 
-let evict_one t =
+let evict_one t ~now =
   match choose_victim t with
   | None -> ()
   | Some node ->
     remove_node t node;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    trace t ~now Sim.Trace.Cs_evict node.entry.data.Data.name
+      [ ("size", string_of_int (Name.Tbl.length t.table)) ]
 
 (* --- public operations --- *)
 
@@ -183,7 +203,7 @@ let insert t ~now data meta =
   | None -> ());
   if t.capacity > 0 then
     while Name.Tbl.length t.table >= t.capacity do
-      evict_one t
+      evict_one t ~now
     done;
   let entry = { data; inserted_at = now; last_access = now; access_count = 0; meta } in
   let node = { entry; prev = None; next = None } in
@@ -195,7 +215,9 @@ let insert t ~now data meta =
     t.lfu_seq <- t.lfu_seq + 1
   end;
   if t.policy = Eviction.Random_replacement then slots_add t name;
-  t.insertions <- t.insertions + 1
+  t.insertions <- t.insertions + 1;
+  trace t ~now Sim.Trace.Cs_insert name
+    [ ("size", string_of_int (Name.Tbl.length t.table)) ]
 
 let expire_if_stale t ~now node =
   let e = node.entry in
@@ -203,6 +225,8 @@ let expire_if_stale t ~now node =
   else begin
     remove_node t node;
     t.expirations <- t.expirations + 1;
+    trace t ~now Sim.Trace.Cs_expire e.data.Data.name
+      [ ("age_ms", Printf.sprintf "%.6f" (now -. e.inserted_at)) ];
     true
   end
 
@@ -240,12 +264,15 @@ let lookup t ~now ?(exact = false) name =
     match find_matching_node t ~exact name with
     | None ->
       t.misses <- t.misses + 1;
+      trace t ~now Sim.Trace.Cs_miss name [];
       None
     | Some node ->
       if expire_if_stale t ~now node then attempt ()
       else begin
         touch t ~now node;
         t.hits <- t.hits + 1;
+        trace t ~now Sim.Trace.Cs_hit node.entry.data.Data.name
+          [ ("count", string_of_int node.entry.access_count) ];
         Some node.entry
       end
   in

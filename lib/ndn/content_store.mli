@@ -19,12 +19,17 @@ type 'meta t
 val create :
   ?policy:Eviction.t ->
   ?rng:Sim.Rng.t ->
+  ?tracer:Sim.Trace.t ->
+  ?owner:string ->
   capacity:int ->
   unit ->
   'meta t
 (** [capacity <= 0] means unbounded (the paper's "Inf" baseline).
     [policy] defaults to {!Eviction.Lru}.  [rng] is required only for
-    {!Eviction.Random_replacement}.
+    {!Eviction.Random_replacement}.  When [tracer] (default
+    {!Sim.Trace.disabled}) is enabled, the store emits [cs.hit],
+    [cs.miss], [cs.insert], [cs.evict] and [cs.expire] records tagged
+    with [owner] (the node label) and the eviction-policy name.
     @raise Invalid_argument if random replacement is requested without
     an [rng]. *)
 

@@ -1,34 +1,63 @@
-type t = { engine : Sim.Engine.t; rng : Sim.Rng.t }
+type t = { engine : Sim.Engine.t; rng : Sim.Rng.t; tracer : Sim.Trace.t }
 
-let create ?(seed = 42) () =
-  { engine = Sim.Engine.create (); rng = Sim.Rng.create seed }
+let create ?(seed = 42) ?(tracer = Sim.Trace.disabled) () =
+  { engine = Sim.Engine.create ~tracer (); rng = Sim.Rng.create seed; tracer }
 
 let engine t = t.engine
 let rng t = t.rng
+let tracer t = t.tracer
 let now t = Sim.Engine.now t.engine
 
 let add_node t ?(cs_capacity = 0) ?cs_policy ?forwarding_delay ?honor_scope
     ?caching label =
-  Node.create t.engine ~rng:(Sim.Rng.split t.rng) ~label ~cs_capacity ?cs_policy
-    ?forwarding_delay ?honor_scope ?caching ()
+  Node.create t.engine ~rng:(Sim.Rng.split t.rng) ~label ~tracer:t.tracer
+    ~cs_capacity ?cs_policy ?forwarding_delay ?honor_scope ?caching ()
 
 let connect t ?(loss = 0.) ?latency_ba ~latency a b =
   let lat_ab = latency in
   let lat_ba = Option.value latency_ba ~default:latency in
   let face_b = ref (-1) in
-  let deliver node face_ref lat pkt =
-    (* Sample loss, then latency, in a fixed order for determinism. *)
+  let deliver ~src node face_ref lat pkt =
+    (* Sample loss, then latency, in a fixed order for determinism.
+       Both draws happen whether or not tracing is on, so enabling a
+       tracer never perturbs the RNG stream. *)
     let lost = loss > 0. && Sim.Rng.bernoulli t.rng loss in
     let d = Sim.Latency.sample lat t.rng in
+    if Sim.Trace.enabled t.tracer then begin
+      let pkt_type, name =
+        match pkt with
+        | Packet.Interest i -> ("interest", i.Interest.name)
+        | Packet.Data data -> ("data", data.Data.name)
+      in
+      Sim.Trace.emit t.tracer
+        {
+          Sim.Trace.time = Sim.Engine.now t.engine;
+          node = src;
+          kind = (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
+          name = Name.to_string name;
+          attrs =
+            [
+              ("dst", Node.label node);
+              ("pkt", pkt_type);
+              ("delay_ms", Printf.sprintf "%.6f" d);
+            ];
+        }
+    end;
     if not lost then
       ignore
         (Sim.Engine.schedule t.engine ~delay:d (fun () ->
              Node.receive node ~face:!face_ref pkt))
   in
   let face_a_ref = ref (-1) in
-  let face_a = Node.add_wire_face a (fun pkt -> deliver b face_b lat_ab pkt) in
+  let face_a =
+    Node.add_wire_face a (fun pkt ->
+        deliver ~src:(Node.label a) b face_b lat_ab pkt)
+  in
   face_a_ref := face_a;
-  let fb = Node.add_wire_face b (fun pkt -> deliver a face_a_ref lat_ba pkt) in
+  let fb =
+    Node.add_wire_face b (fun pkt ->
+        deliver ~src:(Node.label b) a face_a_ref lat_ba pkt)
+  in
   face_b := fb;
   (face_a, fb)
 
@@ -100,8 +129,8 @@ let install_producer ~config ~prefix ~key node =
 let ccnd_processing = Sim.Latency.Normal { mean = 0.55; stddev = 0.12; min = 0.15 }
 let lan_ccnd_processing = Sim.Latency.Normal { mean = 0.9; stddev = 0.18; min = 0.3 }
 
-let lan ?(seed = 42) ?(producer = default_producer_config) () =
-  let net = create ~seed () in
+let lan ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
+  let net = create ~seed ?tracer () in
   let user = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "U" in
   let adversary =
     add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "Adv"
@@ -144,8 +173,8 @@ let attach_via_hops net ~hop_latency ~hops ~prefix consumer router =
   in
   build consumer (hops - 1)
 
-let wan ?(seed = 42) ?(producer = default_producer_config) () =
-  let net = create ~seed () in
+let wan ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
+  let net = create ~seed ?tracer () in
   let user = add_node net ~forwarding_delay:ccnd_processing ~caching:false "U" in
   let adversary =
     add_node net ~forwarding_delay:ccnd_processing ~caching:false "Adv"
@@ -163,8 +192,8 @@ let wan ?(seed = 42) ?(producer = default_producer_config) () =
   attach_via_hops net ~hop_latency:hop ~hops:3 ~prefix router producer_host;
   { net; user; adversary; router; producer_host; prefix; producer_key }
 
-let wan_producer ?(seed = 42) ?(producer = default_producer_config) () =
-  let net = create ~seed () in
+let wan_producer ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
+  let net = create ~seed ?tracer () in
   let user = add_node net ~forwarding_delay:ccnd_processing ~caching:false "U" in
   let adversary =
     add_node net ~forwarding_delay:ccnd_processing ~caching:false "Adv"
@@ -188,8 +217,8 @@ let wan_producer ?(seed = 42) ?(producer = default_producer_config) () =
   route net router ~prefix ~via:r_p;
   { net; user; adversary; router; producer_host; prefix; producer_key }
 
-let local_host ?(seed = 42) ?(producer = default_producer_config) () =
-  let net = create ~seed () in
+let local_host ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
+  let net = create ~seed ?tracer () in
   (* One host runs both honest and malicious applications; its own
      forwarder's Content Store is the probed cache. *)
   let host =
@@ -225,8 +254,8 @@ type conversation_setup = {
   bob_key : string;
 }
 
-let conversation ?(seed = 42) () =
-  let net = create ~seed () in
+let conversation ?(seed = 42) ?tracer () =
+  let net = create ~seed ?tracer () in
   let alice = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "alice" in
   let bob = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "bob" in
   let eavesdropper =
@@ -273,8 +302,8 @@ type edge_core_setup = {
   ec_producer_key : string;
 }
 
-let edge_core ?(seed = 42) ?(producer = default_producer_config) () =
-  let net = create ~seed () in
+let edge_core ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
+  let net = create ~seed ?tracer () in
   let victim = add_node net ~forwarding_delay:ccnd_processing ~caching:false "victim" in
   let local_adversary =
     add_node net ~forwarding_delay:ccnd_processing ~caching:false "adv"

@@ -8,13 +8,20 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?tracer:Sim.Trace.t -> unit -> t
 (** Fresh network with its own engine and a deterministic RNG
-    ([seed] defaults to 42). *)
+    ([seed] defaults to 42).  [tracer] (default {!Sim.Trace.disabled})
+    is shared by the engine, every node created via {!add_node} and the
+    links built by {!connect}: enabling it makes the whole stack emit —
+    engine dispatch, CS operations, interest/data hops and per-link
+    latency draws ([link.tx] records carry the sampled [delay_ms]). *)
 
 val engine : t -> Sim.Engine.t
 
 val rng : t -> Sim.Rng.t
+
+val tracer : t -> Sim.Trace.t
+(** The tracer passed at creation ({!Sim.Trace.disabled} by default). *)
 
 val now : t -> float
 
@@ -82,19 +89,27 @@ type producer_config = {
 
 val default_producer_config : producer_config
 
-val lan : ?seed:int -> ?producer:producer_config -> unit -> probe_setup
+val lan :
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
+  probe_setup
 (** Figure 3(a): U and Adv on Fast Ethernet to R; P behind R. *)
 
-val wan : ?seed:int -> ?producer:producer_config -> unit -> probe_setup
+val wan :
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
+  probe_setup
 (** Figure 3(b): U and Adv several (2) hops from the shared R; P three
     hops from R.  Intermediate hops are caching NDN routers. *)
 
-val wan_producer : ?seed:int -> ?producer:producer_config -> unit -> probe_setup
+val wan_producer :
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
+  probe_setup
 (** Figure 3(c): P directly connected to R; U and Adv three long-haul
     hops away — the producer-privacy setting where hit and miss
     distributions overlap heavily. *)
 
-val local_host : ?seed:int -> ?producer:producer_config -> unit -> probe_setup
+val local_host :
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
+  probe_setup
 (** Figure 3(d): honest applications and a malicious application share
     one host's forwarder; [user == adversary] is the host node and
     [router] is that same host (its local Content Store is the probed
@@ -119,7 +134,7 @@ type conversation_setup = {
   bob_key : string;
 }
 
-val conversation : ?seed:int -> unit -> conversation_setup
+val conversation : ?seed:int -> ?tracer:Sim.Trace.t -> unit -> conversation_setup
 (** Alice, Bob and the adversary all attached to one router over
     Fast Ethernet; routes installed for both parties' prefixes.  No
     producers are registered — callers attach session endpoints (see
@@ -145,7 +160,9 @@ type edge_core_setup = {
   ec_producer_key : string;
 }
 
-val edge_core : ?seed:int -> ?producer:producer_config -> unit -> edge_core_setup
+val edge_core :
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
+  edge_core_setup
 (** victim, adversary — edge1 — core — P; remote consumer — edge2 —
     core.  The core-to-producer link is slow (tens of ms), so core
     caching matters to remote consumers — which is exactly what an

@@ -56,6 +56,7 @@ type t = {
   label : string;
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
+  tracer : Sim.Trace.t;
   cs : unit Content_store.t;
   pit : Pit.t;
   fib : Fib.t;
@@ -70,9 +71,10 @@ type t = {
   c : mutable_counters;
 }
 
-let create engine ~rng ~label ?(cs_capacity = 0) ?(cs_policy = Eviction.Lru)
-    ?(pit_lifetime_ms = 4000.) ?(forwarding_delay = Sim.Latency.Constant 0.02)
-    ?(honor_scope = true) ?(caching = true) () =
+let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
+    ?(cs_capacity = 0) ?(cs_policy = Eviction.Lru) ?(pit_lifetime_ms = 4000.)
+    ?(forwarding_delay = Sim.Latency.Constant 0.02) ?(honor_scope = true)
+    ?(caching = true) () =
   let cs_rng =
     match cs_policy with Eviction.Random_replacement -> Some (Sim.Rng.split rng) | _ -> None
   in
@@ -80,7 +82,10 @@ let create engine ~rng ~label ?(cs_capacity = 0) ?(cs_policy = Eviction.Lru)
     label;
     engine;
     rng;
-    cs = Content_store.create ~policy:cs_policy ?rng:cs_rng ~capacity:cs_capacity ();
+    tracer;
+    cs =
+      Content_store.create ~policy:cs_policy ?rng:cs_rng ~tracer ~owner:label
+        ~capacity:cs_capacity ();
     pit = Pit.create ~lifetime_ms:pit_lifetime_ms ();
     fib = Fib.create ();
     pit_lifetime_ms;
@@ -105,6 +110,17 @@ let create engine ~rng ~label ?(cs_capacity = 0) ?(cs_policy = Eviction.Lru)
         unsolicited_data = 0;
       };
   }
+
+let trace t kind name attrs =
+  if Sim.Trace.enabled t.tracer then
+    Sim.Trace.emit t.tracer
+      {
+        Sim.Trace.time = Sim.Engine.now t.engine;
+        node = t.label;
+        kind;
+        name = Name.to_string name;
+        attrs;
+      }
 
 let label t = t.label
 let engine t = t.engine
@@ -155,11 +171,14 @@ let send_data t ~face data =
     match t.faces.(face) with
     | Wire send ->
       t.c.data_sent <- t.c.data_sent + 1;
+      trace t Sim.Trace.Data_sent data.Data.name
+        [ ("face", string_of_int face) ];
       ignore
         (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
              send (Packet.Data data)))
     | Local_app ->
       t.c.data_sent <- t.c.data_sent + 1;
+      trace t Sim.Trace.Data_sent data.Data.name [ ("face", "local") ];
       ignore
         (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
              dispatch_local t data))
@@ -179,12 +198,16 @@ let rec send_interest_on_face t ~face interest =
       false
     | Some interest ->
       t.c.interests_forwarded <- t.c.interests_forwarded + 1;
+      trace t Sim.Trace.Interest_forwarded interest.Interest.name
+        [ ("face", string_of_int face) ];
       ignore
         (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
              send (Packet.Interest interest)));
       true)
   | Producer_app { handler; delay } -> (
     t.c.interests_forwarded <- t.c.interests_forwarded + 1;
+    trace t Sim.Trace.Interest_forwarded interest.Interest.name
+      [ ("face", string_of_int face); ("producer", "true") ];
     match handler interest with
     | None -> false
     | Some data ->
@@ -203,6 +226,8 @@ let rec send_interest_on_face t ~face interest =
 and handle_data_internal t ~face data =
   let now = Sim.Engine.now t.engine in
   t.c.data_received <- t.c.data_received + 1;
+  trace t Sim.Trace.Data_received data.Data.name
+    [ ("face", string_of_int face) ];
   let faces, created = Pit.satisfy_timed t.pit data.Data.name in
   if faces = [] then t.c.unsolicited_data <- t.c.unsolicited_data + 1
   else begin
@@ -225,12 +250,15 @@ let forward_as_miss t ~face interest =
   let name = interest.Interest.name in
   match Pit.insert t.pit ~now ~face ~nonce:interest.Interest.nonce name with
   | Pit.Duplicate -> ()
-  | Pit.Collapsed -> t.c.interests_collapsed <- t.c.interests_collapsed + 1
+  | Pit.Collapsed ->
+    t.c.interests_collapsed <- t.c.interests_collapsed + 1;
+    trace t Sim.Trace.Interest_collapsed name [ ("face", string_of_int face) ]
   | Pit.Forward -> (
     (* Arm a sweep so abandoned entries do not linger forever. *)
     ignore
       (Sim.Engine.schedule t.engine ~delay:(t.pit_lifetime_ms +. 1.) (fun () ->
-           ignore (Pit.expire t.pit ~now:(Sim.Engine.now t.engine))));
+           let dropped = Pit.expire t.pit ~now:(Sim.Engine.now t.engine) in
+           List.iter (fun n -> trace t Sim.Trace.Pit_timeout n []) dropped));
     let hops = Fib.next_hops t.fib name in
     let usable = List.filter (fun f -> f <> face) hops in
     match usable with
@@ -240,6 +268,8 @@ let forward_as_miss t ~face interest =
 let handle_interest t ~face interest =
   let now = Sim.Engine.now t.engine in
   t.c.interests_received <- t.c.interests_received + 1;
+  trace t Sim.Trace.Interest_received interest.Interest.name
+    [ ("face", string_of_int face) ];
   match Content_store.lookup t.cs ~now interest.Interest.name with
   | Some entry -> (
     match t.strat.on_cache_hit ~now interest entry.Content_store.data with

@@ -48,6 +48,7 @@ val create :
   Sim.Engine.t ->
   rng:Sim.Rng.t ->
   label:string ->
+  ?tracer:Sim.Trace.t ->
   ?cs_capacity:int ->
   ?cs_policy:Eviction.t ->
   ?pit_lifetime_ms:float ->
@@ -56,7 +57,11 @@ val create :
   ?caching:bool ->
   unit ->
   t
-(** [cs_capacity] defaults to unbounded; [forwarding_delay] (default a
+(** [tracer] (default {!Sim.Trace.disabled}): when enabled the node
+    emits [interest.recv]/[interest.fwd]/[interest.collapsed],
+    [data.recv]/[data.sent] and [pit.timeout] records tagged with
+    [label], and its Content Store emits the [cs.*] family.
+    [cs_capacity] defaults to unbounded; [forwarding_delay] (default a
     small constant) models per-packet processing; [honor_scope]
     (default [true]) — routers "are allowed to disregard this field"
     (Section III), so it is switchable.  [caching] (default [true]):

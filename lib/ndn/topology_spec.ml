@@ -2,6 +2,55 @@ type t = { network : Network.t; nodes : (string * Node.t) list }
 
 let node t name = List.assoc name t.nodes
 
+(* --- AST ---
+
+   Parsing and building are separate passes: a spec is first read into
+   directives (with defaults resolved, so printing is canonical), then
+   [build] turns directives into a live network.  Each directive keeps
+   its source line so semantic errors still point into the file. *)
+
+type node_decl = {
+  node_name : string;
+  cs_capacity : int;
+  cs_policy : Eviction.t;
+  forwarding_delay : Sim.Latency.t;
+  honor_scope : bool;
+  caching : bool;
+}
+
+type link_decl = {
+  link_a : string;
+  link_b : string;
+  latency : Sim.Latency.t;
+  latency_back : Sim.Latency.t option;
+  loss : float;
+}
+
+type route_decl = {
+  route_node : string;
+  route_prefix : string;
+  route_via : string;
+}
+
+type producer_decl = {
+  producer_node : string;
+  producer_prefix : string;
+  producer_key : string;
+  payload_size : int;
+  producer_private : bool;
+  production_delay_ms : float;
+}
+
+type directive =
+  | Node_decl of node_decl
+  | Link_decl of link_decl
+  | Route_decl of route_decl
+  | Producer_decl of producer_decl
+
+type spec = (int * directive) list
+
+let directives spec = List.map snd spec
+
 (* --- small parsing helpers --- *)
 
 let ( let* ) = Result.bind
@@ -40,7 +89,12 @@ let rec parse_latency_term s =
     let* shift = float_field "shifted_exp shift" shift in
     let* rate = float_field "shifted_exp rate" rate in
     Ok (Sim.Latency.Shifted_exponential { shift; rate })
-  | _ -> Error (Printf.sprintf "unknown latency model %S" s)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown latency model %S (expected const:MS, uniform:LO:HI, \
+          normal:MEAN:SD:MIN, shifted_exp:SHIFT:RATE, or a +-joined sum)"
+         s)
 
 and parse_latency s =
   match String.split_on_char '+' s with
@@ -56,8 +110,9 @@ and parse_latency s =
     in
     Ok (Sim.Latency.Sum (List.rev terms))
 
-(* key=value attribute lists *)
-let parse_attrs tokens =
+(* key=value attribute lists, validated against the directive's schema
+   so a typo'd key is reported rather than silently ignored *)
+let parse_attrs ~directive ~allowed tokens =
   List.fold_left
     (fun acc token ->
       let* acc = acc in
@@ -65,29 +120,37 @@ let parse_attrs tokens =
       | Some i ->
         let key = String.sub token 0 i in
         let value = String.sub token (i + 1) (String.length token - i - 1) in
-        Ok ((key, value) :: acc)
-      | None -> Error (Printf.sprintf "expected key=value, got %S" token))
+        if List.mem key allowed then Ok ((key, value) :: acc)
+        else
+          Error
+            (Printf.sprintf "%s: unknown attribute %S (allowed: %s)" directive
+               key
+               (String.concat ", " allowed))
+      | None ->
+        Error
+          (Printf.sprintf "%s: expected key=value, got %S" directive token))
     (Ok []) tokens
 
 let attr attrs key = List.assoc_opt key attrs
 
-(* --- directive state --- *)
+let is_attr token = String.contains token '='
 
-type builder = {
-  net : Network.t;
-  mutable decls : (string * Node.t) list;
-  (* (a, b) -> face id on a toward b *)
-  faces : (string * string, int) Hashtbl.t;
-}
+(* --- directive parsers --- *)
 
-let find_node b name =
-  match List.assoc_opt name b.decls with
-  | Some node -> Ok node
-  | None -> Error (Printf.sprintf "undeclared node %S" name)
-
-let handle_node b name attrs =
-  if List.mem_assoc name b.decls then Error (Printf.sprintf "duplicate node %S" name)
-  else begin
+let parse_node_decl tokens =
+  match tokens with
+  | [] ->
+    Error "node: expected a node name, as in 'node R cs=10000 policy=lru'"
+  | name :: _ when is_attr name ->
+    Error
+      (Printf.sprintf
+         "node: expected a node name before attributes, got %S" name)
+  | name :: attrs ->
+    let* attrs =
+      parse_attrs ~directive:"node"
+        ~allowed:[ "cs"; "policy"; "proc"; "honor_scope"; "caching" ]
+        attrs
+    in
     let* cs_capacity =
       match attr attrs "cs" with Some v -> int_field "cs" v | None -> Ok 0
     in
@@ -114,129 +177,293 @@ let handle_node b name attrs =
       | Some v -> bool_field "caching" v
       | None -> Ok true
     in
-    let node =
-      Network.add_node b.net ~cs_capacity ~cs_policy ~forwarding_delay
-        ~honor_scope ~caching name
+    Ok
+      (Node_decl
+         { node_name = name; cs_capacity; cs_policy; forwarding_delay;
+           honor_scope; caching })
+
+let parse_link_decl tokens =
+  match tokens with
+  | [] | [ _ ] ->
+    Error
+      "link: expected two endpoint names, as in 'link U R latency=const:1'"
+  | a :: b :: _ when is_attr a || is_attr b ->
+    Error "link: expected two endpoint names before attributes"
+  | a :: b :: attrs ->
+    let* attrs =
+      parse_attrs ~directive:"link"
+        ~allowed:[ "latency"; "latency_back"; "loss" ]
+        attrs
     in
-    b.decls <- b.decls @ [ (name, node) ];
-    Ok ()
-  end
+    let* latency =
+      match attr attrs "latency" with
+      | Some v -> parse_latency v
+      | None -> Ok (Sim.Latency.Constant 1.)
+    in
+    let* latency_back =
+      match attr attrs "latency_back" with
+      | Some v ->
+        let* l = parse_latency v in
+        Ok (Some l)
+      | None -> Ok None
+    in
+    let* loss =
+      match attr attrs "loss" with
+      | Some v -> float_field "loss" v
+      | None -> Ok 0.
+    in
+    Ok (Link_decl { link_a = a; link_b = b; latency; latency_back; loss })
 
-let handle_link b a_name b_name attrs =
-  let* a = find_node b a_name in
-  let* bn = find_node b b_name in
-  let* latency =
-    match attr attrs "latency" with
-    | Some v -> parse_latency v
-    | None -> Ok (Sim.Latency.Constant 1.)
+let parse_route_decl tokens =
+  match tokens with
+  | [ node; prefix; "via"; via ] ->
+    Ok (Route_decl { route_node = node; route_prefix = prefix; route_via = via })
+  | _ ->
+    Error
+      "route: expected 'route NODE PREFIX via NEIGHBOUR', as in \
+       'route U /prod via R'"
+
+let parse_producer_decl tokens =
+  match tokens with
+  | [] | [ _ ] ->
+    Error
+      "producer: expected 'producer NODE PREFIX [key=K payload=N \
+       private=BOOL delay=MS]'"
+  | node :: prefix :: _ when is_attr node || is_attr prefix ->
+    Error "producer: expected a node name and a prefix before attributes"
+  | node :: prefix :: attrs ->
+    let* attrs =
+      parse_attrs ~directive:"producer"
+        ~allowed:[ "key"; "payload"; "private"; "delay" ]
+        attrs
+    in
+    let producer_key =
+      match attr attrs "key" with Some k -> k | None -> node ^ "-key"
+    in
+    let* payload_size =
+      match attr attrs "payload" with
+      | Some v -> int_field "payload" v
+      | None -> Ok 1024
+    in
+    let* producer_private =
+      match attr attrs "private" with
+      | Some v -> bool_field "private" v
+      | None -> Ok false
+    in
+    let* production_delay_ms =
+      match attr attrs "delay" with
+      | Some v -> float_field "delay" v
+      | None -> Ok 0.4
+    in
+    Ok
+      (Producer_decl
+         { producer_node = node; producer_prefix = prefix; producer_key;
+           payload_size; producer_private; production_delay_ms })
+
+let parse_directive tokens =
+  match tokens with
+  | "node" :: rest -> parse_node_decl rest
+  | "link" :: rest -> parse_link_decl rest
+  | "route" :: rest -> parse_route_decl rest
+  | "producer" :: rest -> parse_producer_decl rest
+  | directive :: _ ->
+    Error
+      (Printf.sprintf
+         "unknown directive %S (expected node, link, route or producer)"
+         directive)
+  | [] -> assert false
+
+let parse_spec text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let tokens =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun tok -> tok <> "")
+      in
+      match tokens with
+      | [] -> go (lineno + 1) acc rest
+      | comment :: _ when String.length comment > 0 && comment.[0] = '#' ->
+        go (lineno + 1) acc rest
+      | tokens -> (
+        match parse_directive tokens with
+        | Ok d -> go (lineno + 1) ((lineno, d) :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)))
   in
-  let* latency_ba =
-    match attr attrs "latency_back" with
-    | Some v ->
-      let* l = parse_latency v in
-      Ok (Some l)
-    | None -> Ok None
-  in
-  let* loss =
-    match attr attrs "loss" with Some v -> float_field "loss" v | None -> Ok 0.
-  in
-  if Hashtbl.mem b.faces (a_name, b_name) then
-    Error (Printf.sprintf "duplicate link %s-%s" a_name b_name)
+  go 1 [] lines
+
+(* --- printing ---
+
+   The canonical form: one directive per line, every attribute written
+   out explicitly (defaults resolved), floats rendered with just enough
+   digits to parse back to the identical value.  [parse_spec] of the
+   output yields the same directives, so print/parse is a fixpoint. *)
+
+let float_str f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec latency_terms = function
+  | Sim.Latency.Sum ts -> List.concat_map latency_terms ts
+  | t -> [ t ]
+
+let print_latency_term = function
+  | Sim.Latency.Constant ms -> "const:" ^ float_str ms
+  | Sim.Latency.Uniform { lo; hi } ->
+    Printf.sprintf "uniform:%s:%s" (float_str lo) (float_str hi)
+  | Sim.Latency.Normal { mean; stddev; min } ->
+    Printf.sprintf "normal:%s:%s:%s" (float_str mean) (float_str stddev)
+      (float_str min)
+  | Sim.Latency.Shifted_exponential { shift; rate } ->
+    Printf.sprintf "shifted_exp:%s:%s" (float_str shift) (float_str rate)
+  | Sim.Latency.Sum _ -> assert false (* flattened by latency_terms *)
+
+let print_latency l =
+  match latency_terms l with
+  | [] -> "const:0"
+  | terms -> String.concat "+" (List.map print_latency_term terms)
+
+let print_directive = function
+  | Node_decl d ->
+    Printf.sprintf "node %s cs=%d policy=%s proc=%s honor_scope=%b caching=%b"
+      d.node_name d.cs_capacity
+      (Eviction.to_string d.cs_policy)
+      (print_latency d.forwarding_delay)
+      d.honor_scope d.caching
+  | Link_decl d ->
+    let back =
+      match d.latency_back with
+      | Some l -> Printf.sprintf " latency_back=%s" (print_latency l)
+      | None -> ""
+    in
+    Printf.sprintf "link %s %s latency=%s%s loss=%s" d.link_a d.link_b
+      (print_latency d.latency) back (float_str d.loss)
+  | Route_decl d ->
+    Printf.sprintf "route %s %s via %s" d.route_node d.route_prefix d.route_via
+  | Producer_decl d ->
+    Printf.sprintf "producer %s %s key=%s payload=%d private=%b delay=%s"
+      d.producer_node d.producer_prefix d.producer_key d.payload_size
+      d.producer_private
+      (float_str d.production_delay_ms)
+
+let print spec =
+  String.concat "" (List.map (fun (_, d) -> print_directive d ^ "\n") spec)
+
+(* --- building --- *)
+
+type builder = {
+  net : Network.t;
+  mutable decls : (string * Node.t) list;
+  (* (a, b) -> face id on a toward b *)
+  faces : (string * string, int) Hashtbl.t;
+}
+
+let find_node b name =
+  match List.assoc_opt name b.decls with
+  | Some node -> Ok node
+  | None ->
+    Error
+      (Printf.sprintf "undeclared node %S (node lines must come first)" name)
+
+let build_node b (d : node_decl) =
+  if List.mem_assoc d.node_name b.decls then
+    Error (Printf.sprintf "duplicate node %S" d.node_name)
   else begin
-    let fa, fb = Network.connect b.net ~loss ?latency_ba ~latency a bn in
-    Hashtbl.replace b.faces (a_name, b_name) fa;
-    Hashtbl.replace b.faces (b_name, a_name) fb;
+    let node =
+      Network.add_node b.net ~cs_capacity:d.cs_capacity ~cs_policy:d.cs_policy
+        ~forwarding_delay:d.forwarding_delay ~honor_scope:d.honor_scope
+        ~caching:d.caching d.node_name
+    in
+    b.decls <- b.decls @ [ (d.node_name, node) ];
     Ok ()
   end
 
-let handle_route b node_name prefix via_name =
-  let* node = find_node b node_name in
-  let* _ = find_node b via_name in
-  match Hashtbl.find_opt b.faces (node_name, via_name) with
+let build_link b (d : link_decl) =
+  let* a = find_node b d.link_a in
+  let* bn = find_node b d.link_b in
+  if Hashtbl.mem b.faces (d.link_a, d.link_b) then
+    Error (Printf.sprintf "duplicate link %s-%s" d.link_a d.link_b)
+  else begin
+    let fa, fb =
+      Network.connect b.net ~loss:d.loss ?latency_ba:d.latency_back
+        ~latency:d.latency a bn
+    in
+    Hashtbl.replace b.faces (d.link_a, d.link_b) fa;
+    Hashtbl.replace b.faces (d.link_b, d.link_a) fb;
+    Ok ()
+  end
+
+let build_route b (d : route_decl) =
+  let* node = find_node b d.route_node in
+  let* _ = find_node b d.route_via in
+  match Hashtbl.find_opt b.faces (d.route_node, d.route_via) with
   | Some face ->
-    Network.route b.net node ~prefix:(Name.of_string prefix) ~via:face;
+    Network.route b.net node ~prefix:(Name.of_string d.route_prefix) ~via:face;
     Ok ()
   | None ->
-    Error (Printf.sprintf "route %s via %s: no such link" node_name via_name)
+    Error
+      (Printf.sprintf "route %s via %s: no such link (declare it with 'link')"
+         d.route_node d.route_via)
 
-let handle_producer b node_name prefix attrs =
-  let* node = find_node b node_name in
-  let* key =
-    match attr attrs "key" with
-    | Some k -> Ok k
-    | None -> Ok (node_name ^ "-key")
-  in
-  let* payload_size =
-    match attr attrs "payload" with Some v -> int_field "payload" v | None -> Ok 1024
-  in
-  let* producer_private =
-    match attr attrs "private" with
-    | Some v -> bool_field "private" v
-    | None -> Ok false
-  in
-  let* production_delay_ms =
-    match attr attrs "delay" with Some v -> float_field "delay" v | None -> Ok 0.4
-  in
-  let prefix = Name.of_string prefix in
+let build_producer b (d : producer_decl) =
+  let* node = find_node b d.producer_node in
+  let prefix = Name.of_string d.producer_prefix in
   let payload_of name =
     let h = Ndn_crypto.Sha256.hex_digest (Name.to_string name) in
-    let buf = Buffer.create payload_size in
-    while Buffer.length buf < payload_size do
+    let buf = Buffer.create d.payload_size in
+    while Buffer.length buf < d.payload_size do
       Buffer.add_string buf h
     done;
-    Buffer.sub buf 0 payload_size
+    Buffer.sub buf 0 d.payload_size
   in
-  Node.add_producer node ~prefix ~production_delay_ms (fun interest ->
+  Node.add_producer node ~prefix ~production_delay_ms:d.production_delay_ms
+    (fun interest ->
       let name = interest.Interest.name in
       if Name.is_prefix ~prefix name then
         Some
-          (Data.create ~producer_private ~producer:node_name ~key
+          (Data.create ~producer_private:d.producer_private
+             ~producer:d.producer_node ~key:d.producer_key
              ~payload:(payload_of name) name)
       else None);
   Ok ()
 
-let handle_line b line =
-  let tokens =
-    String.split_on_char ' ' line
-    |> List.concat_map (String.split_on_char '\t')
-    |> List.filter (fun tok -> tok <> "")
-  in
-  match tokens with
-  | [] -> Ok ()
-  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> Ok ()
-  | "node" :: name :: attrs ->
-    let* attrs = parse_attrs attrs in
-    handle_node b name attrs
-  | "link" :: a :: bn :: attrs ->
-    let* attrs = parse_attrs attrs in
-    handle_link b a bn attrs
-  | [ "route"; node; prefix; "via"; via ] -> handle_route b node prefix via
-  | "producer" :: node :: prefix :: attrs ->
-    let* attrs = parse_attrs attrs in
-    handle_producer b node prefix attrs
-  | directive :: _ -> Error (Printf.sprintf "unknown directive %S" directive)
-
-let parse ?(seed = 42) text =
+let build ?(seed = 42) ?tracer spec =
   let b =
-    { net = Network.create ~seed (); decls = []; faces = Hashtbl.create 16 }
+    {
+      net = Network.create ~seed ?tracer ();
+      decls = [];
+      faces = Hashtbl.create 16;
+    }
   in
-  let lines = String.split_on_char '\n' text in
-  let rec go lineno = function
+  let rec go = function
     | [] -> Ok { network = b.net; nodes = b.decls }
-    | line :: rest -> (
-      match handle_line b line with
-      | Ok () -> go (lineno + 1) rest
+    | (lineno, d) :: rest -> (
+      let result =
+        match d with
+        | Node_decl d -> build_node b d
+        | Link_decl d -> build_link b d
+        | Route_decl d -> build_route b d
+        | Producer_decl d -> build_producer b d
+      in
+      match result with
+      | Ok () -> go rest
       | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
   in
-  go 1 lines
+  go spec
 
-let parse_file ?seed ~path () =
+let parse ?seed ?tracer text =
+  let* spec = parse_spec text in
+  build ?seed ?tracer spec
+
+let parse_file ?seed ?tracer ~path () =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
       let text = really_input_string ic n in
-      parse ?seed text)
+      parse ?seed ?tracer text)
 
 let parse_latency s = parse_latency s

@@ -23,7 +23,14 @@
 
     Latency grammar: [const:MS], [uniform:LO:HI],
     [normal:MEAN:SD:MIN], [shifted_exp:SHIFT:RATE], or a [+]-joined sum
-    of those. *)
+    of those.
+
+    Parsing is two-phase: {!parse_spec} reads the text into an AST of
+    directives (defaults resolved), {!build} turns directives into a
+    live network.  {!print} renders a spec canonically, and
+    [parse_spec (print s)] yields [s]'s directives again — the
+    round-trip is a fixpoint, which keeps generated topologies
+    diffable and machine-editable. *)
 
 type t = {
   network : Network.t;
@@ -33,11 +40,81 @@ type t = {
 val node : t -> string -> Node.t
 (** @raise Not_found for undeclared names. *)
 
-val parse : ?seed:int -> string -> (t, string) result
-(** Build a network from a specification text.  Errors carry the line
-    number and a description. *)
+(** {1 The directive AST} *)
 
-val parse_file : ?seed:int -> path:string -> unit -> (t, string) result
+type node_decl = {
+  node_name : string;
+  cs_capacity : int;  (** [0] = unbounded. *)
+  cs_policy : Eviction.t;
+  forwarding_delay : Sim.Latency.t;
+  honor_scope : bool;
+  caching : bool;
+}
+
+type link_decl = {
+  link_a : string;
+  link_b : string;
+  latency : Sim.Latency.t;  (** a→b model. *)
+  latency_back : Sim.Latency.t option;  (** b→a; defaults to [latency]. *)
+  loss : float;
+}
+
+type route_decl = {
+  route_node : string;
+  route_prefix : string;
+  route_via : string;  (** Must name a linked neighbour. *)
+}
+
+type producer_decl = {
+  producer_node : string;
+  producer_prefix : string;
+  producer_key : string;  (** Defaults to ["NODE-key"]. *)
+  payload_size : int;
+  producer_private : bool;
+  production_delay_ms : float;
+}
+
+type directive =
+  | Node_decl of node_decl
+  | Link_decl of link_decl
+  | Route_decl of route_decl
+  | Producer_decl of producer_decl
+
+type spec = (int * directive) list
+(** Directives paired with their 1-based source line numbers, in file
+    order — {!build} reuses the numbers in semantic error messages. *)
+
+val directives : spec -> directive list
+(** The directives without line numbers. *)
+
+val parse_spec : string -> (spec, string) result
+(** Read a specification text into directives.  Errors carry the line
+    number and say what the directive expected (missing node name,
+    unknown attribute, malformed latency, …). *)
+
+val print : spec -> string
+(** Canonical rendering: one directive per line, every attribute
+    explicit, floats printed with just enough digits to re-parse to the
+    identical value.  [parse_spec (print s) = Ok s] up to line
+    numbers. *)
+
+val build : ?seed:int -> ?tracer:Sim.Trace.t -> spec -> (t, string) result
+(** Instantiate the network ([seed] defaults to 42; [tracer] — default
+    {!Sim.Trace.disabled} — is threaded to the engine, every node and
+    every link).  Semantic errors (duplicate node, undeclared endpoint,
+    route without a link) carry the offending directive's line
+    number. *)
+
+val parse : ?seed:int -> ?tracer:Sim.Trace.t -> string -> (t, string) result
+(** [parse_spec] followed by [build]. *)
+
+val parse_file :
+  ?seed:int -> ?tracer:Sim.Trace.t -> path:string -> unit -> (t, string) result
 
 val parse_latency : string -> (Sim.Latency.t, string) result
 (** The latency sub-grammar, exposed for reuse and tests. *)
+
+val print_latency : Sim.Latency.t -> string
+(** Canonical latency rendering ([Sum]s flattened to [+]-joins);
+    [parse_latency (print_latency l)] re-parses to an equivalent
+    model. *)

@@ -1,19 +1,35 @@
-type handle = { mutable cancelled : bool; action : unit -> unit }
+type state = Pending | Fired | Cancelled
 
 type t = {
   queue : handle Heap.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
+  (* Events cancelled while still sitting in the queue; [pending]
+     subtracts them so it reports live events only. *)
+  mutable cancelled_queued : int;
+  tracer : Trace.t;
 }
 
-let create () = { queue = Heap.create (); clock = 0.; next_seq = 0; processed = 0 }
+and handle = { mutable state : state; action : unit -> unit; owner : t }
+
+let create ?(tracer = Trace.disabled) () =
+  {
+    queue = Heap.create ();
+    clock = 0.;
+    next_seq = 0;
+    processed = 0;
+    cancelled_queued = 0;
+    tracer;
+  }
 
 let now t = t.clock
 
+let tracer t = t.tracer
+
 let schedule_at t ~time f =
   let time = if time < t.clock then t.clock else time in
-  let h = { cancelled = false; action = f } in
+  let h = { state = Pending; action = f; owner = t } in
   Heap.add t.queue ~time ~seq:t.next_seq h;
   t.next_seq <- t.next_seq + 1;
   h
@@ -22,19 +38,40 @@ let schedule t ~delay f =
   let delay = if delay < 0. then 0. else delay in
   schedule_at t ~time:(t.clock +. delay) f
 
-let cancel h = h.cancelled <- true
+let cancel h =
+  match h.state with
+  | Pending ->
+    h.state <- Cancelled;
+    h.owner.cancelled_queued <- h.owner.cancelled_queued + 1
+  | Fired | Cancelled -> ()
 
-let is_cancelled h = h.cancelled
+let is_cancelled h = h.state = Cancelled
 
 let step t =
   match Heap.pop_min t.queue with
   | None -> false
   | Some (time, _seq, h) ->
     t.clock <- time;
-    if not h.cancelled then begin
+    (match h.state with
+    | Cancelled -> t.cancelled_queued <- t.cancelled_queued - 1
+    | Fired -> assert false
+    | Pending ->
+      h.state <- Fired;
       t.processed <- t.processed + 1;
-      h.action ()
-    end;
+      if Trace.enabled t.tracer then
+        Trace.emit t.tracer
+          {
+            Trace.time;
+            node = "engine";
+            kind = Trace.Engine_step;
+            name = "";
+            attrs =
+              [
+                ("depth", string_of_int (Heap.length t.queue));
+                ("processed", string_of_int t.processed);
+              ];
+          };
+      h.action ());
     true
 
 let run ?until ?max_events t =
@@ -55,6 +92,6 @@ let run ?until ?max_events t =
         decr budget)
   done
 
-let pending t = Heap.length t.queue
+let pending t = Heap.length t.queue - t.cancelled_queued
 
 let events_processed t = t.processed

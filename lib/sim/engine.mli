@@ -12,11 +12,18 @@ type handle
 (** A scheduled event, usable for cancellation (e.g. a PIT-entry
     timeout that is disarmed when the Data packet arrives). *)
 
-val create : unit -> t
-(** Fresh engine with the clock at [0.]. *)
+val create : ?tracer:Trace.t -> unit -> t
+(** Fresh engine with the clock at [0.].  When [tracer] (default
+    {!Trace.disabled}) is enabled, every executed event emits an
+    [engine.step] record carrying the queue depth after dispatch and
+    the running processed count — queue dynamics and events-per-ms
+    become observable without touching the hot path when disabled. *)
 
 val now : t -> float
 (** Current virtual time in milliseconds. *)
+
+val tracer : t -> Trace.t
+(** The tracer passed at creation ({!Trace.disabled} by default). *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative delays
@@ -43,7 +50,9 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     of events executed — a guard against non-terminating protocols. *)
 
 val pending : t -> int
-(** Number of queued (not yet fired, possibly cancelled) events. *)
+(** Number of {e live} queued events: scheduled, not yet fired and not
+    cancelled.  (Cancelled events physically stay in the queue until
+    their instant passes, but they are not counted here.) *)
 
 val events_processed : t -> int
 (** Total events executed since creation. *)

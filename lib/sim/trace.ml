@@ -1,0 +1,255 @@
+type kind =
+  | Engine_step
+  | Cs_hit
+  | Cs_miss
+  | Cs_insert
+  | Cs_evict
+  | Cs_expire
+  | Interest_received
+  | Interest_forwarded
+  | Interest_collapsed
+  | Data_received
+  | Data_sent
+  | Pit_timeout
+  | Link_transmit
+  | Link_drop
+  | Rc_draw
+  | Rc_fake_miss
+  | Rc_hit
+
+type event = {
+  time : float;
+  node : string;
+  kind : kind;
+  name : string;
+  attrs : (string * string) list;
+}
+
+let kind_to_string = function
+  | Engine_step -> "engine.step"
+  | Cs_hit -> "cs.hit"
+  | Cs_miss -> "cs.miss"
+  | Cs_insert -> "cs.insert"
+  | Cs_evict -> "cs.evict"
+  | Cs_expire -> "cs.expire"
+  | Interest_received -> "interest.recv"
+  | Interest_forwarded -> "interest.fwd"
+  | Interest_collapsed -> "interest.collapsed"
+  | Data_received -> "data.recv"
+  | Data_sent -> "data.sent"
+  | Pit_timeout -> "pit.timeout"
+  | Link_transmit -> "link.tx"
+  | Link_drop -> "link.drop"
+  | Rc_draw -> "rc.draw"
+  | Rc_fake_miss -> "rc.fake_miss"
+  | Rc_hit -> "rc.hit"
+
+let all_kinds =
+  [
+    Engine_step; Cs_hit; Cs_miss; Cs_insert; Cs_evict; Cs_expire;
+    Interest_received; Interest_forwarded; Interest_collapsed; Data_received;
+    Data_sent; Pit_timeout; Link_transmit; Link_drop; Rc_draw; Rc_fake_miss;
+    Rc_hit;
+  ]
+
+let kind_of_string s = List.find_opt (fun k -> kind_to_string k = s) all_kinds
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%.6f] %s %s" e.time e.node (kind_to_string e.kind);
+  if e.name <> "" then Format.fprintf ppf " %s" e.name;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) e.attrs
+
+(* --- tracers --- *)
+
+type t = {
+  on : bool;
+  (* Growable buffer; [None] for sink-only tracers. *)
+  mutable buf : event array option;
+  mutable len : int;
+  mutable sinks : (event -> unit) list;
+}
+
+let disabled = { on = false; buf = None; len = 0; sinks = [] }
+
+let dummy_event = { time = 0.; node = ""; kind = Engine_step; name = ""; attrs = [] }
+
+let create () = { on = true; buf = Some [||]; len = 0; sinks = [] }
+
+let with_sink sink = { on = true; buf = None; len = 0; sinks = [ sink ] }
+
+let enabled t = t.on
+
+let push t e =
+  match t.buf with
+  | None -> ()
+  | Some buf ->
+    let buf =
+      if t.len = Array.length buf then begin
+        let nb = Array.make (max 64 (2 * t.len)) dummy_event in
+        Array.blit buf 0 nb 0 t.len;
+        t.buf <- Some nb;
+        nb
+      end
+      else buf
+    in
+    buf.(t.len) <- e;
+    t.len <- t.len + 1
+
+let emit t e =
+  if t.on then begin
+    push t e;
+    List.iter (fun sink -> sink e) t.sinks
+  end
+
+let subscribe t sink =
+  if not t.on then invalid_arg "Trace.subscribe: tracer is disabled";
+  t.sinks <- t.sinks @ [ sink ]
+
+let length t = t.len
+
+let events t =
+  match t.buf with
+  | None -> [||]
+  | Some buf -> Array.sub buf 0 t.len
+
+let clear t =
+  (* No-op on [disabled], which must never be written (it is shared
+     across domains). *)
+  if t.on then begin
+    t.len <- 0;
+    match t.buf with None -> () | Some _ -> t.buf <- Some [||]
+  end
+
+let iter t f =
+  match t.buf with
+  | None -> ()
+  | Some buf ->
+    for i = 0 to t.len - 1 do
+      f buf.(i)
+    done
+
+let merge_into ~into t =
+  if not into.on then invalid_arg "Trace.merge_into: target tracer is disabled";
+  iter t (emit into)
+
+let tally t =
+  let counts = Hashtbl.create 32 in
+  iter t (fun e ->
+      let key = (e.node, e.kind) in
+      Hashtbl.replace counts key
+        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0));
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort (fun ((n1, k1), _) ((n2, k2), _) ->
+         match String.compare n1 n2 with
+         | 0 -> compare (kind_to_string k1) (kind_to_string k2)
+         | c -> c)
+
+let events_per_ms t =
+  if t.len < 2 then Float.nan
+  else
+    match t.buf with
+    | None -> Float.nan
+    | Some buf ->
+      let span = buf.(t.len - 1).time -. buf.(0).time in
+      if span <= 0. then Float.nan else float_of_int t.len /. span
+
+(* --- exporters --- *)
+
+type format = Jsonl | Csv
+
+let format_of_string s =
+  match String.lowercase_ascii s with
+  | "jsonl" | "json" -> Some Jsonl
+  | "csv" -> Some Csv
+  | _ -> None
+
+let format_to_string = function Jsonl -> "jsonl" | Csv -> "csv"
+
+let json_escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let event_to_jsonl e =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf "{\"time\":%.6f,\"node\":\"" e.time);
+  json_escape_into b e.node;
+  Buffer.add_string b "\",\"kind\":\"";
+  Buffer.add_string b (kind_to_string e.kind);
+  Buffer.add_string b "\",\"name\":\"";
+  json_escape_into b e.name;
+  Buffer.add_string b "\",\"attrs\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      json_escape_into b k;
+      Buffer.add_string b "\":\"";
+      json_escape_into b v;
+      Buffer.add_char b '"')
+    e.attrs;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let csv_header = "time,node,kind,name,attrs"
+
+let csv_field s =
+  if
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let event_to_csv e =
+  let attrs =
+    String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) e.attrs)
+  in
+  String.concat ","
+    [
+      Printf.sprintf "%.6f" e.time;
+      csv_field e.node;
+      kind_to_string e.kind;
+      csv_field e.name;
+      csv_field attrs;
+    ]
+
+let render fmt t =
+  let b = Buffer.create (64 * (t.len + 1)) in
+  (match fmt with
+  | Jsonl -> ()
+  | Csv ->
+    Buffer.add_string b csv_header;
+    Buffer.add_char b '\n');
+  let line = match fmt with Jsonl -> event_to_jsonl | Csv -> event_to_csv in
+  iter t (fun e ->
+      Buffer.add_string b (line e);
+      Buffer.add_char b '\n');
+  Buffer.contents b
+
+let write fmt oc t =
+  (match fmt with
+  | Jsonl -> ()
+  | Csv ->
+    output_string oc csv_header;
+    output_char oc '\n');
+  let line = match fmt with Jsonl -> event_to_jsonl | Csv -> event_to_csv in
+  iter t (fun e ->
+      output_string oc (line e);
+      output_char oc '\n')

@@ -1,0 +1,139 @@
+(** Structured event tracing for the simulator.
+
+    The paper's attacks are observations of cache state through timing;
+    this module makes the {e simulator's} internal state observable to
+    us: every layer (engine dispatch, Content Store, forwarding plane,
+    Algorithm 1) can emit typed event records into a tracer, and
+    exporters render them as JSONL or CSV for offline analysis.
+
+    {b Cost model.}  A tracer is either {!disabled} — a shared inert
+    handle — or enabled.  Instrumented hot paths guard every emission
+    with [if Trace.enabled t then Trace.emit t …], so a disabled tracer
+    costs one load-and-branch per site and allocates nothing.  All
+    constructors default to {!disabled}; tracing is strictly opt-in.
+
+    {b Determinism.}  Events carry only virtual time, component labels
+    and content names — never wall-clock time or domain identity — and
+    are buffered in emission order.  Per-trial tracers produced under
+    {!Parallel} are combined with {!merge_into} in trial order, so the
+    exported byte stream is identical for any [--jobs N]. *)
+
+(** What happened.  The rendered wire names (see {!kind_to_string})
+    form the stable schema: ["engine.step"], ["cs.hit"], ["cs.miss"],
+    ["cs.insert"], ["cs.evict"], ["cs.expire"], ["interest.recv"],
+    ["interest.fwd"], ["interest.collapsed"], ["data.recv"],
+    ["data.sent"], ["pit.timeout"], ["link.tx"], ["link.drop"],
+    ["rc.draw"], ["rc.fake_miss"], ["rc.hit"]. *)
+type kind =
+  | Engine_step  (** One event executed by {!Engine}. *)
+  | Cs_hit
+  | Cs_miss
+  | Cs_insert
+  | Cs_evict
+  | Cs_expire
+  | Interest_received
+  | Interest_forwarded
+  | Interest_collapsed  (** PIT aggregation suppressed an upstream send. *)
+  | Data_received
+  | Data_sent
+  | Pit_timeout  (** A PIT sweep dropped expired entries. *)
+  | Link_transmit  (** A packet put on a wire, with its latency draw. *)
+  | Link_drop  (** A packet lost on a wire. *)
+  | Rc_draw  (** Algorithm 1 drew a fresh per-content threshold k_C. *)
+  | Rc_fake_miss  (** Algorithm 1 disguised a request as a miss. *)
+  | Rc_hit  (** Algorithm 1 revealed the content. *)
+
+type event = {
+  time : float;  (** Virtual time (ms) at emission. *)
+  node : string;  (** Component label: node name, ["engine"], … *)
+  kind : kind;
+  name : string;  (** Content name, [""] when not applicable. *)
+  attrs : (string * string) list;
+      (** Auxiliary key/value pairs (policy label, face id, latency
+          draw, k_C, …) in a fixed per-kind order. *)
+}
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Tracers} *)
+
+type t
+
+val disabled : t
+(** The inert tracer: {!enabled} is [false], {!emit} is a no-op, the
+    buffer is always empty.  Shared and immutable, hence safe to hand
+    to every domain. *)
+
+val create : unit -> t
+(** Fresh enabled tracer buffering events in emission order. *)
+
+val with_sink : (event -> unit) -> t
+(** Enabled tracer that streams events to the sink {e without}
+    buffering them — for exporters that write as they go and for
+    overhead measurements. *)
+
+val enabled : t -> bool
+
+val emit : t -> event -> unit
+(** Append to the buffer (if any) and call every subscribed sink.
+    A no-op on {!disabled}; hot paths should still guard with
+    {!enabled} to skip constructing the event record. *)
+
+val subscribe : t -> (event -> unit) -> unit
+(** Register an additional sink, called synchronously on each {!emit}.
+    @raise Invalid_argument on {!disabled}. *)
+
+val events : t -> event array
+(** Buffered events in emission order (a copy). *)
+
+val length : t -> int
+
+val clear : t -> unit
+(** Drop buffered events (sinks stay subscribed). *)
+
+val iter : t -> (event -> unit) -> unit
+
+val merge_into : into:t -> t -> unit
+(** Append [t]'s buffered events to [into]'s buffer, preserving order.
+    The deterministic combinator for per-trial tracers: merging in
+    trial order makes the result independent of domain scheduling.
+    @raise Invalid_argument if [into] is {!disabled}. *)
+
+val tally : t -> ((string * kind) * int) list
+(** Per-(node, kind) event counts, sorted — a quick per-node telemetry
+    snapshot of a buffered trace. *)
+
+val events_per_ms : t -> float
+(** Buffered events divided by the virtual-time span they cover
+    (events/sec of simulated work; [nan] on fewer than 2 events). *)
+
+(** {1 Exporters} *)
+
+type format = Jsonl | Csv
+
+val format_of_string : string -> format option
+
+val format_to_string : format -> string
+
+val event_to_jsonl : event -> string
+(** One JSON object per event, no trailing newline:
+    [{"time":1.234567,"node":"R","kind":"cs.hit","name":"/prod/a","attrs":{"policy":"lru"}}].
+    Times use a fixed [%.6f] rendering so equal traces are equal bytes. *)
+
+val csv_header : string
+(** ["time,node,kind,name,attrs"]. *)
+
+val event_to_csv : event -> string
+(** One CSV row (RFC-4180 quoting); [attrs] flattened as
+    [k1=v1;k2=v2]. *)
+
+val render : format -> t -> string
+(** The whole buffered trace as one string (CSV includes the header
+    line).  Every line is newline-terminated. *)
+
+val write : format -> out_channel -> t -> unit
+(** Stream the buffered trace to a channel, line by line. *)

@@ -85,7 +85,7 @@ let test_two_probe_decision () =
 let test_timing_experiment_lan () =
   let r =
     Attack.Timing_experiment.run
-      ~make_setup:(fun ~seed -> Ndn.Network.lan ~seed ())
+      ~make_setup:(fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ())
       ~contents:30 ~runs:2 ()
   in
   Alcotest.(check int) "no timeouts" 0 r.Attack.Timing_experiment.timeouts;
@@ -101,7 +101,7 @@ let test_timing_experiment_lan () =
 let test_timing_experiment_producer_overlap () =
   let r =
     Attack.Timing_experiment.run_producer_privacy
-      ~make_setup:(fun ~seed -> Ndn.Network.wan_producer ~seed ())
+      ~make_setup:(fun ~seed ~tracer:_ -> Ndn.Network.wan_producer ~seed ())
       ~contents:40 ~runs:2 ()
   in
   let s = r.Attack.Timing_experiment.success_rate in
@@ -112,7 +112,7 @@ let test_timing_experiment_producer_overlap () =
 
 let test_timing_experiment_defeated_by_content_specific_delay () =
   (* With the countermeasure attached to R, the distributions merge. *)
-  let make_setup ~seed =
+  let make_setup ~seed ~tracer:_ =
     let producer =
       { Ndn.Network.default_producer_config with producer_private = true }
     in

@@ -10,7 +10,7 @@ let test_attack_succeeds_everywhere () =
     (fun (label, make, floor) ->
       let r =
         Attack.Timing_experiment.run
-          ~make_setup:(fun ~seed -> make ~seed)
+          ~make_setup:(fun ~seed ~tracer:_ -> make ~seed)
           ~contents:25 ~runs:2 ()
       in
       Alcotest.(check bool)
@@ -76,7 +76,7 @@ let test_unpredictable_names_end_to_end () =
    against each countermeasure — distinguisher accuracy collapses. *)
 let test_countermeasures_degrade_attack () =
   let run cm =
-    let make_setup ~seed =
+    let make_setup ~seed ~tracer:_ =
       let producer =
         { Ndn.Network.default_producer_config with producer_private = true }
       in

@@ -105,7 +105,7 @@ let test_fig3_style_jobs_invariant () =
 let test_timing_experiment_jobs_invariant () =
   let campaign jobs =
     Attack.Timing_experiment.run
-      ~make_setup:(fun ~seed -> Ndn.Network.lan ~seed ())
+      ~make_setup:(fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ())
       ~contents:8 ~runs:4 ~seed:11 ~bins:16 ~jobs ()
   in
   let a = campaign 1 and b = campaign 4 in

@@ -286,6 +286,30 @@ let test_engine_schedule_at_past () =
   Sim.Engine.run e;
   check_float "past time clamps to now" 2. !fired_at
 
+let test_engine_pending_live_only () =
+  let e = Sim.Engine.create () in
+  let h1 = Sim.Engine.schedule e ~delay:1. (fun () -> ()) in
+  let h2 = Sim.Engine.schedule e ~delay:2. (fun () -> ()) in
+  ignore (Sim.Engine.schedule e ~delay:3. (fun () -> ()));
+  Alcotest.(check int) "three live" 3 (Sim.Engine.pending e);
+  Sim.Engine.cancel h1;
+  Alcotest.(check int) "cancelled event not counted" 2 (Sim.Engine.pending e);
+  Sim.Engine.cancel h1;
+  Alcotest.(check int) "double cancel counted once" 2 (Sim.Engine.pending e);
+  (* The first pop is the cancelled event: no action runs, and the live
+     count is unchanged. *)
+  ignore (Sim.Engine.step e);
+  Alcotest.(check int) "nothing executed yet" 0 (Sim.Engine.events_processed e);
+  Alcotest.(check int) "still two live" 2 (Sim.Engine.pending e);
+  ignore (Sim.Engine.step e);
+  Alcotest.(check int) "one executed" 1 (Sim.Engine.events_processed e);
+  Alcotest.(check int) "one live left" 1 (Sim.Engine.pending e);
+  Sim.Engine.cancel h2;
+  Alcotest.(check int) "cancel after fire leaves count intact" 1
+    (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "drained" 0 (Sim.Engine.pending e)
+
 (* --- Latency --- *)
 
 let test_latency_constant () =
@@ -569,6 +593,73 @@ let qcheck_tests =
       (fun (seed, mean, stddev) ->
         let rng = Sim.Rng.create seed in
         Sim.Latency.sample (Sim.Latency.Normal { mean; stddev; min = 0. }) rng >= 0.);
+    QCheck.Test.make ~name:"engine: same-instant events fire in scheduling order"
+      ~count:200
+      QCheck.(int_range 1 50)
+      (fun n ->
+        let e = Sim.Engine.create () in
+        let log = ref [] in
+        for i = 0 to n - 1 do
+          ignore (Sim.Engine.schedule e ~delay:1. (fun () -> log := i :: !log))
+        done;
+        Sim.Engine.run e;
+        List.rev !log = List.init n (fun i -> i));
+    QCheck.Test.make ~name:"engine: clock is monotone across step" ~count:200
+      QCheck.(list_of_size Gen.(int_range 1 40) (float_range 0. 100.))
+      (fun delays ->
+        let e = Sim.Engine.create () in
+        List.iter
+          (fun d -> ignore (Sim.Engine.schedule e ~delay:d (fun () -> ())))
+          delays;
+        let rec monotone last =
+          if Sim.Engine.step e then
+            let t = Sim.Engine.now e in
+            t >= last && monotone t
+          else true
+        in
+        monotone (Sim.Engine.now e));
+    QCheck.Test.make ~name:"engine: cancel after fire is a no-op" ~count:200
+      QCheck.(int_range 0 40)
+      (fun n ->
+        let e = Sim.Engine.create () in
+        let handles =
+          List.init n (fun i ->
+              Sim.Engine.schedule e ~delay:(float_of_int (i mod 5)) (fun () -> ()))
+        in
+        Sim.Engine.run e;
+        List.iter Sim.Engine.cancel handles;
+        Sim.Engine.pending e = 0
+        && Sim.Engine.events_processed e = n
+        && not (List.exists Sim.Engine.is_cancelled handles));
+    QCheck.Test.make ~name:"engine: run ~until leaves later events queued"
+      ~count:200
+      QCheck.(
+        pair
+          (list_of_size Gen.(int_range 1 40) (float_range 0. 100.))
+          (float_range 0. 100.))
+      (fun (delays, limit) ->
+        let e = Sim.Engine.create () in
+        List.iter
+          (fun d -> ignore (Sim.Engine.schedule e ~delay:d (fun () -> ())))
+          delays;
+        Sim.Engine.run ~until:limit e;
+        let due = List.length (List.filter (fun d -> d <= limit) delays) in
+        Sim.Engine.events_processed e = due
+        && Sim.Engine.pending e = List.length delays - due
+        &&
+        (Sim.Engine.run e;
+         Sim.Engine.events_processed e = List.length delays));
+    QCheck.Test.make ~name:"engine: max_events bounds execution" ~count:200
+      QCheck.(pair (int_range 0 60) (int_range 0 60))
+      (fun (n, budget) ->
+        let e = Sim.Engine.create () in
+        for i = 1 to n do
+          ignore (Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> ()))
+        done;
+        Sim.Engine.run ~max_events:budget e;
+        let fired = min n budget in
+        Sim.Engine.events_processed e = fired
+        && Sim.Engine.pending e = n - fired);
   ]
 
 let () =
@@ -613,6 +704,8 @@ let () =
           Alcotest.test_case "max events" `Quick test_engine_max_events;
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
           Alcotest.test_case "schedule_at past" `Quick test_engine_schedule_at_past;
+          Alcotest.test_case "pending counts live only" `Quick
+            test_engine_pending_live_only;
         ] );
       ( "latency",
         [

@@ -1,0 +1,467 @@
+(* Tests for the Sim.Trace observability subsystem: schema round-trips,
+   exporter formatting and escaping, buffering/sink semantics, the
+   end-to-end emission coverage of an instrumented probe run, topology
+   round-trips through the .topo printer, and the determinism
+   guarantees (--jobs invariance, golden trace). *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else
+    let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+    at 0
+
+let all_kinds =
+  [
+    Sim.Trace.Engine_step;
+    Cs_hit;
+    Cs_miss;
+    Cs_insert;
+    Cs_evict;
+    Cs_expire;
+    Interest_received;
+    Interest_forwarded;
+    Interest_collapsed;
+    Data_received;
+    Data_sent;
+    Pit_timeout;
+    Link_transmit;
+    Link_drop;
+    Rc_draw;
+    Rc_fake_miss;
+    Rc_hit;
+  ]
+
+let ev ?(time = 1.25) ?(node = "R") ?(kind = Sim.Trace.Cs_hit)
+    ?(name = "/prod/a") ?(attrs = []) () =
+  { Sim.Trace.time; node; kind; name; attrs }
+
+(* --- schema --- *)
+
+let test_kind_round_trip () =
+  List.iter
+    (fun k ->
+      let s = Sim.Trace.kind_to_string k in
+      match Sim.Trace.kind_of_string s with
+      | Some k' when k' = k -> ()
+      | _ -> Alcotest.failf "kind %s does not round-trip" s)
+    all_kinds
+
+let test_kind_names_unique () =
+  let names = List.map Sim.Trace.kind_to_string all_kinds in
+  Alcotest.(check int) "no duplicate wire names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_kind_of_string_unknown () =
+  Alcotest.(check bool) "unknown kind rejected" true
+    (Sim.Trace.kind_of_string "cs.frobnicate" = None)
+
+let test_format_of_string () =
+  Alcotest.(check bool) "jsonl" true (Sim.Trace.format_of_string "jsonl" = Some Sim.Trace.Jsonl);
+  Alcotest.(check bool) "json alias" true (Sim.Trace.format_of_string "json" = Some Sim.Trace.Jsonl);
+  Alcotest.(check bool) "csv" true (Sim.Trace.format_of_string "csv" = Some Sim.Trace.Csv);
+  Alcotest.(check bool) "garbage" true (Sim.Trace.format_of_string "xml" = None)
+
+(* --- exporters --- *)
+
+let test_jsonl_basic () =
+  Alcotest.(check string) "canonical object"
+    {|{"time":1.250000,"node":"R","kind":"cs.hit","name":"/prod/a","attrs":{"policy":"lru","count":"3"}}|}
+    (Sim.Trace.event_to_jsonl
+       (ev ~attrs:[ ("policy", "lru"); ("count", "3") ] ()))
+
+let test_jsonl_escaping () =
+  let line =
+    Sim.Trace.event_to_jsonl
+      (ev ~node:"a\"b\\c" ~name:"/x\n/y" ~attrs:[ ("k\t", "\x01") ] ())
+  in
+  Alcotest.(check bool) "quote and backslash escaped" true
+    (contains line {|"node":"a\"b\\c"|});
+  Alcotest.(check bool) "newline escaped" true
+    (contains line {|"name":"/x\n/y"|});
+  Alcotest.(check bool) "control char as \\u" true
+    (contains line {|\u0001|});
+  Alcotest.(check bool) "single line" true
+    (not (String.contains line '\n'))
+
+let test_csv_basic () =
+  Alcotest.(check string) "header" "time,node,kind,name,attrs"
+    Sim.Trace.csv_header;
+  Alcotest.(check string) "plain row" "1.250000,R,cs.hit,/prod/a,policy=lru"
+    (Sim.Trace.event_to_csv (ev ~attrs:[ ("policy", "lru") ] ()))
+
+let test_csv_quoting () =
+  let row =
+    Sim.Trace.event_to_csv (ev ~node:"a,b" ~name:"say \"hi\"" ~attrs:[] ())
+  in
+  Alcotest.(check bool) "comma field quoted" true
+    (contains row {|"a,b"|});
+  Alcotest.(check bool) "quotes doubled" true
+    (contains row {|"say ""hi"""|})
+
+let test_render_csv_has_header () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.emit t (ev ());
+  let s = Sim.Trace.render Sim.Trace.Csv t in
+  Alcotest.(check bool) "starts with header" true
+    (String.length s >= String.length Sim.Trace.csv_header
+    && String.sub s 0 (String.length Sim.Trace.csv_header)
+       = Sim.Trace.csv_header)
+
+(* --- tracer semantics --- *)
+
+let test_disabled_is_inert () =
+  let d = Sim.Trace.disabled in
+  Alcotest.(check bool) "not enabled" false (Sim.Trace.enabled d);
+  Sim.Trace.emit d (ev ());
+  Alcotest.(check int) "emit buffers nothing" 0 (Sim.Trace.length d);
+  Sim.Trace.clear d;
+  Alcotest.check_raises "subscribe raises"
+    (Invalid_argument "Trace.subscribe: tracer is disabled") (fun () ->
+      Sim.Trace.subscribe d ignore)
+
+let test_buffering_order () =
+  let t = Sim.Trace.create () in
+  for i = 0 to 99 do
+    Sim.Trace.emit t (ev ~time:(float_of_int i) ())
+  done;
+  Alcotest.(check int) "length" 100 (Sim.Trace.length t);
+  let times = Array.map (fun e -> e.Sim.Trace.time) (Sim.Trace.events t) in
+  Alcotest.(check bool) "emission order kept" true
+    (times = Array.init 100 float_of_int);
+  Sim.Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Sim.Trace.length t)
+
+let test_sink_streams () =
+  let seen = ref 0 in
+  let t = Sim.Trace.with_sink (fun _ -> incr seen) in
+  Sim.Trace.emit t (ev ());
+  Sim.Trace.emit t (ev ());
+  Alcotest.(check int) "sink called per emit" 2 !seen;
+  Alcotest.(check int) "nothing buffered" 0 (Sim.Trace.length t)
+
+let test_subscribe_extra_sink () =
+  let t = Sim.Trace.create () in
+  let seen = ref 0 in
+  Sim.Trace.subscribe t (fun _ -> incr seen);
+  Sim.Trace.emit t (ev ());
+  Alcotest.(check int) "sink saw the event" 1 !seen;
+  Alcotest.(check int) "and it is buffered too" 1 (Sim.Trace.length t)
+
+let test_merge_preserves_order () =
+  let a = Sim.Trace.create () and b = Sim.Trace.create () in
+  Sim.Trace.emit a (ev ~time:1. ~node:"a" ());
+  Sim.Trace.emit a (ev ~time:2. ~node:"a" ());
+  Sim.Trace.emit b (ev ~time:0.5 ~node:"b" ());
+  let into = Sim.Trace.create () in
+  Sim.Trace.merge_into ~into a;
+  Sim.Trace.merge_into ~into b;
+  let nodes =
+    Array.to_list
+      (Array.map (fun e -> e.Sim.Trace.node) (Sim.Trace.events into))
+  in
+  (* Trial order, not time order: merge is a concatenation. *)
+  Alcotest.(check (list string)) "concatenated in merge order"
+    [ "a"; "a"; "b" ] nodes;
+  Alcotest.check_raises "merge into disabled raises"
+    (Invalid_argument "Trace.merge_into: target tracer is disabled") (fun () ->
+      Sim.Trace.merge_into ~into:Sim.Trace.disabled a)
+
+(* --- end-to-end emission from an instrumented probe run --- *)
+
+(* One small LAN probe: U warms /prod/a, Adv probes it.  Mirrors
+   `ndnsim probe --warm /prod/a --target /prod/a --trace ...`. *)
+let probe_trace ?(seed = 42) () =
+  let tracer = Sim.Trace.create () in
+  let setup = Ndn.Network.lan ~seed ~tracer () in
+  ignore
+    (Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.user
+       (Ndn.Name.of_string "/prod/a"));
+  ignore
+    (Ndn.Network.fetch_rtt setup.Ndn.Network.net
+       ~from:setup.Ndn.Network.adversary ~timeout_ms:1000.
+       (Ndn.Name.of_string "/prod/a"));
+  tracer
+
+let test_probe_emits_all_layers () =
+  let tracer = probe_trace () in
+  let kinds =
+    Array.fold_left
+      (fun acc e -> e.Sim.Trace.kind :: acc)
+      [] (Sim.Trace.events tracer)
+  in
+  let has k = List.mem k kinds in
+  Alcotest.(check bool) "engine.step" true (has Sim.Trace.Engine_step);
+  Alcotest.(check bool) "interest.recv" true (has Sim.Trace.Interest_received);
+  Alcotest.(check bool) "interest.fwd" true (has Sim.Trace.Interest_forwarded);
+  Alcotest.(check bool) "data.recv" true (has Sim.Trace.Data_received);
+  Alcotest.(check bool) "data.sent" true (has Sim.Trace.Data_sent);
+  Alcotest.(check bool) "link.tx" true (has Sim.Trace.Link_transmit);
+  Alcotest.(check bool) "cs.insert" true (has Sim.Trace.Cs_insert);
+  Alcotest.(check bool) "cs.miss (first fetch)" true (has Sim.Trace.Cs_miss);
+  Alcotest.(check bool) "cs.hit (the probe)" true (has Sim.Trace.Cs_hit)
+
+let test_probe_times_monotone () =
+  let tracer = probe_trace () in
+  let last = ref neg_infinity in
+  Sim.Trace.iter tracer (fun e ->
+      if e.Sim.Trace.time < !last then
+        Alcotest.failf "time went backwards: %f after %f" e.Sim.Trace.time !last;
+      last := e.Sim.Trace.time);
+  Alcotest.(check bool) "saw events" true (Sim.Trace.length tracer > 0)
+
+let test_tracing_does_not_perturb_results () =
+  (* Enabling a tracer must not change the simulation: same seed, same
+     RTTs, with and without tracing. *)
+  let rtts tracer =
+    let setup = Ndn.Network.lan ~seed:7 ~tracer () in
+    let fetch from name =
+      Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from
+        (Ndn.Name.of_string name)
+    in
+    [
+      fetch setup.Ndn.Network.user "/prod/a";
+      fetch setup.Ndn.Network.adversary "/prod/a";
+      fetch setup.Ndn.Network.adversary "/prod/b";
+    ]
+  in
+  Alcotest.(check bool) "identical RTT streams" true
+    (rtts Sim.Trace.disabled = rtts (Sim.Trace.create ()))
+
+let test_tally_and_rate () =
+  let tracer = probe_trace () in
+  let tally = Sim.Trace.tally tracer in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 tally in
+  Alcotest.(check int) "tally counts every event" (Sim.Trace.length tracer)
+    total;
+  Alcotest.(check bool) "tally keys unique" true
+    (let keys = List.map fst tally in
+     List.length keys = List.length (List.sort_uniq compare keys));
+  Alcotest.(check bool) "events_per_ms positive" true
+    (Sim.Trace.events_per_ms tracer > 0.)
+
+(* --- determinism: --jobs invariance and the golden trace --- *)
+
+let campaign ~jobs =
+  Attack.Timing_experiment.run
+    ~make_setup:(fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ())
+    ~contents:8 ~runs:4 ~seed:11 ~jobs ~trace:true ()
+
+let test_jobs_invariant_jsonl () =
+  let r1 = campaign ~jobs:1 and r4 = campaign ~jobs:4 in
+  let t1 = Sim.Trace.render Sim.Trace.Jsonl r1.Attack.Timing_experiment.trace in
+  let t4 = Sim.Trace.render Sim.Trace.Jsonl r4.Attack.Timing_experiment.trace in
+  Alcotest.(check bool) "trace is non-trivial" true (String.length t1 > 1000);
+  Alcotest.(check string) "byte-identical JSONL for --jobs 1 vs --jobs 4" t1 t4
+
+let test_jobs_invariant_csv () =
+  let r1 = campaign ~jobs:1 and r3 = campaign ~jobs:3 in
+  Alcotest.(check string) "byte-identical CSV for --jobs 1 vs --jobs 3"
+    (Sim.Trace.render Sim.Trace.Csv r1.Attack.Timing_experiment.trace)
+    (Sim.Trace.render Sim.Trace.Csv r3.Attack.Timing_experiment.trace)
+
+(* Golden trace for the canonical small probe run (LAN, seed 42, warm
+   /prod/a then probe it).  The pinned digest is the determinism
+   contract: any change to the schema, the formatting, or the
+   simulation's event order must update it consciously. *)
+let golden_lines = 50
+let golden_sha256 =
+  "b5a3cd390701d2f9efdfca984e5846bc7a8135f3d1263c00b64094cb19e58a5b"
+let golden_first =
+  {|{"time":0.000000,"node":"U","kind":"interest.recv","name":"/prod/a","attrs":{"face":"0"}}|}
+let golden_last =
+  {|{"time":8005.934409,"node":"engine","kind":"engine.step","name":"","attrs":{"depth":"0","processed":"19"}}|}
+
+let test_golden_probe_trace () =
+  let rendered = Sim.Trace.render Sim.Trace.Jsonl (probe_trace ()) in
+  let lines =
+    String.split_on_char '\n' rendered |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "line count" golden_lines (List.length lines);
+  Alcotest.(check string) "first line" golden_first (List.hd lines);
+  Alcotest.(check string) "last line" golden_last
+    (List.nth lines (List.length lines - 1));
+  Alcotest.(check string) "sha256 of the full trace" golden_sha256
+    (Ndn_crypto.Sha256.hex_digest rendered)
+
+(* --- .topo parser: round-trip and error messages --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Resolve fixtures relative to the test binary so the tests pass both
+   under `dune runtest` and when the executable is run by hand. *)
+let fixture name =
+  let candidates =
+    [
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat "../examples/topologies" name);
+      Filename.concat "../examples/topologies" name;
+      Filename.concat "examples/topologies" name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> read_file path
+  | None -> Alcotest.failf "fixture %s not found" name
+
+let check_fixpoint file =
+  match Ndn.Topology_spec.parse_spec (fixture file) with
+  | Error e -> Alcotest.failf "%s does not parse: %s" file e
+  | Ok spec -> (
+    let printed = Ndn.Topology_spec.print spec in
+    match Ndn.Topology_spec.parse_spec printed with
+    | Error e -> Alcotest.failf "printed %s does not re-parse: %s" file e
+    | Ok spec' ->
+      Alcotest.(check bool)
+        (file ^ ": print/parse round-trips the directives")
+        true
+        (Ndn.Topology_spec.directives spec
+        = Ndn.Topology_spec.directives spec');
+      Alcotest.(check string) (file ^ ": print is a fixpoint") printed
+        (Ndn.Topology_spec.print spec'))
+
+let test_topo_round_trip_figure1 () = check_fixpoint "figure1.topo"
+
+let test_topo_round_trip_dumbbell () = check_fixpoint "dumbbell.topo"
+
+let test_topo_fixtures_build () =
+  List.iter
+    (fun file ->
+      match Ndn.Topology_spec.parse (fixture file) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s does not build: %s" file e)
+    [ "figure1.topo"; "dumbbell.topo" ]
+
+let check_error ~line ~needle text =
+  match Ndn.Topology_spec.parse_spec text with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+  | Error msg ->
+    let prefix = Printf.sprintf "line %d: " line in
+    if
+      not
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix)
+    then Alcotest.failf "error %S does not carry %S" msg prefix;
+    if not (contains msg needle) then
+      Alcotest.failf "error %S does not mention %S" msg needle
+
+let test_topo_error_node () =
+  check_error ~line:1 ~needle:"node R cs=10000 policy=lru" "node";
+  check_error ~line:1 ~needle:"expected a node name before attributes"
+    "node cs=5"
+
+let test_topo_error_link () =
+  check_error ~line:1 ~needle:"link U R latency=const:1" "link U";
+  check_error ~line:1 ~needle:"expected two endpoint names before attributes"
+    "link U latency=const:1"
+
+let test_topo_error_route () =
+  check_error ~line:1 ~needle:"route U /prod via R" "route U /prod R"
+
+let test_topo_error_unknown_attr () =
+  check_error ~line:1 ~needle:"allowed:" "node R colour=red";
+  check_error ~line:1 ~needle:"unknown attribute" "node R colour=red"
+
+let test_topo_error_latency () =
+  check_error ~line:1 ~needle:"unknown latency model"
+    "link U R latency=warp:9"
+
+let test_topo_error_unknown_directive () =
+  check_error ~line:1 ~needle:"expected node, link, route or producer"
+    "frobnicate X"
+
+let test_topo_error_line_numbers () =
+  (* The bad directive sits on line 4 (after a comment and a blank). *)
+  check_error ~line:4 ~needle:"node"
+    "# topology\n\nnode U\nnode\nnode R\n"
+
+let test_topo_semantic_errors_carry_lines () =
+  let check_build ~line ~needle text =
+    match Ndn.Topology_spec.parse text with
+    | Ok _ -> Alcotest.failf "expected a build error for %S" text
+    | Error msg ->
+      let prefix = Printf.sprintf "line %d: " line in
+      if
+        not
+          (String.length msg >= String.length prefix
+          && String.sub msg 0 (String.length prefix) = prefix)
+      then Alcotest.failf "build error %S does not carry %S" msg prefix;
+      if not (contains msg needle) then
+        Alcotest.failf "build error %S does not mention %S" msg needle
+  in
+  check_build ~line:2 ~needle:"duplicate node" "node U\nnode U\n";
+  check_build ~line:2 ~needle:"undeclared node" "node U\nlink U R\n";
+  check_build ~line:3 ~needle:"no such link"
+    "node U\nnode R\nroute U /prod via R\n"
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "kind round-trip" `Quick test_kind_round_trip;
+          Alcotest.test_case "kind names unique" `Quick test_kind_names_unique;
+          Alcotest.test_case "unknown kind" `Quick test_kind_of_string_unknown;
+          Alcotest.test_case "format_of_string" `Quick test_format_of_string;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "jsonl basic" `Quick test_jsonl_basic;
+          Alcotest.test_case "jsonl escaping" `Quick test_jsonl_escaping;
+          Alcotest.test_case "csv basic" `Quick test_csv_basic;
+          Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "csv render header" `Quick
+            test_render_csv_has_header;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled is inert" `Quick test_disabled_is_inert;
+          Alcotest.test_case "buffering order" `Quick test_buffering_order;
+          Alcotest.test_case "sink streams" `Quick test_sink_streams;
+          Alcotest.test_case "subscribe" `Quick test_subscribe_extra_sink;
+          Alcotest.test_case "merge order" `Quick test_merge_preserves_order;
+        ] );
+      ( "emission",
+        [
+          Alcotest.test_case "probe covers all layers" `Quick
+            test_probe_emits_all_layers;
+          Alcotest.test_case "times monotone" `Quick test_probe_times_monotone;
+          Alcotest.test_case "tracing does not perturb results" `Quick
+            test_tracing_does_not_perturb_results;
+          Alcotest.test_case "tally and rate" `Quick test_tally_and_rate;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs-invariant jsonl" `Slow
+            test_jobs_invariant_jsonl;
+          Alcotest.test_case "jobs-invariant csv" `Slow test_jobs_invariant_csv;
+          Alcotest.test_case "golden probe trace" `Quick
+            test_golden_probe_trace;
+        ] );
+      ( "topo",
+        [
+          Alcotest.test_case "round-trip figure1" `Quick
+            test_topo_round_trip_figure1;
+          Alcotest.test_case "round-trip dumbbell" `Quick
+            test_topo_round_trip_dumbbell;
+          Alcotest.test_case "fixtures build" `Quick test_topo_fixtures_build;
+          Alcotest.test_case "node errors" `Quick test_topo_error_node;
+          Alcotest.test_case "link errors" `Quick test_topo_error_link;
+          Alcotest.test_case "route errors" `Quick test_topo_error_route;
+          Alcotest.test_case "unknown attribute" `Quick
+            test_topo_error_unknown_attr;
+          Alcotest.test_case "latency errors" `Quick test_topo_error_latency;
+          Alcotest.test_case "unknown directive" `Quick
+            test_topo_error_unknown_directive;
+          Alcotest.test_case "line numbers" `Quick
+            test_topo_error_line_numbers;
+          Alcotest.test_case "semantic errors carry lines" `Quick
+            test_topo_semantic_errors_carry_lines;
+        ] );
+    ]
