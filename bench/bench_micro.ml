@@ -111,6 +111,59 @@ let test_trace_jsonl =
   Test.make ~name:"trace/event_to_jsonl"
     (Staged.stage (fun () -> Sim.Trace.event_to_jsonl event))
 
+(* Fault-hook overhead: the link delivery path now consults per-direction
+   mutable fault state (up, loss override, latency factor) on every
+   packet.  These two cases run the identical two-node fetch workload
+   with and without a fault schedule installed — they must stay within
+   noise of each other (the hooks are branch-and-multiply, no
+   allocation). *)
+let fault_fetch_workload ~faulted =
+  let net = Ndn.Network.create ~seed:11 () in
+  let c = Ndn.Network.add_node net ~caching:false "C" in
+  let p = Ndn.Network.add_node net "P" in
+  let prefix = Ndn.Name.of_string "/m" in
+  let cf, _ = Ndn.Network.connect net ~latency:(Sim.Latency.Constant 1.) c p in
+  Ndn.Network.route net c ~prefix ~via:cf;
+  Ndn.Node.add_producer p ~prefix (fun i ->
+      Some
+        (Ndn.Data.create ~producer:"P" ~key:"k" ~payload:"x"
+           i.Ndn.Interest.name));
+  if faulted then begin
+    (* A degrade window that opens and closes during the first fetch:
+       afterwards every iteration runs with the fault machinery armed
+       but the link at its base parameters. *)
+    let schedule =
+      [
+        {
+          Sim.Fault.at = 0.;
+          kind =
+            Sim.Fault.Link_degrade
+              {
+                a = "C";
+                b = "P";
+                dir = Sim.Fault.Both;
+                loss = 0.;
+                latency_factor = 1.;
+                until = 0.5;
+              };
+        };
+      ]
+    in
+    match Ndn.Network.install_faults net schedule with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  end;
+  let name = Ndn.Name.of_string "/m/bench" in
+  fun () -> ignore (Ndn.Network.fetch_rtt net ~from:c name)
+
+let test_fault_fetch_baseline =
+  Test.make ~name:"fault/fetch-no-schedule"
+    (Staged.stage (fault_fetch_workload ~faulted:false))
+
+let test_fault_fetch_idle =
+  Test.make ~name:"fault/fetch-idle-schedule"
+    (Staged.stage (fault_fetch_workload ~faulted:true))
+
 let test_pit =
   let pit = Ndn.Pit.create () in
   let i = ref 0 in
@@ -184,6 +237,8 @@ let tests =
       test_cs_trace_null_sink;
       test_trace_emit;
       test_trace_jsonl;
+      test_fault_fetch_baseline;
+      test_fault_fetch_idle;
       test_pit;
       test_random_cache;
       test_hmac;

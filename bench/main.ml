@@ -25,11 +25,12 @@
              correlation/grouping)
      thms  - Theorems VI.1-VI.4 vs exact enumeration / Monte-Carlo
      ablation - design-choice ablations
+     chaos - attack accuracy and cache utility under router churn
      micro - Bechamel micro-benchmarks *)
 
 let usage () =
   print_endline
-    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|micro]... \
+    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro]... \
      [--fast|--full] [--jobs N] [--trace FILE] [--trace-format jsonl|csv]";
   exit 1
 
@@ -97,7 +98,7 @@ let () =
   let want name = List.mem "all" selected || List.mem name selected in
   List.iter
     (fun name ->
-      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "micro" ])
+      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "chaos"; "micro" ])
       then usage ())
     selected;
   if want "fig3" then Bench_fig3.run ~scale ~jobs ?trace ();
@@ -106,5 +107,6 @@ let () =
   if want "text" then Bench_text.run ~scale ();
   if want "thms" then Bench_thms.run ~scale ~jobs ();
   if want "ablation" then Bench_ablation.run ~scale ~jobs ();
+  if want "chaos" then Bench_chaos.run ~scale ~jobs ();
   if want "micro" then Bench_micro.run ();
   Format.printf "@.done.@."

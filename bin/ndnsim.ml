@@ -72,6 +72,42 @@ let write_trace ~file ~format tracer =
   Format.printf "trace: %d events -> %s (%s)@." (Sim.Trace.length tracer) file
     (Sim.Trace.format_to_string format)
 
+(* --- fault schedules (--faults) --- *)
+
+let faults_arg =
+  let parse path =
+    match Sim.Fault.load ~path with
+    | Ok schedule -> Ok schedule
+    | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg))
+  in
+  let print ppf s = Format.fprintf ppf "<%d faults>" (List.length s) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "faults" ] ~docv:"FILE"
+        ~doc:
+          "Inject the deterministic fault schedule in $(docv) (one fault \
+           per line: TIME KIND ARGS; see $(b,Sim.Fault)) into every \
+           simulated network.")
+
+let install_faults_or_die net = function
+  | None -> ()
+  | Some schedule -> (
+    match Ndn.Network.install_faults net schedule with
+    | Ok () -> ()
+    | Error msg ->
+      Format.eprintf "fault schedule: %s@." msg;
+      exit 1)
+
+(* Timing_experiment installs the schedule into each run's fresh
+   network and rejects unknown targets there; surface that as a clean
+   CLI error rather than an uncaught exception. *)
+let experiment_or_die f =
+  try f ()
+  with Invalid_argument msg ->
+    Format.eprintf "%s@." msg;
+    exit 1
+
 let countermeasure_arg =
   let parse s =
     match String.split_on_char ':' s with
@@ -124,12 +160,14 @@ let attach_countermeasure ?tracer router ~seed = function
 (* --- attack: the Figure 3 measurement campaign --- *)
 
 let attack_cmd =
-  let run topology contents runs seed jobs trace_file trace_format =
+  let run topology contents runs seed jobs trace_file trace_format faults =
     let result =
-      Attack.Timing_experiment.run
-        ~make_setup:(make_setup_of_topology topology)
-        ~contents ~runs ~seed ?jobs
-        ~trace:(trace_file <> None) ()
+      experiment_or_die (fun () ->
+          Attack.Timing_experiment.run
+            ~make_setup:(make_setup_of_topology topology)
+            ~contents ~runs ~seed ?jobs
+            ?faults
+            ~trace:(trace_file <> None) ())
     in
     Attack.Timing_experiment.pp_result Format.std_formatter result;
     match trace_file with
@@ -157,12 +195,12 @@ let attack_cmd =
        ~doc:"Run the cache timing attack and report hit/miss RTT histograms.")
     Term.(
       const run $ topology_arg $ contents $ runs $ seed_arg $ jobs
-      $ trace_file_arg $ trace_format_arg)
+      $ trace_file_arg $ trace_format_arg $ faults_arg)
 
 (* --- defend: attack vs countermeasure --- *)
 
 let defend_cmd =
-  let run topology cm contents runs seed jobs trace_file trace_format =
+  let run topology cm contents runs seed jobs trace_file trace_format faults =
     let base_make = make_setup_of_topology topology in
     (* The defended variant marks all content producer-private so the
        countermeasure engages. *)
@@ -185,12 +223,14 @@ let defend_cmd =
     in
     let trace = trace_file <> None in
     let baseline =
-      Attack.Timing_experiment.run ~make_setup:base_make ~contents ~runs ~seed
-        ?jobs ~trace ()
+      experiment_or_die (fun () ->
+          Attack.Timing_experiment.run ~make_setup:base_make ~contents ~runs
+            ~seed ?jobs ?faults ~trace ())
     in
     let defended =
-      Attack.Timing_experiment.run ~make_setup:producer_make ~contents ~runs
-        ~seed ?jobs ~trace ()
+      experiment_or_die (fun () ->
+          Attack.Timing_experiment.run ~make_setup:producer_make ~contents
+            ~runs ~seed ?jobs ?faults ~trace ())
     in
     Format.printf "undefended distinguisher: %.2f%%@."
       (100. *. baseline.Attack.Timing_experiment.success_rate);
@@ -223,7 +263,7 @@ let defend_cmd =
        ~doc:"Measure distinguisher accuracy with and without a countermeasure.")
     Term.(
       const run $ topology_arg $ countermeasure_arg $ contents $ runs $ seed_arg
-      $ jobs $ trace_file_arg $ trace_format_arg)
+      $ jobs $ trace_file_arg $ trace_format_arg $ faults_arg)
 
 (* --- trace generation --- *)
 
@@ -433,11 +473,12 @@ let interact_cmd =
 (* --- probe: one-off interactive probing --- *)
 
 let probe_cmd =
-  let run topology warm target scope seed trace_file trace_format =
+  let run topology warm target scope seed trace_file trace_format faults =
     let tracer =
       if trace_file <> None then Sim.Trace.create () else Sim.Trace.disabled
     in
     let setup = (make_setup_of_topology topology) ~seed ~tracer in
+    install_faults_or_die setup.Ndn.Network.net faults;
     List.iter
       (fun w ->
         ignore
@@ -471,13 +512,13 @@ let probe_cmd =
     (Cmd.info "probe" ~doc:"Issue a single adversarial probe in a chosen topology.")
     Term.(
       const run $ topology_arg $ warm $ target $ scope $ seed_arg
-      $ trace_file_arg $ trace_format_arg)
+      $ trace_file_arg $ trace_format_arg $ faults_arg)
 
 (* --- topo: run probes in a user-defined topology --- *)
 
 let topo_cmd =
   let run file warm_node warm probe_node target scope seed trace_file
-      trace_format =
+      trace_format faults =
     let tracer =
       if trace_file <> None then Sim.Trace.create () else Sim.Trace.disabled
     in
@@ -486,6 +527,7 @@ let topo_cmd =
       Format.eprintf "%s@." msg;
       exit 1
     | Ok topo ->
+      install_faults_or_die topo.Ndn.Topology_spec.network faults;
       Format.printf "topology: %d nodes (%s)@."
         (List.length topo.Ndn.Topology_spec.nodes)
         (String.concat ", " (List.map fst topo.Ndn.Topology_spec.nodes));
@@ -544,7 +586,93 @@ let topo_cmd =
     (Cmd.info "topo" ~doc:"Run fetches and probes in a topology defined in a spec file.")
     Term.(
       const run $ file $ warm_node $ warm $ probe_node $ target $ scope
-      $ seed_arg $ trace_file_arg $ trace_format_arg)
+      $ seed_arg $ trace_file_arg $ trace_format_arg $ faults_arg)
+
+(* --- chaos: the attack under router churn --- *)
+
+let chaos_cmd =
+  let run topology restart_mean downtime horizon preserve_cs contents runs seed
+      jobs trace_file trace_format faults =
+    let schedule =
+      match faults with
+      | Some s -> s
+      | None ->
+        (* The probed cache's host: the shared router R everywhere
+           except the local-host topology, where the host's own
+           forwarder is probed. *)
+        let router = match topology with `Local -> "host" | _ -> "R" in
+        Sim.Fault.random_restarts
+          ~rng:(Sim.Rng.create (seed + 0x5eed))
+          ~nodes:[ router ] ~mean_uptime_ms:restart_mean ~downtime_ms:downtime
+          ~horizon_ms:horizon ~preserve_cs ()
+    in
+    Format.printf "fault schedule (%d events):@.%s" (List.length schedule)
+      (Sim.Fault.print schedule);
+    let result =
+      experiment_or_die (fun () ->
+          Attack.Timing_experiment.run
+            ~make_setup:(make_setup_of_topology topology)
+            ~contents ~runs ~seed ?jobs ~faults:schedule
+            ~trace:(trace_file <> None) ())
+    in
+    Attack.Timing_experiment.pp_result Format.std_formatter result;
+    let fnr = Attack.Timing_experiment.false_negative_rate result in
+    if not (Float.is_nan fnr) then
+      Format.printf "attacker false-negative rate under churn: %.2f%%@."
+        (100. *. fnr);
+    match trace_file with
+    | Some file ->
+      write_trace ~file ~format:trace_format result.Attack.Timing_experiment.trace
+    | None -> ()
+  in
+  let restart_mean =
+    Arg.(
+      value & opt float 3000.
+      & info [ "restart-mean" ] ~docv:"MS"
+          ~doc:"Mean router uptime between crashes (exponential).")
+  in
+  let downtime =
+    Arg.(
+      value & opt float 300.
+      & info [ "downtime" ] ~docv:"MS" ~doc:"Downtime per crash before restart.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 20000.
+      & info [ "horizon" ] ~docv:"MS" ~doc:"Crash process horizon per run.")
+  in
+  let preserve_cs =
+    Arg.(
+      value & flag
+      & info [ "preserve-cs" ]
+          ~doc:"Model a persistent Content Store that survives reboots.")
+  in
+  let contents =
+    Arg.(value & opt int 40 & info [ "contents" ] ~docv:"N" ~doc:"Contents per run.")
+  in
+  let runs =
+    Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Independent runs.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Fan runs over $(docv) domains (default: one per hardware \
+             thread).  Results and traces are identical for any value.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the timing attack under router churn: crash/restart the probed \
+          router on a seeded random schedule (or one from $(b,--faults)) and \
+          report per-phase distinguisher accuracy and the attacker's \
+          false-negative rate.")
+    Term.(
+      const run $ topology_arg $ restart_mean $ downtime $ horizon
+      $ preserve_cs $ contents $ runs $ seed_arg $ jobs $ trace_file_arg
+      $ trace_format_arg $ faults_arg)
 
 let () =
   let doc = "NDN cache-privacy laboratory (ICDCS 2013 reproduction)" in
@@ -562,4 +690,5 @@ let () =
             leak_cmd;
             interact_cmd;
             topo_cmd;
+            chaos_cmd;
           ]))

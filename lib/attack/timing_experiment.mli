@@ -2,6 +2,22 @@
     distributions in a given topology and quantify how well the
     adversary distinguishes them. *)
 
+type phase = {
+  phase_start : float;  (** Inclusive start (virtual ms within a run). *)
+  phase_end : float;  (** Exclusive end; [infinity] for the last phase. *)
+  phase_warm : int;  (** Warm (should-be-hit) probes issued in the window. *)
+  phase_cold : int;
+  phase_accuracy : float;
+      (** Balanced accuracy of the campaign-wide detector restricted to
+          this window's probes (timeouts classified as misses); [nan]
+          when a side is empty. *)
+  phase_fnr : float;
+      (** False-negative rate: warm probes the adversary classified as
+          "not cached" (slow answer or timeout).  This is the headline
+          churn metric — every router restart flushes the cache, so the
+          user's requests stop being observable until re-warmed. *)
+}
+
 type result = {
   hit_samples : float array;  (** RTTs of probes served from the probed cache. *)
   miss_samples : float array;  (** RTTs of probes served from beyond it. *)
@@ -15,6 +31,9 @@ type result = {
   trace : Sim.Trace.t;
       (** Per-run traces merged in run order; {!Sim.Trace.disabled}
           unless the campaign ran with [trace:true]. *)
+  phases : phase list;
+      (** Separability per fault phase (segments of
+          {!Sim.Fault.phase_boundaries}); empty without [faults]. *)
 }
 
 val run :
@@ -25,6 +44,9 @@ val run :
   ?bins:int ->
   ?jobs:int ->
   ?trace:bool ->
+  ?faults:Sim.Fault.schedule ->
+  ?probe_interval_ms:float ->
+  ?probe_lag_ms:float ->
   unit ->
   result
 (** Reproduce the paper's procedure: per run (fresh caches), the
@@ -41,7 +63,20 @@ val run :
     unless [trace] (default [false]) is set, in which case each run
     buffers its events privately and the buffers are merged in run
     order into [result.trace] — rendering that trace yields the same
-    bytes for any [jobs]. *)
+    bytes for any [jobs].
+
+    [faults] (default empty — byte-identical to the unfaulted
+    procedure) installs the schedule into every run's fresh network and
+    paces the warm/probe/probe triples across the fault horizon, one
+    triple every [probe_interval_ms] (default: the horizon plus a tail,
+    divided by [contents], floored at 50 ms), so probes sample every
+    network regime; [result.phases] then reports per-phase
+    separability.  Within each triple the adversary probes
+    [probe_lag_ms] (default: half the interval) after the user's fetch
+    — the adversary cannot observe the fetch, so a router reboot inside
+    that window flushes the cache and produces a false negative.
+    @raise Invalid_argument if the schedule names unknown nodes or
+    links. *)
 
 val run_producer_privacy :
   make_setup:(seed:int -> tracer:Sim.Trace.t -> Ndn.Network.probe_setup) ->
@@ -51,6 +86,9 @@ val run_producer_privacy :
   ?bins:int ->
   ?jobs:int ->
   ?trace:bool ->
+  ?faults:Sim.Fault.schedule ->
+  ?probe_interval_ms:float ->
+  ?probe_lag_ms:float ->
   unit ->
   result
 (** Variant for Figure 3(c): "hit" means {e some consumer} recently
@@ -59,5 +97,10 @@ val run_producer_privacy :
     interpretation; kept separate so call sites document which claim
     they reproduce. *)
 
+val false_negative_rate : result -> float
+(** Warm-probe-weighted average of the per-phase false-negative rates;
+    [nan] for an unfaulted campaign (no phases). *)
+
 val pp_result : Format.formatter -> result -> unit
-(** Histograms side by side plus the distinguisher success rate. *)
+(** Histograms side by side plus the distinguisher success rate, and —
+    for faulted campaigns — a per-phase separability table. *)

@@ -51,7 +51,11 @@ let fetch node ?(max_retries = 3) ?estimator ?consumer_private ~on_done name =
         ~on_data:(fun ~rtt_ms data ->
           if not !finished then begin
             finished := true;
-            Rtt_estimator.observe estimator ~rtt_ms;
+            (* Karn's algorithm: a sample taken after a retransmission
+               is ambiguous — the data may answer the original interest
+               (inflated RTT) or the re-issued one — so it must not
+               feed the estimator.  The backed-off RTO is kept. *)
+            if n = 1 then Rtt_estimator.observe estimator ~rtt_ms;
             on_done
               {
                 data = Some data;

@@ -48,8 +48,10 @@ val fetch :
 (** Express an interest and retransmit on timeout, up to [max_retries]
     (default 3) additional attempts, with exponentially backed-off
     timeouts from the estimator (a fresh one per call when omitted).
-    Successful RTTs feed the estimator.  Drive the engine to observe
-    [on_done]. *)
+    Per Karn's algorithm only first-attempt RTTs feed the estimator —
+    a sample measured across a retransmission is ambiguous and would
+    corrupt [srtt] — while the backed-off RTO is retained either way.
+    Drive the engine to observe [on_done]. *)
 
 val fetch_sequence :
   Node.t ->

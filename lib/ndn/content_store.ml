@@ -301,6 +301,12 @@ let clear t =
   t.slots_len <- 0;
   Name.Tbl.reset t.slot_of
 
+let flush t ~now =
+  let dropped = size t in
+  clear t;
+  trace t ~now Sim.Trace.Cs_flush Name.root
+    [ ("dropped", string_of_int dropped) ]
+
 let fold t ~init ~f =
   let rec go acc = function
     | None -> acc

@@ -65,6 +65,12 @@ val policy : 'meta t -> Eviction.t
 
 val clear : 'meta t -> unit
 
+val flush : 'meta t -> now:float -> unit
+(** {!clear}, traced: emits one [cs.flush] record carrying the number
+    of entries dropped.  The crash path of fault injection — a router
+    reboot loses its whole Content Store at once, and the trace should
+    say so rather than show [size] silent evictions. *)
+
 val fold : 'meta t -> init:'acc -> f:('acc -> 'meta entry -> 'acc) -> 'acc
 
 type counters = {

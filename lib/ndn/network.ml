@@ -1,65 +1,295 @@
-type t = { engine : Sim.Engine.t; rng : Sim.Rng.t; tracer : Sim.Trace.t }
+(* One direction of a link.  [loss] and [latency_factor] start at their
+   base values and are perturbed by fault injection; a restore resets
+   them to base.  The hot-path invariant: with no faults ever applied,
+   [up = true], [loss = base_loss] and [latency_factor = 1.] — so the
+   delivery code below draws exactly the same RNG stream as it would
+   without any fault machinery (multiplying a latency by 1.0 is an
+   exact float identity). *)
+type link_dir = {
+  base_loss : float;
+  mutable up : bool;
+  mutable loss : float;
+  mutable latency_factor : float;
+}
+
+type link = {
+  l_a : string;
+  l_b : string;
+  ab : link_dir;  (** The [l_a] → [l_b] direction. *)
+  ba : link_dir;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  tracer : Sim.Trace.t;
+  mutable node_list : (string * Node.t) list;  (* creation order *)
+  mutable links : link list;
+}
 
 let create ?(seed = 42) ?(tracer = Sim.Trace.disabled) () =
-  { engine = Sim.Engine.create ~tracer (); rng = Sim.Rng.create seed; tracer }
+  {
+    engine = Sim.Engine.create ~tracer ();
+    rng = Sim.Rng.create seed;
+    tracer;
+    node_list = [];
+    links = [];
+  }
 
 let engine t = t.engine
 let rng t = t.rng
 let tracer t = t.tracer
 let now t = Sim.Engine.now t.engine
+let nodes t = t.node_list
+let node t label = List.assoc_opt label t.node_list
 
 let add_node t ?(cs_capacity = 0) ?cs_policy ?forwarding_delay ?honor_scope
     ?caching label =
-  Node.create t.engine ~rng:(Sim.Rng.split t.rng) ~label ~tracer:t.tracer
-    ~cs_capacity ?cs_policy ?forwarding_delay ?honor_scope ?caching ()
+  let n =
+    Node.create t.engine ~rng:(Sim.Rng.split t.rng) ~label ~tracer:t.tracer
+      ~cs_capacity ?cs_policy ?forwarding_delay ?honor_scope ?caching ()
+  in
+  t.node_list <- t.node_list @ [ (label, n) ];
+  n
 
 let connect t ?(loss = 0.) ?latency_ba ~latency a b =
   let lat_ab = latency in
   let lat_ba = Option.value latency_ba ~default:latency in
+  let fresh_dir () = { base_loss = loss; up = true; loss; latency_factor = 1. } in
+  let link =
+    { l_a = Node.label a; l_b = Node.label b; ab = fresh_dir (); ba = fresh_dir () }
+  in
+  t.links <- t.links @ [ link ];
   let face_b = ref (-1) in
-  let deliver ~src node face_ref lat pkt =
-    (* Sample loss, then latency, in a fixed order for determinism.
-       Both draws happen whether or not tracing is on, so enabling a
-       tracer never perturbs the RNG stream. *)
-    let lost = loss > 0. && Sim.Rng.bernoulli t.rng loss in
-    let d = Sim.Latency.sample lat t.rng in
-    if Sim.Trace.enabled t.tracer then begin
-      let pkt_type, name =
-        match pkt with
-        | Packet.Interest i -> ("interest", i.Interest.name)
-        | Packet.Data data -> ("data", data.Data.name)
-      in
-      Sim.Trace.emit t.tracer
-        {
-          Sim.Trace.time = Sim.Engine.now t.engine;
-          node = src;
-          kind = (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
-          name = Name.to_string name;
-          attrs =
-            [
-              ("dst", Node.label node);
-              ("pkt", pkt_type);
-              ("delay_ms", Printf.sprintf "%.6f" d);
-            ];
-        }
-    end;
-    if not lost then
-      ignore
-        (Sim.Engine.schedule t.engine ~delay:d (fun () ->
-             Node.receive node ~face:!face_ref pkt))
+  let deliver ~src ~dir node face_ref lat pkt =
+    let pkt_name () =
+      match pkt with
+      | Packet.Interest i -> ("interest", i.Interest.name)
+      | Packet.Data data -> ("data", data.Data.name)
+    in
+    if not dir.up then begin
+      (* A downed direction consumes no randomness: when the link comes
+         back the RNG stream continues exactly where it left off. *)
+      if Sim.Trace.enabled t.tracer then begin
+        let pkt_type, name = pkt_name () in
+        Sim.Trace.emit t.tracer
+          {
+            Sim.Trace.time = Sim.Engine.now t.engine;
+            node = src;
+            kind = Sim.Trace.Link_drop;
+            name = Name.to_string name;
+            attrs =
+              [ ("dst", Node.label node); ("pkt", pkt_type); ("reason", "down") ];
+          }
+      end
+    end
+    else begin
+      (* Sample loss, then latency, in a fixed order for determinism.
+         Both draws happen whether or not tracing is on, so enabling a
+         tracer never perturbs the RNG stream. *)
+      let lost = dir.loss > 0. && Sim.Rng.bernoulli t.rng dir.loss in
+      let d = Sim.Latency.sample lat t.rng *. dir.latency_factor in
+      if Sim.Trace.enabled t.tracer then begin
+        let pkt_type, name = pkt_name () in
+        Sim.Trace.emit t.tracer
+          {
+            Sim.Trace.time = Sim.Engine.now t.engine;
+            node = src;
+            kind = (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
+            name = Name.to_string name;
+            attrs =
+              [
+                ("dst", Node.label node);
+                ("pkt", pkt_type);
+                ("delay_ms", Printf.sprintf "%.6f" d);
+              ];
+          }
+      end;
+      if not lost then
+        ignore
+          (Sim.Engine.schedule t.engine ~delay:d (fun () ->
+               Node.receive node ~face:!face_ref pkt))
+    end
   in
   let face_a_ref = ref (-1) in
   let face_a =
     Node.add_wire_face a (fun pkt ->
-        deliver ~src:(Node.label a) b face_b lat_ab pkt)
+        deliver ~src:(Node.label a) ~dir:link.ab b face_b lat_ab pkt)
   in
   face_a_ref := face_a;
   let fb =
     Node.add_wire_face b (fun pkt ->
-        deliver ~src:(Node.label b) a face_a_ref lat_ba pkt)
+        deliver ~src:(Node.label b) ~dir:link.ba a face_a_ref lat_ba pkt)
   in
   face_b := fb;
   (face_a, fb)
+
+(* --- fault injection --- *)
+
+(* Find the link joining [a] and [b] in either orientation; the bool is
+   [true] when it is stored as (b, a), in which case the caller's "ab"
+   direction is the stored [ba] one. *)
+let find_link t a b =
+  let rec go = function
+    | [] -> Error (Printf.sprintf "no link between %s and %s" a b)
+    | l :: rest ->
+      if l.l_a = a && l.l_b = b then Ok (l, false)
+      else if l.l_a = b && l.l_b = a then Ok (l, true)
+      else go rest
+  in
+  go t.links
+
+let dirs_of link ~flipped (dir : Sim.Fault.direction) =
+  match (dir, flipped) with
+  | Sim.Fault.Both, _ -> [ link.ab; link.ba ]
+  | Ab, false | Ba, true -> [ link.ab ]
+  | Ba, false | Ab, true -> [ link.ba ]
+
+let direction_label = function
+  | Sim.Fault.Ab -> "ab"
+  | Sim.Fault.Ba -> "ba"
+  | Sim.Fault.Both -> "both"
+
+let set_link_state t ~a ~b ?(dir = Sim.Fault.Both) ~up () =
+  Result.map
+    (fun (link, flipped) ->
+      List.iter (fun d -> d.up <- up) (dirs_of link ~flipped dir))
+    (find_link t a b)
+
+let degrade_link t ~a ~b ?(dir = Sim.Fault.Both) ?loss ?latency_factor () =
+  Result.map
+    (fun (link, flipped) ->
+      List.iter
+        (fun d ->
+          (match loss with Some l -> d.loss <- l | None -> ());
+          match latency_factor with
+          | Some f -> d.latency_factor <- f
+          | None -> ())
+        (dirs_of link ~flipped dir))
+    (find_link t a b)
+
+let restore_link t ~a ~b ?(dir = Sim.Fault.Both) () =
+  Result.map
+    (fun (link, flipped) ->
+      List.iter
+        (fun d ->
+          d.loss <- d.base_loss;
+          d.latency_factor <- 1.)
+        (dirs_of link ~flipped dir))
+    (find_link t a b)
+
+let trace_fault t ~node kind attrs =
+  if Sim.Trace.enabled t.tracer then
+    Sim.Trace.emit t.tracer
+      {
+        Sim.Trace.time = Sim.Engine.now t.engine;
+        node;
+        kind;
+        name = "";
+        attrs;
+      }
+
+let f6 = Printf.sprintf "%.6f"
+
+(* Execute one fault event at its scheduled instant.  Targets were
+   validated by [install_faults], so lookups here cannot fail; the
+   [Error _] branches are unreachable belt-and-braces. *)
+let apply_fault t (e : Sim.Fault.event) =
+  let ignore_result (_ : (unit, string) result) = () in
+  match e.Sim.Fault.kind with
+  | Sim.Fault.Link_down { a; b; dir } ->
+    trace_fault t ~node:a Sim.Trace.Fault_link
+      [ ("peer", b); ("dir", direction_label dir); ("state", "down") ];
+    ignore_result (set_link_state t ~a ~b ~dir ~up:false ())
+  | Link_up { a; b; dir } ->
+    trace_fault t ~node:a Sim.Trace.Fault_link
+      [ ("peer", b); ("dir", direction_label dir); ("state", "up") ];
+    ignore_result (set_link_state t ~a ~b ~dir ~up:true ())
+  | Link_degrade { a; b; dir; loss; latency_factor; until } ->
+    trace_fault t ~node:a Sim.Trace.Fault_link
+      [
+        ("peer", b);
+        ("dir", direction_label dir);
+        ("state", "degraded");
+        ("loss", f6 loss);
+        ("latency_factor", f6 latency_factor);
+        ("until", f6 until);
+      ];
+    ignore_result (degrade_link t ~a ~b ~dir ~loss ~latency_factor ());
+    ignore
+      (Sim.Engine.schedule_at t.engine ~time:until (fun () ->
+           trace_fault t ~node:a Sim.Trace.Fault_link
+             [ ("peer", b); ("dir", direction_label dir); ("state", "restored") ];
+           ignore_result (restore_link t ~a ~b ~dir ())))
+  | Node_crash { node = label; preserve_cs } ->
+    trace_fault t ~node:label Sim.Trace.Fault_crash
+      [ ("preserve_cs", string_of_bool preserve_cs) ];
+    Option.iter (Node.crash ~preserve_cs) (node t label)
+  | Node_restart { node = label } ->
+    trace_fault t ~node:label Sim.Trace.Fault_restart [];
+    Option.iter Node.restart (node t label)
+  | Producer_outage { node = label; until } ->
+    trace_fault t ~node:label Sim.Trace.Fault_producer
+      [ ("state", "down"); ("until", f6 until) ];
+    Option.iter
+      (fun n ->
+        Node.set_producers_enabled n false;
+        ignore
+          (Sim.Engine.schedule_at t.engine ~time:until (fun () ->
+               trace_fault t ~node:label Sim.Trace.Fault_producer
+                 [ ("state", "restored") ];
+               Node.set_producers_enabled n true)))
+      (node t label)
+  | Producer_slowdown { node = label; factor; until } ->
+    trace_fault t ~node:label Sim.Trace.Fault_producer
+      [ ("state", "slow"); ("factor", f6 factor); ("until", f6 until) ];
+    Option.iter
+      (fun n ->
+        Node.set_production_factor n factor;
+        ignore
+          (Sim.Engine.schedule_at t.engine ~time:until (fun () ->
+               trace_fault t ~node:label Sim.Trace.Fault_producer
+                 [ ("state", "restored") ];
+               Node.set_production_factor n 1.)))
+      (node t label)
+
+(* Check that every event's targets exist before anything is scheduled,
+   so a typo in a schedule fails loudly instead of silently no-opping
+   halfway through a run. *)
+let check_targets t (e : Sim.Fault.event) =
+  let need_node label =
+    match node t label with
+    | Some _ -> Ok ()
+    | None -> Error (Printf.sprintf "unknown node %S" label)
+  in
+  let need_link a b = Result.map (fun _ -> ()) (find_link t a b) in
+  let r =
+    match e.Sim.Fault.kind with
+    | Sim.Fault.Link_down { a; b; _ }
+    | Link_up { a; b; _ }
+    | Link_degrade { a; b; _ } -> need_link a b
+    | Node_crash { node; _ } | Node_restart { node } -> need_node node
+    | Producer_outage { node; _ } | Producer_slowdown { node; _ } ->
+      need_node node
+  in
+  Result.map_error
+    (fun msg -> Printf.sprintf "fault at t=%g: %s" e.Sim.Fault.at msg)
+    r
+
+let install_faults t schedule =
+  let rec check = function
+    | [] -> Ok ()
+    | e :: rest -> (
+      match Sim.Fault.validate e with
+      | Error _ as err -> err
+      | Ok () -> (
+        match check_targets t e with
+        | Ok () -> check rest
+        | Error _ as err -> err))
+  in
+  Result.map
+    (fun () -> Sim.Fault.install ~engine:t.engine ~apply:(apply_fault t) schedule)
+    (check schedule)
 
 let route _t node ~prefix ~via = Fib.add_route (Node.fib node) ~prefix ~face:via
 

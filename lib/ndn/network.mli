@@ -52,6 +52,54 @@ val connect :
 val route : t -> Node.t -> prefix:Name.t -> via:int -> unit
 (** Install a FIB route on a node. *)
 
+val node : t -> string -> Node.t option
+(** Look a node up by the label it was created with via {!add_node}. *)
+
+val nodes : t -> (string * Node.t) list
+(** Every node created via {!add_node}, in creation order. *)
+
+(** {1 Fault injection}
+
+    Link and producer state can be perturbed mid-run, either directly
+    or by installing a {!Sim.Fault.schedule}.  All mutations are
+    executed as ordinary engine events at deterministic virtual times,
+    and a direction that is down consumes no randomness — so a faulted
+    run is byte-reproducible and a run with an empty schedule is
+    byte-identical to one with no fault machinery at all. *)
+
+val set_link_state :
+  t -> a:string -> b:string -> ?dir:Sim.Fault.direction -> up:bool -> unit ->
+  (unit, string) result
+(** Bring the [a]–[b] link (created by {!connect}, either orientation)
+    down or up; [dir] (default [Both]) selects which direction(s), with
+    [Ab] meaning [a]→[b] as named {e in this call}.  Packets offered to
+    a downed direction are dropped silently (traced as [link.drop] with
+    [reason=down]).  [Error _] if no such link exists. *)
+
+val degrade_link :
+  t -> a:string -> b:string -> ?dir:Sim.Fault.direction -> ?loss:float ->
+  ?latency_factor:float -> unit -> (unit, string) result
+(** Override a link direction's loss probability and/or multiply its
+    sampled latencies.  Omitted parameters are left untouched. *)
+
+val restore_link :
+  t -> a:string -> b:string -> ?dir:Sim.Fault.direction -> unit ->
+  (unit, string) result
+(** Reset a link direction to its base parameters from {!connect}:
+    configured loss, latency factor 1.  Does not change up/down state. *)
+
+val install_faults : t -> Sim.Fault.schedule -> (unit, string) result
+(** Validate the schedule ({!Sim.Fault.validate} plus an upfront check
+    that every named node and link exists in this network) and schedule
+    each event with the engine.  Applying an event emits a [fault.*]
+    trace record and then performs its semantics: link events drive
+    {!set_link_state}/{!degrade_link}, [Node_crash]/[Node_restart] call
+    {!Node.crash}/{!Node.restart}, producer faults toggle
+    {!Node.set_producers_enabled}/{!Node.set_production_factor}.
+    Windowed faults ([Link_degrade], [Producer_outage],
+    [Producer_slowdown]) schedule their own restore at [until] (traced
+    with [state=restored]).  On [Error _] nothing was scheduled. *)
+
 val run : ?until:float -> t -> unit
 (** Drain the event queue (bounded by [until] when given). *)
 

@@ -23,6 +23,7 @@ type face_kind =
 type pending_expression = {
   issued : float;
   on_data : rtt_ms:float -> Data.t -> unit;
+  on_timeout : unit -> unit;
   timeout_handle : Sim.Engine.handle;
 }
 
@@ -37,6 +38,7 @@ type mutable_counters = {
   mutable scope_drops : int;
   mutable no_route_drops : int;
   mutable unsolicited_data : int;
+  mutable dropped_down : int;
 }
 
 type counters = {
@@ -50,6 +52,7 @@ type counters = {
   scope_drops : int;
   no_route_drops : int;
   unsolicited_data : int;
+  dropped_down : int;
 }
 
 type t = {
@@ -64,6 +67,9 @@ type t = {
   forwarding_delay : Sim.Latency.t;
   honor_scope : bool;
   mutable caching : bool;
+  mutable alive : bool;
+  mutable producers_enabled : bool;
+  mutable production_factor : float;
   mutable faces : face_kind array;
   mutable n_faces : int;
   pending_local : pending_expression list ref Name_trie.t;
@@ -92,6 +98,9 @@ let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
     forwarding_delay;
     honor_scope;
     caching;
+    alive = true;
+    producers_enabled = true;
+    production_factor = 1.;
     faces = [| Local_app |];
     n_faces = 1;
     pending_local = Name_trie.create ();
@@ -108,6 +117,7 @@ let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
         scope_drops = 0;
         no_route_drops = 0;
         unsolicited_data = 0;
+        dropped_down = 0;
       };
   }
 
@@ -205,18 +215,26 @@ let rec send_interest_on_face t ~face interest =
              send (Packet.Interest interest)));
       true)
   | Producer_app { handler; delay } -> (
-    t.c.interests_forwarded <- t.c.interests_forwarded + 1;
-    trace t Sim.Trace.Interest_forwarded interest.Interest.name
-      [ ("face", string_of_int face); ("producer", "true") ];
-    match handler interest with
-    | None -> false
-    | Some data ->
-      ignore
-        (Sim.Engine.schedule t.engine ~delay (fun () ->
-             (* The produced object behaves as data arriving on the
-                producer's app face. *)
-             handle_data_internal t ~face data));
-      true)
+    (* An injected outage silences every producer application on this
+       node: the interest dies here and the PIT entry times out
+       downstream, exactly like an unreachable origin. *)
+    if not t.producers_enabled then false
+    else begin
+      t.c.interests_forwarded <- t.c.interests_forwarded + 1;
+      trace t Sim.Trace.Interest_forwarded interest.Interest.name
+        [ ("face", string_of_int face); ("producer", "true") ];
+      match handler interest with
+      | None -> false
+      | Some data ->
+        ignore
+          (Sim.Engine.schedule t.engine
+             ~delay:(delay *. t.production_factor)
+             (fun () ->
+               (* The produced object behaves as data arriving on the
+                  producer's app face. *)
+               handle_data_internal t ~face data));
+        true
+    end)
   | Local_app ->
     t.c.no_route_drops <- t.c.no_route_drops + 1;
     false
@@ -224,6 +242,10 @@ let rec send_interest_on_face t ~face interest =
 (* --- data path --- *)
 
 and handle_data_internal t ~face data =
+  if not t.alive then t.c.dropped_down <- t.c.dropped_down + 1
+  else handle_data_alive t ~face data
+
+and handle_data_alive t ~face data =
   let now = Sim.Engine.now t.engine in
   t.c.data_received <- t.c.data_received + 1;
   trace t Sim.Trace.Data_received data.Data.name
@@ -265,7 +287,7 @@ let forward_as_miss t ~face interest =
     | [] -> t.c.no_route_drops <- t.c.no_route_drops + 1
     | hop :: _ -> ignore (send_interest_on_face t ~face:hop interest))
 
-let handle_interest t ~face interest =
+let handle_interest_alive t ~face interest =
   let now = Sim.Engine.now t.engine in
   t.c.interests_received <- t.c.interests_received + 1;
   trace t Sim.Trace.Interest_received interest.Interest.name
@@ -286,6 +308,10 @@ let handle_interest t ~face interest =
   | None ->
     t.strat.note_miss ~now interest;
     forward_as_miss t ~face interest
+
+let handle_interest t ~face interest =
+  if not t.alive then t.c.dropped_down <- t.c.dropped_down + 1
+  else handle_interest_alive t ~face interest
 
 let receive t ~face packet =
   match packet with
@@ -315,6 +341,7 @@ let express_interest t ?scope ?(consumer_private = false) ?timeout_ms ~on_data
       {
         issued = now;
         on_data;
+        on_timeout;
         timeout_handle =
           Sim.Engine.schedule t.engine ~delay:timeout_ms (fun () ->
               (* Give up: unregister this expression and notify. *)
@@ -332,7 +359,55 @@ let express_interest t ?scope ?(consumer_private = false) ?timeout_ms ~on_data
   let interest =
     Interest.create ?scope ~consumer_private ~nonce:(Sim.Rng.bits64 t.rng) name
   in
+  (* On a crashed node the expression is still registered (and will
+     time out), but the interest itself goes nowhere. *)
   handle_interest t ~face:0 interest
+
+(* --- fault injection: crash and restart --- *)
+
+let is_alive t = t.alive
+
+let crash ?(preserve_cs = false) t =
+  if t.alive then begin
+    t.alive <- false;
+    let now = Sim.Engine.now t.engine in
+    (* Local applications die with the forwarder: cancel the armed
+       timeouts and fail each pending expression now, exactly once. *)
+    let pend = Name_trie.to_list t.pending_local in
+    Name_trie.clear t.pending_local;
+    List.iter
+      (fun (_, cell) ->
+        List.iter
+          (fun p ->
+            Sim.Engine.cancel p.timeout_handle;
+            p.on_timeout ())
+          (List.rev !cell))
+      pend;
+    (* The PIT does not survive a reboot; downstream consumers discover
+       the loss through their own retransmission timers.  [expire] with
+       a far-future clock drains every entry and names them for the
+       trace. *)
+    let dropped = Pit.expire t.pit ~now:(now +. t.pit_lifetime_ms +. 1.) in
+    List.iter
+      (fun n -> trace t Sim.Trace.Pit_timeout n [ ("reason", "crash") ])
+      dropped;
+    if not preserve_cs then Content_store.flush t.cs ~now
+  end
+
+let restart t = t.alive <- true
+
+(* --- fault injection: producer applications --- *)
+
+let set_producers_enabled t enabled = t.producers_enabled <- enabled
+
+let producers_enabled t = t.producers_enabled
+
+let set_production_factor t factor =
+  if factor <= 0. || not (Float.is_finite factor) then
+    invalid_arg "Node.set_production_factor: factor must be positive";
+  t.production_factor <- factor
+
+let production_factor t = t.production_factor
 
 (* --- introspection --- *)
 
@@ -348,12 +423,13 @@ let counters t =
     scope_drops = t.c.scope_drops;
     no_route_drops = t.c.no_route_drops;
     unsolicited_data = t.c.unsolicited_data;
+    dropped_down = t.c.dropped_down;
   }
 
 let pp_counters ppf (c : counters) =
   Format.fprintf ppf
     "in=%d fwd=%d collapsed=%d data_in=%d data_out=%d cache=%d delayed=%d \
-     scope_drop=%d no_route=%d unsolicited=%d"
+     scope_drop=%d no_route=%d unsolicited=%d down_drop=%d"
     c.interests_received c.interests_forwarded c.interests_collapsed
     c.data_received c.data_sent c.cache_responses c.delayed_responses
-    c.scope_drops c.no_route_drops c.unsolicited_data
+    c.scope_drops c.no_route_drops c.unsolicited_data c.dropped_down

@@ -71,6 +71,52 @@ val create :
 
 val set_caching : t -> bool -> unit
 
+(** {1 Fault injection}
+
+    The crash/restart pair models a router reboot — the perturbation
+    the paper's stable-network assumption rules out.  Both are plain
+    state transitions executed at the current virtual instant, so they
+    compose with the engine's determinism guarantees. *)
+
+val crash : ?preserve_cs:bool -> t -> unit
+(** Take the forwarder down, at the current virtual time:
+
+    - every pending local expression fails {e now} — its armed timeout
+      is cancelled and its [on_timeout] callback fires exactly once
+      (the application died with the forwarder);
+    - the PIT is drained (each dropped entry is traced as
+      [pit.timeout] with [reason=crash]); downstream consumers learn
+      of the loss through their own retransmission timers;
+    - the Content Store is flushed (traced as [cs.flush]) unless
+      [preserve_cs] (default [false]) — set it to model a persistent
+      on-disk cache that survives the reboot;
+    - until {!restart}, every arriving packet, locally expressed
+      interest and producer invocation is dropped (counted in
+      [dropped_down]).
+
+    Idempotent: crashing a crashed node is a no-op. *)
+
+val restart : t -> unit
+(** Bring a crashed forwarder back with cold tables (unless the CS was
+    preserved).  FIB routes and faces are configuration, not state:
+    they survive. *)
+
+val is_alive : t -> bool
+
+val set_producers_enabled : t -> bool -> unit
+(** When [false], every producer application on this node returns no
+    content: interests for its namespaces die at the app face and time
+    out downstream — a producer outage with the forwarder still up. *)
+
+val producers_enabled : t -> bool
+
+val set_production_factor : t -> float -> unit
+(** Multiply every producer application's production delay (default
+    [1.]) — an overloaded or throttled origin.
+    @raise Invalid_argument unless the factor is positive and finite. *)
+
+val production_factor : t -> float
+
 val label : t -> string
 
 val engine : t -> Sim.Engine.t
@@ -140,6 +186,7 @@ type counters = {
   scope_drops : int;
   no_route_drops : int;
   unsolicited_data : int;
+  dropped_down : int;  (** Packets dropped because the node was crashed. *)
 }
 
 val counters : t -> counters

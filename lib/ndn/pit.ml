@@ -18,8 +18,13 @@ let insert t ~now ~face ~nonce name =
     if List.exists (fun (f, n) -> f = face && Int64.equal n nonce) entry.arrivals
     then Duplicate
     else begin
+      let retransmission = List.mem_assoc face entry.arrivals in
       entry.arrivals <- (face, nonce) :: entry.arrivals;
-      Collapsed
+      (* A new nonce from a face already waiting is the consumer
+         retransmitting after loss: forward again so recovery does not
+         stall for the rest of the entry's lifetime.  A new face is the
+         classic collapse. *)
+      if retransmission then Forward else Collapsed
     end
 
 let dedup_keep_order xs =

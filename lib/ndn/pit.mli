@@ -10,10 +10,15 @@
 type t
 
 type insert_result =
-  | Forward  (** No pending entry existed: forward the interest. *)
-  | Collapsed  (** An entry existed: face recorded, do not forward. *)
+  | Forward
+      (** Forward the interest upstream: either no pending entry
+          existed, or the arrival is a {e retransmission} — a new nonce
+          from a face already waiting, i.e. a downstream consumer
+          recovering from loss — which must be re-forwarded or recovery
+          would stall for the rest of the entry's lifetime. *)
+  | Collapsed  (** An entry existed: new face recorded, do not forward. *)
   | Duplicate
-      (** Same face and nonce already pending (retransmission loop):
+      (** Same face and nonce already pending (forwarding loop):
           drop. *)
 
 val create : ?lifetime_ms:float -> unit -> t

@@ -1,4 +1,8 @@
-type t = { network : Network.t; nodes : (string * Node.t) list }
+type t = {
+  network : Network.t;
+  nodes : (string * Node.t) list;
+  faults : Sim.Fault.schedule;
+}
 
 let node t name = List.assoc name t.nodes
 
@@ -46,6 +50,7 @@ type directive =
   | Link_decl of link_decl
   | Route_decl of route_decl
   | Producer_decl of producer_decl
+  | Fault_decl of Sim.Fault.event
 
 type spec = (int * directive) list
 
@@ -71,23 +76,47 @@ let bool_field name s =
   | "false" | "no" | "0" -> Ok false
   | _ -> Error (Printf.sprintf "%s: expected a boolean, got %S" name s)
 
+(* Range checks run at parse time so a bad parameter is reported with
+   its line number, not discovered as a NaN latency mid-run. *)
+let non_negative name v =
+  if Float.is_finite v && v >= 0. then Ok v
+  else Error (Printf.sprintf "%s: expected a non-negative number, got %g" name v)
+
+let positive name v =
+  if Float.is_finite v && v > 0. then Ok v
+  else Error (Printf.sprintf "%s: expected a positive number, got %g" name v)
+
+let probability name v =
+  if Float.is_finite v && v >= 0. && v <= 1. then Ok v
+  else Error (Printf.sprintf "%s: expected a probability in [0, 1], got %g" name v)
+
 let rec parse_latency_term s =
   match String.split_on_char ':' s with
   | [ "const"; ms ] ->
     let* ms = float_field "const" ms in
+    let* ms = non_negative "const" ms in
     Ok (Sim.Latency.Constant ms)
   | [ "uniform"; lo; hi ] ->
     let* lo = float_field "uniform lo" lo in
     let* hi = float_field "uniform hi" hi in
-    Ok (Sim.Latency.Uniform { lo; hi })
+    let* lo = non_negative "uniform lo" lo in
+    let* hi = non_negative "uniform hi" hi in
+    if hi < lo then
+      Error (Printf.sprintf "uniform: hi %g below lo %g" hi lo)
+    else Ok (Sim.Latency.Uniform { lo; hi })
   | [ "normal"; mean; stddev; min ] ->
     let* mean = float_field "normal mean" mean in
     let* stddev = float_field "normal stddev" stddev in
     let* min = float_field "normal min" min in
+    let* mean = non_negative "normal mean" mean in
+    let* stddev = non_negative "normal stddev" stddev in
+    let* min = non_negative "normal min" min in
     Ok (Sim.Latency.Normal { mean; stddev; min })
   | [ "shifted_exp"; shift; rate ] ->
     let* shift = float_field "shifted_exp shift" shift in
     let* rate = float_field "shifted_exp rate" rate in
+    let* shift = non_negative "shifted_exp shift" shift in
+    let* rate = positive "shifted_exp rate" rate in
     Ok (Sim.Latency.Shifted_exponential { shift; rate })
   | _ ->
     Error
@@ -209,7 +238,9 @@ let parse_link_decl tokens =
     in
     let* loss =
       match attr attrs "loss" with
-      | Some v -> float_field "loss" v
+      | Some v ->
+        let* l = float_field "loss" v in
+        probability "loss" l
       | None -> Ok 0.
     in
     Ok (Link_decl { link_a = a; link_b = b; latency; latency_back; loss })
@@ -252,7 +283,9 @@ let parse_producer_decl tokens =
     in
     let* production_delay_ms =
       match attr attrs "delay" with
-      | Some v -> float_field "delay" v
+      | Some v ->
+        let* d = float_field "delay" v in
+        non_negative "delay" d
       | None -> Ok 0.4
     in
     Ok
@@ -260,16 +293,22 @@ let parse_producer_decl tokens =
          { producer_node = node; producer_prefix = prefix; producer_key;
            payload_size; producer_private; production_delay_ms })
 
+let parse_fault_decl tokens =
+  let* event = Sim.Fault.parse_event_tokens tokens in
+  let* () = Sim.Fault.validate event in
+  Ok (Fault_decl event)
+
 let parse_directive tokens =
   match tokens with
   | "node" :: rest -> parse_node_decl rest
   | "link" :: rest -> parse_link_decl rest
   | "route" :: rest -> parse_route_decl rest
   | "producer" :: rest -> parse_producer_decl rest
+  | "fault" :: rest -> parse_fault_decl rest
   | directive :: _ ->
     Error
       (Printf.sprintf
-         "unknown directive %S (expected node, link, route or producer)"
+         "unknown directive %S (expected node, link, route, producer or fault)"
          directive)
   | [] -> assert false
 
@@ -347,6 +386,7 @@ let print_directive = function
       d.producer_node d.producer_prefix d.producer_key d.payload_size
       d.producer_private
       (float_str d.production_delay_ms)
+  | Fault_decl e -> "fault " ^ Sim.Fault.print_event e
 
 let print spec =
   String.concat "" (List.map (fun (_, d) -> print_directive d ^ "\n") spec)
@@ -429,6 +469,10 @@ let build_producer b (d : producer_decl) =
       else None);
   Ok ()
 
+(* Fault lines must follow the nodes/links they name — the same
+   declaration-order rule as routes — so install errors stay local. *)
+let build_fault b e = Network.install_faults b.net [ e ]
+
 let build ?(seed = 42) ?tracer spec =
   let b =
     {
@@ -437,8 +481,10 @@ let build ?(seed = 42) ?tracer spec =
       faces = Hashtbl.create 16;
     }
   in
+  let faults = ref [] in
   let rec go = function
-    | [] -> Ok { network = b.net; nodes = b.decls }
+    | [] ->
+      Ok { network = b.net; nodes = b.decls; faults = Sim.Fault.sort !faults }
     | (lineno, d) :: rest -> (
       let result =
         match d with
@@ -446,6 +492,10 @@ let build ?(seed = 42) ?tracer spec =
         | Link_decl d -> build_link b d
         | Route_decl d -> build_route b d
         | Producer_decl d -> build_producer b d
+        | Fault_decl e ->
+          let* () = build_fault b e in
+          faults := e :: !faults;
+          Ok ()
       in
       match result with
       | Ok () -> go rest

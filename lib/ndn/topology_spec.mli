@@ -19,11 +19,19 @@
 
     # a producer application serving a namespace
     producer P /prod key=pkey payload=1024 private=false delay=0.4
+
+    # optional fault injection (see {!Sim.Fault}): TIME KIND ARGS
+    fault 500 crash R preserve_cs=false
+    fault 700 restart R
+    fault 900 degrade R P loss=0.2 latency_factor=3 until=1500
     v}
 
     Latency grammar: [const:MS], [uniform:LO:HI],
     [normal:MEAN:SD:MIN], [shifted_exp:SHIFT:RATE], or a [+]-joined sum
-    of those.
+    of those.  All latency parameters must be non-negative
+    ([shifted_exp] rate strictly positive, [uniform] hi ≥ lo) and link
+    [loss] must lie in [\[0,1\]]; violations are parse errors carrying
+    the line number.
 
     Parsing is two-phase: {!parse_spec} reads the text into an AST of
     directives (defaults resolved), {!build} turns directives into a
@@ -35,6 +43,11 @@
 type t = {
   network : Network.t;
   nodes : (string * Node.t) list;  (** Declaration order. *)
+  faults : Sim.Fault.schedule;
+      (** The spec's [fault] directives, sorted by firing time.  They
+          are already installed on the network by {!build}; exposed so
+          callers can segment measurements with
+          {!Sim.Fault.phase_boundaries}. *)
 }
 
 val node : t -> string -> Node.t
@@ -79,6 +92,9 @@ type directive =
   | Link_decl of link_decl
   | Route_decl of route_decl
   | Producer_decl of producer_decl
+  | Fault_decl of Sim.Fault.event
+      (** A fault to install at build time; must name nodes/links
+          declared on earlier lines. *)
 
 type spec = (int * directive) list
 (** Directives paired with their 1-based source line numbers, in file

@@ -16,6 +16,11 @@ type kind =
   | Rc_draw
   | Rc_fake_miss
   | Rc_hit
+  | Cs_flush
+  | Fault_link
+  | Fault_crash
+  | Fault_restart
+  | Fault_producer
 
 type event = {
   time : float;
@@ -43,13 +48,18 @@ let kind_to_string = function
   | Rc_draw -> "rc.draw"
   | Rc_fake_miss -> "rc.fake_miss"
   | Rc_hit -> "rc.hit"
+  | Cs_flush -> "cs.flush"
+  | Fault_link -> "fault.link"
+  | Fault_crash -> "fault.crash"
+  | Fault_restart -> "fault.restart"
+  | Fault_producer -> "fault.producer"
 
 let all_kinds =
   [
     Engine_step; Cs_hit; Cs_miss; Cs_insert; Cs_evict; Cs_expire;
     Interest_received; Interest_forwarded; Interest_collapsed; Data_received;
     Data_sent; Pit_timeout; Link_transmit; Link_drop; Rc_draw; Rc_fake_miss;
-    Rc_hit;
+    Rc_hit; Cs_flush; Fault_link; Fault_crash; Fault_restart; Fault_producer;
   ]
 
 let kind_of_string s = List.find_opt (fun k -> kind_to_string k = s) all_kinds

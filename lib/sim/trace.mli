@@ -23,7 +23,9 @@
     ["cs.insert"], ["cs.evict"], ["cs.expire"], ["interest.recv"],
     ["interest.fwd"], ["interest.collapsed"], ["data.recv"],
     ["data.sent"], ["pit.timeout"], ["link.tx"], ["link.drop"],
-    ["rc.draw"], ["rc.fake_miss"], ["rc.hit"]. *)
+    ["rc.draw"], ["rc.fake_miss"], ["rc.hit"], ["cs.flush"],
+    ["fault.link"], ["fault.crash"], ["fault.restart"],
+    ["fault.producer"]. *)
 type kind =
   | Engine_step  (** One event executed by {!Engine}. *)
   | Cs_hit
@@ -42,6 +44,11 @@ type kind =
   | Rc_draw  (** Algorithm 1 drew a fresh per-content threshold k_C. *)
   | Rc_fake_miss  (** Algorithm 1 disguised a request as a miss. *)
   | Rc_hit  (** Algorithm 1 revealed the content. *)
+  | Cs_flush  (** A Content Store dropped its whole population at once. *)
+  | Fault_link  (** Injected link fault (attrs: peer, dir, state). *)
+  | Fault_crash  (** Injected router crash (attrs: preserve_cs). *)
+  | Fault_restart  (** Injected router restart. *)
+  | Fault_producer  (** Injected producer outage/slowdown (attrs: state). *)
 
 type event = {
   time : float;  (** Virtual time (ms) at emission. *)

@@ -30,6 +30,11 @@ let all_kinds =
     Rc_draw;
     Rc_fake_miss;
     Rc_hit;
+    Cs_flush;
+    Fault_link;
+    Fault_crash;
+    Fault_restart;
+    Fault_producer;
   ]
 
 let ev ?(time = 1.25) ?(node = "R") ?(kind = Sim.Trace.Cs_hit)
@@ -373,8 +378,95 @@ let test_topo_error_latency () =
     "link U R latency=warp:9"
 
 let test_topo_error_unknown_directive () =
-  check_error ~line:1 ~needle:"expected node, link, route or producer"
+  check_error ~line:1 ~needle:"expected node, link, route, producer or fault"
     "frobnicate X"
+
+let test_topo_error_loss_range () =
+  check_error ~line:1 ~needle:"probability in [0, 1]"
+    "link U R latency=const:1 loss=1.5";
+  check_error ~line:1 ~needle:"probability in [0, 1]"
+    "link U R latency=const:1 loss=-0.1";
+  (* The boundaries themselves are legal. *)
+  (match Ndn.Topology_spec.parse_spec "node U\nnode R\nlink U R loss=1\n" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "loss=1 should parse: %s" e);
+  match Ndn.Topology_spec.parse_spec "node U\nnode R\nlink U R loss=0\n" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "loss=0 should parse: %s" e
+
+let test_topo_error_latency_ranges () =
+  check_error ~line:1 ~needle:"non-negative" "link U R latency=const:-2";
+  check_error ~line:1 ~needle:"hi 1 below lo 3" "link U R latency=uniform:3:1";
+  check_error ~line:1 ~needle:"non-negative" "link U R latency=uniform:-1:2";
+  check_error ~line:1 ~needle:"non-negative"
+    "link U R latency=normal:5:-1:0.5";
+  check_error ~line:1 ~needle:"non-negative"
+    "node R proc=normal:-5:1:0.5";
+  check_error ~line:1 ~needle:"positive"
+    "link U R latency=shifted_exp:0.3:0";
+  check_error ~line:1 ~needle:"non-negative"
+    "link U R latency=shifted_exp:-0.3:2";
+  check_error ~line:1 ~needle:"non-negative" "producer P /prod delay=-1"
+
+(* --- fault directives --- *)
+
+let test_topo_fault_parse_and_print () =
+  let text =
+    "node U\nnode R\nnode P\nlink U R\nlink R P\n\
+     fault 120 link_down U R dir=ab\n\
+     fault 180 link_up U R dir=ab\n\
+     fault 150 degrade R P loss=0.3 latency_factor=2 until=400\n\
+     fault 300 crash R preserve_cs=false\n\
+     fault 450 restart R\n\
+     fault 500 producer_down P until=800\n\
+     fault 900 producer_slow P factor=4 until=1200\n"
+  in
+  match Ndn.Topology_spec.parse_spec text with
+  | Error e -> Alcotest.failf "fault spec does not parse: %s" e
+  | Ok spec -> (
+    let n_faults =
+      List.length
+        (List.filter
+           (function Ndn.Topology_spec.Fault_decl _ -> true | _ -> false)
+           (Ndn.Topology_spec.directives spec))
+    in
+    Alcotest.(check int) "all fault lines parsed" 7 n_faults;
+    let printed = Ndn.Topology_spec.print spec in
+    match Ndn.Topology_spec.parse_spec printed with
+    | Error e -> Alcotest.failf "printed fault spec does not re-parse: %s" e
+    | Ok spec' ->
+      Alcotest.(check bool) "fault print/parse fixpoint" true
+        (Ndn.Topology_spec.directives spec
+        = Ndn.Topology_spec.directives spec'))
+
+let test_topo_fault_errors () =
+  check_error ~line:1 ~needle:"loss" "fault 10 degrade U R loss=2 until=20";
+  check_error ~line:2 ~needle:"" "node U\nfault -5 crash U";
+  (* Build-time target validation carries the fault's line number. *)
+  match Ndn.Topology_spec.parse "node U\nnode R\nfault 10 crash X\n" with
+  | Ok _ -> Alcotest.fail "crash of undeclared node should not build"
+  | Error msg ->
+    Alcotest.(check bool) "line number" true
+      (String.length msg > 8 && String.sub msg 0 8 = "line 3: ");
+    Alcotest.(check bool) "names the node" true (contains msg "\"X\"")
+
+let test_topo_fault_builds_and_fires () =
+  let text =
+    "node U caching=false\nnode R\nnode P\n\
+     link U R latency=const:1\nlink R P latency=const:1\n\
+     route U /prod via R\nroute R /prod via P\n\
+     producer P /prod\n\
+     fault 50 crash R\n"
+  in
+  match Ndn.Topology_spec.parse text with
+  | Error e -> Alcotest.failf "does not build: %s" e
+  | Ok t ->
+    Alcotest.(check int) "schedule exposed" 1
+      (List.length t.Ndn.Topology_spec.faults);
+    let r = Ndn.Topology_spec.node t "R" in
+    Ndn.Network.run t.Ndn.Topology_spec.network;
+    Alcotest.(check bool) "crash fired during drain" false
+      (Ndn.Node.is_alive r)
 
 let test_topo_error_line_numbers () =
   (* The bad directive sits on line 4 (after a comment and a blank). *)
@@ -457,6 +549,14 @@ let () =
           Alcotest.test_case "unknown attribute" `Quick
             test_topo_error_unknown_attr;
           Alcotest.test_case "latency errors" `Quick test_topo_error_latency;
+          Alcotest.test_case "loss range" `Quick test_topo_error_loss_range;
+          Alcotest.test_case "latency parameter ranges" `Quick
+            test_topo_error_latency_ranges;
+          Alcotest.test_case "fault parse and print" `Quick
+            test_topo_fault_parse_and_print;
+          Alcotest.test_case "fault errors" `Quick test_topo_fault_errors;
+          Alcotest.test_case "fault builds and fires" `Quick
+            test_topo_fault_builds_and_fires;
           Alcotest.test_case "unknown directive" `Quick
             test_topo_error_unknown_directive;
           Alcotest.test_case "line numbers" `Quick
