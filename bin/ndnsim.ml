@@ -50,7 +50,9 @@ let trace_file_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
           "Record the structured simulation event trace (engine steps, \
-           Content-Store operations, packet hops, latency draws) to $(docv).")
+           Content-Store operations, packet hops, latency draws) to $(docv); \
+           $(b,-) streams it to stdout (all diagnostics go to stderr, so \
+           piped CSV/JSONL is never interleaved with warnings).")
 
 let trace_format_arg =
   let parse s =
@@ -65,12 +67,26 @@ let trace_format_arg =
     & info [ "trace-format" ] ~docv:"FMT"
         ~doc:"Trace file format: $(b,jsonl) (default) or $(b,csv).")
 
+(* The summary line is a diagnostic, so it goes to stderr: with
+   [--trace -] the exported rows own stdout and must never interleave
+   with warnings (the S2 lint rule enforces the same split in lib/). *)
 let write_trace ~file ~format tracer =
-  let oc = open_out file in
-  Sim.Trace.write format oc tracer;
-  close_out oc;
-  Format.printf "trace: %d events -> %s (%s)@." (Sim.Trace.length tracer) file
+  (match file with
+  | "-" ->
+    Sim.Trace.write format stdout tracer;
+    flush stdout
+  | _ ->
+    let oc = open_out file in
+    Sim.Trace.write format oc tracer;
+    close_out oc);
+  Format.eprintf "trace: %d events -> %s (%s)@." (Sim.Trace.length tracer)
+    (if file = "-" then "<stdout>" else file)
     (Sim.Trace.format_to_string format)
+
+(* Result lines normally own stdout, but with [--trace -] the streamed
+   trace does, so the human-readable output moves to stderr too. *)
+let result_formatter trace_file =
+  if trace_file = Some "-" then Format.err_formatter else Format.std_formatter
 
 (* --- fault schedules (--faults) --- *)
 
@@ -169,7 +185,7 @@ let attack_cmd =
             ?faults
             ~trace:(trace_file <> None) ())
     in
-    Attack.Timing_experiment.pp_result Format.std_formatter result;
+    Attack.Timing_experiment.pp_result (result_formatter trace_file) result;
     match trace_file with
     | Some file ->
       write_trace ~file ~format:trace_format result.Attack.Timing_experiment.trace
@@ -301,7 +317,7 @@ let replay_cmd =
       | Some path, _ -> Workload.Trace.load ~path
       | None, Some path ->
         let trace, stats = Workload.Squid_log.load ~path in
-        Format.printf "squid log: %d lines parsed, %d skipped@."
+        Format.eprintf "squid log: %d lines parsed, %d skipped@."
           stats.Workload.Squid_log.parsed stats.Workload.Squid_log.skipped;
         trace
       | None, None ->
@@ -478,21 +494,22 @@ let probe_cmd =
       if trace_file <> None then Sim.Trace.create () else Sim.Trace.disabled
     in
     let setup = (make_setup_of_topology topology) ~seed ~tracer in
+    let out = result_formatter trace_file in
     install_faults_or_die setup.Ndn.Network.net faults;
     List.iter
       (fun w ->
         ignore
           (Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.user
              (Ndn.Name.of_string w));
-        Format.printf "warmed %s (via honest user U)@." w)
+        Format.fprintf out "warmed %s (via honest user U)@." w)
       warm;
     let name = Ndn.Name.of_string target in
     (match
        Ndn.Network.fetch_rtt setup.Ndn.Network.net ~from:setup.Ndn.Network.adversary
          ?scope ~timeout_ms:1000. name
      with
-    | Some rtt -> Format.printf "probe %s -> %.3f ms@." target rtt
-    | None -> Format.printf "probe %s -> timeout@." target);
+    | Some rtt -> Format.fprintf out "probe %s -> %.3f ms@." target rtt
+    | None -> Format.fprintf out "probe %s -> timeout@." target);
     match trace_file with
     | Some file -> write_trace ~file ~format:trace_format tracer
     | None -> ()
@@ -527,8 +544,9 @@ let topo_cmd =
       Format.eprintf "%s@." msg;
       exit 1
     | Ok topo ->
+      let out = result_formatter trace_file in
       install_faults_or_die topo.Ndn.Topology_spec.network faults;
-      Format.printf "topology: %d nodes (%s)@."
+      Format.fprintf out "topology: %d nodes (%s)@."
         (List.length topo.Ndn.Topology_spec.nodes)
         (String.concat ", " (List.map fst topo.Ndn.Topology_spec.nodes));
       let resolve label =
@@ -544,8 +562,8 @@ let topo_cmd =
             Ndn.Network.fetch_rtt topo.Ndn.Topology_spec.network
               ~from:(resolve warm_node) (Ndn.Name.of_string w)
           with
-          | Some rtt -> Format.printf "%s fetched %s: %.3f ms@." warm_node w rtt
-          | None -> Format.printf "%s fetch of %s timed out@." warm_node w)
+          | Some rtt -> Format.fprintf out "%s fetched %s: %.3f ms@." warm_node w rtt
+          | None -> Format.fprintf out "%s fetch of %s timed out@." warm_node w)
         warm;
       (match target with
       | Some t -> (
@@ -554,8 +572,8 @@ let topo_cmd =
             ~from:(resolve probe_node) ?scope ~timeout_ms:1000.
             (Ndn.Name.of_string t)
         with
-        | Some rtt -> Format.printf "%s probes %s: %.3f ms@." probe_node t rtt
-        | None -> Format.printf "%s probes %s: timeout@." probe_node t)
+        | Some rtt -> Format.fprintf out "%s probes %s: %.3f ms@." probe_node t rtt
+        | None -> Format.fprintf out "%s probes %s: timeout@." probe_node t)
       | None -> ());
       (match trace_file with
       | Some file -> write_trace ~file ~format:trace_format tracer
@@ -606,7 +624,8 @@ let chaos_cmd =
           ~nodes:[ router ] ~mean_uptime_ms:restart_mean ~downtime_ms:downtime
           ~horizon_ms:horizon ~preserve_cs ()
     in
-    Format.printf "fault schedule (%d events):@.%s" (List.length schedule)
+    let out = result_formatter trace_file in
+    Format.fprintf out "fault schedule (%d events):@.%s" (List.length schedule)
       (Sim.Fault.print schedule);
     let result =
       experiment_or_die (fun () ->
@@ -615,10 +634,10 @@ let chaos_cmd =
             ~contents ~runs ~seed ?jobs ~faults:schedule
             ~trace:(trace_file <> None) ())
     in
-    Attack.Timing_experiment.pp_result Format.std_formatter result;
+    Attack.Timing_experiment.pp_result out result;
     let fnr = Attack.Timing_experiment.false_negative_rate result in
     if not (Float.is_nan fnr) then
-      Format.printf "attacker false-negative rate under churn: %.2f%%@."
+      Format.fprintf out "attacker false-negative rate under churn: %.2f%%@."
         (100. *. fnr);
     match trace_file with
     | Some file ->

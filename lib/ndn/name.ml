@@ -80,6 +80,7 @@ let compare a b = String.compare a.key b.key
 
 let equal a b = String.equal a.key b.key
 
+(* ndnlint: allow D5 -- t.key is the canonical flat string, so the structural hash is stable and representation-independent *)
 let hash t = Hashtbl.hash t.key
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

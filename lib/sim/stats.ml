@@ -67,7 +67,7 @@ let percentile xs p =
   if n = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in

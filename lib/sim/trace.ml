@@ -62,6 +62,8 @@ let all_kinds =
     Rc_hit; Cs_flush; Fault_link; Fault_crash; Fault_restart; Fault_producer;
   ]
 
+let all_kind_names = List.map kind_to_string all_kinds
+
 let kind_of_string s = List.find_opt (fun k -> kind_to_string k = s) all_kinds
 
 let pp_event ppf e =
@@ -151,7 +153,7 @@ let tally t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
   |> List.sort (fun ((n1, k1), _) ((n2, k2), _) ->
          match String.compare n1 n2 with
-         | 0 -> compare (kind_to_string k1) (kind_to_string k2)
+         | 0 -> String.compare (kind_to_string k1) (kind_to_string k2)
          | c -> c)
 
 let events_per_ms t =

@@ -64,6 +64,16 @@ val kind_to_string : kind -> string
 
 val kind_of_string : string -> kind option
 
+val all_kinds : kind list
+(** Every kind, in declaration order. *)
+
+val all_kind_names : string list
+(** Wire names of {!all_kinds}, same order — the programmatic twin of
+    the checked-in registry [lib/sim/trace_kinds.txt].  ndnlint's
+    T-rules fail the build if the registry and {!kind_to_string} drift
+    apart, and [test_ndnlint] checks this list equals the registry, so
+    exporters, docs and the linter all share one source of truth. *)
+
 val pp_event : Format.formatter -> event -> unit
 
 (** {1 Tracers} *)

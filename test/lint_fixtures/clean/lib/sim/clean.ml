@@ -1,0 +1,3 @@
+let compare_times = Float.compare
+
+let tally xs = List.sort String.compare xs

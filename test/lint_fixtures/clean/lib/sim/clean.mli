@@ -1,0 +1,2 @@
+val compare_times : float -> float -> int
+val tally : string list -> string list

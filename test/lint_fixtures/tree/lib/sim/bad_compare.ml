@@ -1,0 +1,3 @@
+let sort_keys ks = List.sort compare ks
+let same_hash a b = Hashtbl.hash a = Hashtbl.hash b
+let is_probe n = n = Name.of_string "/probe"

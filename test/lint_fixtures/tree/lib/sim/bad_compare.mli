@@ -1,0 +1,2 @@
+val sort_keys : 'a list -> 'a list
+val same_hash : 'a -> 'b -> bool

@@ -1,0 +1,2 @@
+let home () = Sys.getenv "HOME"
+let debug () = Sys.getenv_opt "NDN_DEBUG"

@@ -1,0 +1,2 @@
+val home : unit -> string
+val debug : unit -> string option

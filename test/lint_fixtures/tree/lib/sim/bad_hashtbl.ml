@@ -1,0 +1,4 @@
+let dump tbl = Hashtbl.iter (fun k v -> ignore (k, v)) tbl
+
+let sorted tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare

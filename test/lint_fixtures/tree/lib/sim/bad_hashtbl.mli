@@ -1,0 +1,2 @@
+val dump : ('a, 'b) Hashtbl.t -> unit
+val sorted : (string, 'b) Hashtbl.t -> string list

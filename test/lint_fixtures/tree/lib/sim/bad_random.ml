@@ -1,0 +1,3 @@
+let seed () = Random.self_init ()
+let draw () = Random.int 10
+let state () = Random.State.make_self_init ()

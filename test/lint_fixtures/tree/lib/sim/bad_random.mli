@@ -1,0 +1,3 @@
+val seed : unit -> unit
+val draw : unit -> int
+val state : unit -> Random.State.t

@@ -1,0 +1,3 @@
+let banner () = print_endline "ndn"
+let report n = Printf.printf "%d\n" n
+let finish () = Format.printf "done@."

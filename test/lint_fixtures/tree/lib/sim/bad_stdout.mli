@@ -1,0 +1,3 @@
+val banner : unit -> unit
+val report : int -> unit
+val finish : unit -> unit

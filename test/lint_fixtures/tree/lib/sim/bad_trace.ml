@@ -1,0 +1,5 @@
+type kind = Step | Sneaky
+
+let kind_to_string = function
+  | Step -> "engine.step"
+  | Sneaky -> "cs.sneaky"

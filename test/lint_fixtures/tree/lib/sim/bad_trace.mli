@@ -1,0 +1,3 @@
+type kind = Step | Sneaky
+
+val kind_to_string : kind -> string

@@ -1,0 +1,1 @@
+let lonely = 1

@@ -1,0 +1,4 @@
+let h = Hashtbl.hash 42 (* ndnlint: allow D5 -- fixture: hashing an int literal is stable *)
+
+(* ndnlint: allow D2 -- fixture: pragma on its own line covers the draw below *)
+let d () = Random.bool ()

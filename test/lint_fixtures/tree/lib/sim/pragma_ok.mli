@@ -1,0 +1,2 @@
+val h : int
+val d : unit -> bool

@@ -1,0 +1,194 @@
+(* ndnlint test suite: golden JSONL findings for every rule ID over the
+   fixture trees in test/lint_fixtures/, the suppression mechanisms
+   (pragma, path-scoped allowlist), and — via the library API, not a
+   subprocess — the check that the real repository tree lints clean.
+
+   The fixture "tree" mimics a repo root (lib/, bin/) so path-scoped
+   rules behave exactly as they do on the real tree; fixture files only
+   need to parse, never to compile. *)
+
+let fixture_root = "lint_fixtures/tree"
+
+let fixture_config ?allowlist_file () =
+  Ndnlint.config ~paths:[ "lib"; "bin" ] ?allowlist_file
+    ~registry_file:"registry.txt" ~root:fixture_root ()
+
+let lint_exn cfg =
+  match Ndnlint.lint cfg with
+  | Ok findings -> findings
+  | Error msg -> Alcotest.failf "ndnlint error: %s" msg
+
+(* Every finding the fixture tree must produce, in output order.  One
+   golden line per rule ID at minimum; statuses exercise the pragma
+   path ("pragma") alongside active findings. *)
+let golden_jsonl =
+  [
+    {|{"rule":"D5","severity":"error","file":"lib/sim/bad_compare.ml","line":1,"col":29,"message":"polymorphic compare in a key-bearing library; use the key module's dedicated compare (Name.compare, String.compare, Float.compare, ...)","status":"active"}|};
+    {|{"rule":"D5","severity":"error","file":"lib/sim/bad_compare.ml","line":2,"col":20,"message":"polymorphic Hashtbl.hash in a key-bearing library; hash a canonical scalar (e.g. the key string) or use the key module's hash","status":"active"}|};
+    {|{"rule":"D5","severity":"error","file":"lib/sim/bad_compare.ml","line":2,"col":37,"message":"polymorphic Hashtbl.hash in a key-bearing library; hash a canonical scalar (e.g. the key string) or use the key module's hash","status":"active"}|};
+    {|{"rule":"D6","severity":"error","file":"lib/sim/bad_compare.ml","line":3,"col":17,"message":"structural (=) on an abstract key value; use the key module's equal/compare so representation changes cannot silently alter results","status":"active"}|};
+    {|{"rule":"D4","severity":"error","file":"lib/sim/bad_env.ml","line":1,"col":14,"message":"Sys.getenv in lib/: environment must not influence simulation results; plumb configuration through function arguments","status":"active"}|};
+    {|{"rule":"D4","severity":"error","file":"lib/sim/bad_env.ml","line":2,"col":15,"message":"Sys.getenv_opt in lib/: environment must not influence simulation results; plumb configuration through function arguments","status":"active"}|};
+    {|{"rule":"D7","severity":"warning","file":"lib/sim/bad_hashtbl.ml","line":1,"col":15,"message":"Hashtbl.iter iterates in hash order; sort before anything order-sensitive (or suppress with a pragma/allowlist entry explaining why the order cannot leak)","status":"active"}|};
+    {|{"rule":"D1","severity":"error","file":"lib/sim/bad_random.ml","line":1,"col":14,"message":"nondeterministic RNG seeding; every stream must derive from an explicit seed via Sim.Rng","status":"active"}|};
+    {|{"rule":"D2","severity":"error","file":"lib/sim/bad_random.ml","line":2,"col":14,"message":"Random.int uses the global Random state; draw from a Sim.Rng generator instead","status":"active"}|};
+    {|{"rule":"D1","severity":"error","file":"lib/sim/bad_random.ml","line":3,"col":15,"message":"nondeterministic RNG seeding; every stream must derive from an explicit seed via Sim.Rng","status":"active"}|};
+    {|{"rule":"S2","severity":"error","file":"lib/sim/bad_stdout.ml","line":1,"col":16,"message":"print_endline writes to stdout from lib/; stdout belongs to exporters (CSV/JSONL) — route diagnostics to stderr or a formatter argument","status":"active"}|};
+    {|{"rule":"S2","severity":"error","file":"lib/sim/bad_stdout.ml","line":2,"col":15,"message":"Printf.printf writes to stdout from lib/; stdout belongs to exporters (CSV/JSONL) — route diagnostics to stderr or a formatter argument","status":"active"}|};
+    {|{"rule":"S2","severity":"error","file":"lib/sim/bad_stdout.ml","line":3,"col":16,"message":"Format.printf writes to stdout from lib/; stdout belongs to exporters (CSV/JSONL) — route diagnostics to stderr or a formatter argument","status":"active"}|};
+    {|{"rule":"E0","severity":"error","file":"lib/sim/bad_syntax.ml","line":1,"col":13,"message":"syntax error; file cannot be checked","status":"active"}|};
+    {|{"rule":"T1","severity":"error","file":"lib/sim/bad_trace.ml","line":5,"col":15,"message":"trace kind \"cs.sneaky\" is emitted here but absent from the registry; add it (and document it) before shipping the event","status":"active"}|};
+    {|{"rule":"D3","severity":"error","file":"lib/sim/bad_wallclock.ml","line":1,"col":13,"message":"wall-clock read (Unix.gettimeofday) outside bin/; simulated components must only see virtual time","status":"active"}|};
+    {|{"rule":"D3","severity":"error","file":"lib/sim/bad_wallclock.ml","line":2,"col":13,"message":"wall-clock read (Sys.time) outside bin/; simulated components must only see virtual time","status":"active"}|};
+    {|{"rule":"S1","severity":"error","file":"lib/sim/no_mli.ml","line":1,"col":0,"message":"module under lib/ has no .mli; every library module must declare its interface","status":"active"}|};
+    {|{"rule":"D5","severity":"error","file":"lib/sim/pragma_ok.ml","line":1,"col":8,"message":"polymorphic Hashtbl.hash in a key-bearing library; hash a canonical scalar (e.g. the key string) or use the key module's hash","status":"pragma"}|};
+    {|{"rule":"D2","severity":"error","file":"lib/sim/pragma_ok.ml","line":4,"col":11,"message":"Random.bool uses the global Random state; draw from a Sim.Rng generator instead","status":"pragma"}|};
+    {|{"rule":"T2","severity":"error","file":"registry.txt","line":3,"col":0,"message":"registry lists trace kind \"old.kind\" but no kind_to_string emits it; remove the stale entry","status":"active"}|};
+  ]
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_golden_jsonl () =
+  let findings = lint_exn (fixture_config ()) in
+  Alcotest.(check (list string))
+    "golden JSONL findings" golden_jsonl
+    (lines (Ndnlint.render Ndnlint.Jsonl findings));
+  Alcotest.(check int) "fixture tree fails the lint" 1 (Ndnlint.exit_code findings)
+
+(* Every shipped rule ID must be covered by at least one golden
+   finding, so a new rule cannot land without a fixture. *)
+let test_rule_coverage () =
+  let seen = List.map (fun f -> f.Ndnlint.rule) (lint_exn (fixture_config ())) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s has a fixture finding" r.Ndnlint.id)
+        true
+        (List.mem r.Ndnlint.id seen))
+    Ndnlint.all_rules
+
+(* The acceptance check in one test: introducing Random.self_init into
+   lib/sim makes the lint exit non-zero. *)
+let test_self_init_fails () =
+  let findings = lint_exn (fixture_config ()) in
+  let d1 =
+    List.filter
+      (fun f -> f.Ndnlint.rule = "D1" && f.Ndnlint.file = "lib/sim/bad_random.ml")
+      findings
+  in
+  Alcotest.(check int) "self_init is reported" 2 (List.length d1);
+  Alcotest.(check int) "and fails the build" 1 (Ndnlint.exit_code findings)
+
+let status_label = function
+  | Ndnlint.Active -> "active"
+  | Ndnlint.Allowlisted _ -> "allowlisted"
+  | Ndnlint.Pragma_suppressed -> "pragma"
+
+let find_one findings ~rule ~file =
+  match
+    List.filter
+      (fun f -> f.Ndnlint.rule = rule && f.Ndnlint.file = file)
+      findings
+  with
+  | f :: _ -> f
+  | [] -> Alcotest.failf "no %s finding in %s" rule file
+
+let test_allowlist () =
+  let findings = lint_exn (fixture_config ~allowlist_file:"allow.txt" ()) in
+  (* Exact-file scope suppresses, and the justification is carried. *)
+  (match (find_one findings ~rule:"D1" ~file:"lib/sim/bad_random.ml").Ndnlint.status with
+  | Ndnlint.Allowlisted j ->
+    Alcotest.(check string)
+      "justification preserved" "fixture: self-init is the point of this file" j
+  | s -> Alcotest.failf "D1 should be allowlisted, got %s" (status_label s));
+  (* Directory scope ("lib/sim/") matches files below it. *)
+  Alcotest.(check string)
+    "dir-scoped entry applies" "allowlisted"
+    (status_label
+       (find_one findings ~rule:"D3" ~file:"lib/sim/bad_wallclock.ml").Ndnlint.status);
+  (* An entry for a different path must not leak across directories. *)
+  Alcotest.(check string)
+    "entry for another path does not apply" "active"
+    (status_label
+       (find_one findings ~rule:"D4" ~file:"lib/sim/bad_env.ml").Ndnlint.status);
+  (* Unallowed findings remain, so the tree still fails. *)
+  Alcotest.(check int) "still non-zero" 1 (Ndnlint.exit_code findings)
+
+let test_allowlist_requires_justification () =
+  match Ndnlint.lint (fixture_config ~allowlist_file:"allow_broken.txt" ()) with
+  | Ok _ -> Alcotest.fail "allowlist without justification must be rejected"
+  | Error msg ->
+    Alcotest.(check bool)
+      "error mentions the missing justification" true
+      (contains ~sub:"justification" msg)
+
+let test_clean_tree () =
+  let findings =
+    lint_exn (Ndnlint.config ~paths:[ "lib" ] ~root:"lint_fixtures/clean" ())
+  in
+  Alcotest.(check (list string)) "no findings" [] (List.map Ndnlint.finding_to_text findings);
+  Alcotest.(check int) "exit 0" 0 (Ndnlint.exit_code findings)
+
+(* `dune build @lint` equivalent, via the library API: the shipped tree
+   has no unallowed finding.  Runs from _build/default/test, so the
+   repo root is "..". *)
+let test_real_tree_passes () =
+  let cfg =
+    Ndnlint.config ~root:".."
+      ~allowlist_file:"tools/ndnlint/allowlist.txt"
+      ~registry_file:"lib/sim/trace_kinds.txt" ()
+  in
+  let findings = lint_exn cfg in
+  Alcotest.(check (list string))
+    "no active findings on the shipped tree" []
+    (List.map Ndnlint.finding_to_text (Ndnlint.active findings));
+  Alcotest.(check int) "exit 0" 0 (Ndnlint.exit_code findings)
+
+(* The checked-in registry and Sim.Trace's programmatic list are the
+   same list, in the same order. *)
+let test_registry_matches_trace () =
+  let registry =
+    In_channel.with_open_bin "../lib/sim/trace_kinds.txt" In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  Alcotest.(check (list string))
+    "trace_kinds.txt = Trace.all_kind_names" Sim.Trace.all_kind_names registry;
+  (* And round-trips through the typed API. *)
+  List.iter
+    (fun name ->
+      match Sim.Trace.kind_of_string name with
+      | Some k ->
+        Alcotest.(check string) "round-trip" name (Sim.Trace.kind_to_string k)
+      | None -> Alcotest.failf "registry kind %s unknown to Trace" name)
+    registry
+
+let () =
+  Alcotest.run "ndnlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "golden jsonl" `Quick test_golden_jsonl;
+          Alcotest.test_case "every rule has a fixture" `Quick test_rule_coverage;
+          Alcotest.test_case "self_init fails the build" `Quick test_self_init_fails;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "allowlist scoping" `Quick test_allowlist;
+          Alcotest.test_case "allowlist needs justification" `Quick
+            test_allowlist_requires_justification;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "clean fixture exits 0" `Quick test_clean_tree;
+          Alcotest.test_case "real tree passes" `Quick test_real_tree_passes;
+          Alcotest.test_case "registry = Trace.all_kind_names" `Quick
+            test_registry_matches_trace;
+        ] );
+    ]

@@ -1,0 +1,99 @@
+(** [ndnlint] — static determinism & invariant checks for the simulator.
+
+    A standalone analysis on [compiler-libs]: every [.ml]/[.mli] under
+    the configured paths is parsed ([Parse.implementation] /
+    [Parse.interface]) and walked with an {!Ast_iterator}, producing
+    typed, severity-ranked {!finding}s with stable rule IDs and
+    [file:line:col] spans.  No type information is consulted, so every
+    rule is a syntactic invariant; the few heuristics are documented in
+    DESIGN.md §11 and escape hatches exist at two scopes:
+
+    - a per-line pragma [(* ndnlint: allow RULE... -- why *)] (placed on
+      the offending line, or alone on the line above it);
+    - a central path-scoped allowlist file whose entries {e must} carry
+      a justification ([RULE PATH -- why]).
+
+    Rule families: [D*] determinism (the byte-identity guarantee behind
+    every [--jobs N] experiment), [T*] trace-kind registry hygiene,
+    [S*] structure, [E0] parse failure. *)
+
+type severity = Error | Warning
+
+type status =
+  | Active  (** A real violation: makes {!exit_code} non-zero. *)
+  | Allowlisted of string  (** Suppressed by the allowlist; carries the
+                               entry's justification. *)
+  | Pragma_suppressed  (** Suppressed by an in-source pragma. *)
+
+type finding = {
+  rule : string;  (** Stable rule ID, e.g. ["D1"]. *)
+  severity : severity;
+  file : string;  (** Path relative to the configured root. *)
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based, as in compiler messages. *)
+  message : string;
+  status : status;
+}
+
+type rule_info = { id : string; severity : severity; synopsis : string }
+
+val all_rules : rule_info list
+(** The full rule table, in ID order.  Mirrored (with rationale) in
+    DESIGN.md §11. *)
+
+type config = {
+  root : string;  (** Directory paths below are resolved against. *)
+  paths : string list;  (** Files or directories, relative to [root]. *)
+  allowlist_file : string option;  (** Relative to [root]. *)
+  registry_file : string option;
+      (** Trace-kind registry (one wire name per line); [None] disables
+          the [T*] rules. *)
+  excludes : string list;  (** Relative dir prefixes never scanned. *)
+  key_modules : string list;
+      (** Modules whose values are treated as abstract keys by [D6]. *)
+}
+
+val config :
+  ?paths:string list ->
+  ?allowlist_file:string ->
+  ?registry_file:string ->
+  ?excludes:string list ->
+  ?key_modules:string list ->
+  root:string ->
+  unit ->
+  config
+(** Defaults: [paths = ["lib"; "bin"; "bench"; "test"]],
+    [excludes = ["test/lint_fixtures"]],
+    [key_modules = ["Name"; "Interest"; "Data"; "Packet"]], no
+    allowlist, no registry. *)
+
+val lint : config -> (finding list, string) result
+(** Scan the tree.  [Ok findings] lists {e every} finding — active,
+    allowlisted and pragma-suppressed alike — sorted by
+    (file, line, col, rule).  [Error msg] reports a configuration
+    problem (unreadable root, malformed allowlist or registry); a
+    source file that fails to parse is not an error but an [E0]
+    finding. *)
+
+val active : finding list -> finding list
+(** Only the findings that should fail a build. *)
+
+val exit_code : finding list -> int
+(** [0] when {!active} is empty, [1] otherwise. *)
+
+(** {1 Rendering} *)
+
+type format = Text | Jsonl
+
+val format_of_string : string -> format option
+
+val finding_to_text : finding -> string
+(** [file:line:col: severity [RULE] message] (no newline). *)
+
+val finding_to_jsonl : finding -> string
+(** One JSON object per finding (no newline), schema:
+    [{"rule":…,"severity":…,"file":…,"line":…,"col":…,"message":…,
+      "status":"active"|"allowlisted"|"pragma","justification":…?}]. *)
+
+val render : format -> finding list -> string
+(** All findings, one per line, each line newline-terminated. *)
