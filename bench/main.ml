@@ -26,12 +26,16 @@
      thms  - Theorems VI.1-VI.4 vs exact enumeration / Monte-Carlo
      ablation - design-choice ablations
      chaos - attack accuracy and cache utility under router churn
-     micro - Bechamel micro-benchmarks *)
+     micro - Bechamel micro-benchmarks
+     core  - perf-regression suite (Sim.Bench); writes BENCH_core.json,
+             exits non-zero if the CS hit path allocates (--quick for
+             the CI smoke variant) *)
 
 let usage () =
   print_endline
-    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro]... \
-     [--fast|--full] [--jobs N] [--trace FILE] [--trace-format jsonl|csv]";
+    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro|core]... \
+     [--fast|--full|--quick] [--jobs N] [--trace FILE] [--trace-format \
+     jsonl|csv]";
   exit 1
 
 let () =
@@ -98,7 +102,7 @@ let () =
   let want name = List.mem "all" selected || List.mem name selected in
   List.iter
     (fun name ->
-      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "chaos"; "micro" ])
+      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "chaos"; "micro"; "core" ])
       then usage ())
     selected;
   if want "fig3" then Bench_fig3.run ~scale ~jobs ?trace ();
@@ -109,4 +113,5 @@ let () =
   if want "ablation" then Bench_ablation.run ~scale ~jobs ();
   if want "chaos" then Bench_chaos.run ~scale ~jobs ();
   if want "micro" then Bench_micro.run ();
+  if want "core" then Bench_core.run ~quick:(List.mem "--quick" args) ();
   Format.printf "@.done.@."

@@ -7,11 +7,15 @@ type 'meta entry = {
 }
 
 (* Intrusive doubly-linked node: the list head is the most recently
-   used/inserted end; eviction for LRU/FIFO takes the tail. *)
+   used/inserted end; eviction for LRU/FIFO takes the tail.  [self] is
+   the node's own [Some] cell, allocated once at creation, so relinking
+   on an LRU touch writes preallocated options instead of boxing fresh
+   ones — the lookup hit path allocates nothing. *)
 type 'meta node = {
   entry : 'meta entry;
   mutable prev : 'meta node option;
   mutable next : 'meta node option;
+  self : 'meta node option;
 }
 
 type counters = {
@@ -79,17 +83,19 @@ let create ?(policy = Eviction.Lru) ?rng ?(tracer = Sim.Trace.disabled)
   }
 
 (* Every CS record carries the owning node's label and the eviction
-   policy, so a mixed-policy topology stays attributable in the trace. *)
+   policy, so a mixed-policy topology stays attributable in the trace.
+   Call sites on hot paths guard with [Sim.Trace.enabled] *before*
+   building the attrs list, so a disabled tracer costs one load and one
+   branch — and zero allocation. *)
 let trace t ~now kind name attrs =
-  if Sim.Trace.enabled t.tracer then
-    Sim.Trace.emit t.tracer
-      {
-        Sim.Trace.time = now;
-        node = t.owner;
-        kind;
-        name = Name.to_string name;
-        attrs = ("policy", Eviction.to_string t.policy) :: attrs;
-      }
+  Sim.Trace.emit t.tracer
+    {
+      Sim.Trace.time = now;
+      node = t.owner;
+      kind;
+      name = Name.to_string name;
+      attrs = ("policy", Eviction.to_string t.policy) :: attrs;
+    }
 
 let size t = Name.Tbl.length t.table
 
@@ -97,7 +103,8 @@ let capacity t = t.capacity
 
 let policy t = t.policy
 
-(* --- intrusive list plumbing --- *)
+(* --- intrusive list plumbing (allocation-free: only preallocated
+   [self] cells and existing option values are ever written) --- *)
 
 let detach t node =
   (match node.prev with
@@ -112,8 +119,10 @@ let detach t node =
 let push_front t node =
   node.prev <- None;
   node.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
-  t.head <- Some node
+  (match t.head with
+  | Some h -> h.prev <- node.self
+  | None -> t.tail <- node.self);
+  t.head <- node.self
 
 (* --- random-replacement slot array --- *)
 
@@ -184,14 +193,19 @@ let choose_victim t =
       let name = t.slots.(Sim.Rng.int rng t.slots_len) in
       Name.Tbl.find_opt t.table name
 
+(* Returns whether a victim was actually evicted, so [insert]'s
+   make-room loop can stop when the policy has nothing left to offer
+   (e.g. a desynchronized LFU heap) instead of spinning forever. *)
 let evict_one t ~now =
   match choose_victim t with
-  | None -> ()
+  | None -> false
   | Some node ->
     remove_node t node;
     t.evictions <- t.evictions + 1;
-    trace t ~now Sim.Trace.Cs_evict node.entry.data.Data.name
-      [ ("size", string_of_int (Name.Tbl.length t.table)) ]
+    if Sim.Trace.enabled t.tracer then
+      trace t ~now Sim.Trace.Cs_evict node.entry.data.Data.name
+        [ ("size", string_of_int (Name.Tbl.length t.table)) ];
+    true
 
 (* --- public operations --- *)
 
@@ -201,12 +215,16 @@ let insert t ~now data meta =
   (match Name.Tbl.find_opt t.table name with
   | Some node -> remove_node t node
   | None -> ());
-  if t.capacity > 0 then
-    while Name.Tbl.length t.table >= t.capacity do
-      evict_one t ~now
-    done;
-  let entry = { data; inserted_at = now; last_access = now; access_count = 0; meta } in
-  let node = { entry; prev = None; next = None } in
+  if t.capacity > 0 then begin
+    let evictable = ref true in
+    while !evictable && Name.Tbl.length t.table >= t.capacity do
+      evictable := evict_one t ~now
+    done
+  end;
+  let entry =
+    { data; inserted_at = now; last_access = now; access_count = 0; meta }
+  in
+  let rec node = { entry; prev = None; next = None; self = Some node } in
   Name.Tbl.replace t.table name node;
   Name_trie.add t.index name ();
   push_front t node;
@@ -216,19 +234,30 @@ let insert t ~now data meta =
   end;
   if t.policy = Eviction.Random_replacement then slots_add t name;
   t.insertions <- t.insertions + 1;
-  trace t ~now Sim.Trace.Cs_insert name
-    [ ("size", string_of_int (Name.Tbl.length t.table)) ]
+  if Sim.Trace.enabled t.tracer then
+    trace t ~now Sim.Trace.Cs_insert name
+      [ ("size", string_of_int (Name.Tbl.length t.table)) ]
+
+(* Inline freshness test ([Data.is_fresh] unfolded) so the age stays in
+   float registers on the lookup path. *)
+let is_stale e ~now =
+  match e.data.Data.freshness_ms with
+  | None -> false
+  | Some f -> now -. e.inserted_at > f
+
+let expire_node t ~now node =
+  remove_node t node;
+  t.expirations <- t.expirations + 1;
+  if Sim.Trace.enabled t.tracer then
+    trace t ~now Sim.Trace.Cs_expire node.entry.data.Data.name
+      [ ("age_ms", Printf.sprintf "%.6f" (now -. node.entry.inserted_at)) ]
 
 let expire_if_stale t ~now node =
-  let e = node.entry in
-  if Data.is_fresh e.data ~age_ms:(now -. e.inserted_at) then false
-  else begin
-    remove_node t node;
-    t.expirations <- t.expirations + 1;
-    trace t ~now Sim.Trace.Cs_expire e.data.Data.name
-      [ ("age_ms", Printf.sprintf "%.6f" (now -. e.inserted_at)) ];
+  if is_stale node.entry ~now then begin
+    expire_node t ~now node;
     true
   end
+  else false
 
 let touch t ~now node =
   let e = node.entry in
@@ -238,6 +267,32 @@ let touch t ~now node =
     detach t node;
     push_front t node
   end
+
+(* The counted miss exit, shared by both lookup flavours. *)
+let miss t ~now name =
+  t.misses <- t.misses + 1;
+  if Sim.Trace.enabled t.tracer then trace t ~now Sim.Trace.Cs_miss name [];
+  raise Not_found
+
+(* The counted hit exit: refresh recency, count, trace. *)
+let hit t ~now node =
+  touch t ~now node;
+  t.hits <- t.hits + 1;
+  if Sim.Trace.enabled t.tracer then
+    trace t ~now Sim.Trace.Cs_hit node.entry.data.Data.name
+      [ ("count", string_of_int node.entry.access_count) ];
+  node.entry
+
+let find_exact t ~now name =
+  t.lookups <- t.lookups + 1;
+  match Name.Tbl.find t.table name with
+  | exception Not_found -> miss t ~now name
+  | node ->
+    if is_stale node.entry ~now then begin
+      expire_node t ~now node;
+      miss t ~now name
+    end
+    else hit t ~now node
 
 let find_matching_node t ~exact name =
   match Name.Tbl.find_opt t.table name with
@@ -259,24 +314,21 @@ let find_matching_node t ~exact name =
     candidate
 
 let lookup t ~now ?(exact = false) name =
-  t.lookups <- t.lookups + 1;
-  let rec attempt () =
-    match find_matching_node t ~exact name with
-    | None ->
-      t.misses <- t.misses + 1;
-      trace t ~now Sim.Trace.Cs_miss name [];
-      None
-    | Some node ->
-      if expire_if_stale t ~now node then attempt ()
-      else begin
-        touch t ~now node;
-        t.hits <- t.hits + 1;
-        trace t ~now Sim.Trace.Cs_hit node.entry.data.Data.name
-          [ ("count", string_of_int node.entry.access_count) ];
-        Some node.entry
-      end
-  in
-  attempt ()
+  if exact then
+    match find_exact t ~now name with
+    | entry -> Some entry
+    | exception Not_found -> None
+  else begin
+    t.lookups <- t.lookups + 1;
+    let rec attempt () =
+      match find_matching_node t ~exact name with
+      | None -> ( try miss t ~now name with Not_found -> None)
+      | Some node ->
+        if expire_if_stale t ~now node then attempt ()
+        else Some (hit t ~now node)
+    in
+    attempt ()
+  end
 
 let peek t name =
   match Name.Tbl.find_opt t.table name with
@@ -304,8 +356,9 @@ let clear t =
 let flush t ~now =
   let dropped = size t in
   clear t;
-  trace t ~now Sim.Trace.Cs_flush Name.root
-    [ ("dropped", string_of_int dropped) ]
+  if Sim.Trace.enabled t.tracer then
+    trace t ~now Sim.Trace.Cs_flush Name.root
+      [ ("dropped", string_of_int dropped) ]
 
 let fold t ~init ~f =
   let rec go acc = function

@@ -45,6 +45,17 @@ val lookup : 'meta t -> now:float -> ?exact:bool -> Name.t -> 'meta entry option
     refreshes recency and increments [access_count].  Stale entries
     (per {!Data.t.freshness_ms}) are expired, not returned. *)
 
+val find_exact : 'meta t -> now:float -> Name.t -> 'meta entry
+(** Exact-name lookup with the same side effects as
+    [lookup ~exact:true] — counters, recency refresh, expiry of a stale
+    entry, tracing — but returning the entry directly.
+    @raise Not_found on a miss (counted and traced as such).
+
+    This is the hot-path variant: with tracing disabled it performs no
+    minor-heap allocation at all (no [option] wrapper, exception-style
+    hash-table probe, preallocated intrusive-list links for the LRU
+    move-to-front).  The [bench core] CS-hit benchmark asserts this. *)
+
 val peek : 'meta t -> Name.t -> 'meta entry option
 (** Exact lookup with no side effects: no recency update, no hit count,
     no expiry. *)

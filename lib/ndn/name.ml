@@ -1,19 +1,49 @@
-(* A name is stored both as its component list and as a canonical
-   NUL-joined key used for hashing and ordered comparison, so Map/Set
-   and Hashtbl operations cost one string comparison instead of a list
-   walk. *)
+(* A name is stored as its component list, a canonical NUL-joined key
+   (one string comparison instead of a list walk for Map/Set/Hashtbl
+   operations), a memoized hash of that key, and its component count.
 
-type t = { comps : string list; key : string }
+   Names are hash-consed: every constructor funnels through a weak
+   intern table keyed on the canonical key, so equal names built in the
+   same domain share one allocation, [equal] short-circuits on physical
+   identity, and [hash] is a field read.  The table is weak — names no
+   longer referenced elsewhere are collected normally — and per-domain
+   ([Domain.DLS]), so Sim.Parallel trial domains intern independently
+   without locks; names interned in different domains (or unmarshalled
+   from elsewhere) are physically distinct but still equal through the
+   key-string fallback, which keeps marshalling and cross-domain result
+   merging safe. *)
+
+type t = { comps : string list; key : string; h : int; len : int }
 
 let check_component c =
   if String.length c = 0 then invalid_arg "Name: empty component";
   if String.contains c '\000' then invalid_arg "Name: NUL byte in component"
 
+module Raw = struct
+  type nonrec t = t
+
+  let equal a b = a.h = b.h && String.equal a.key b.key
+  let hash t = t.h
+end
+
+module W = Weak.Make (Raw)
+
+let intern_tbl = Domain.DLS.new_key (fun () -> W.create 4096)
+
+let intern cand = W.merge (Domain.DLS.get intern_tbl) cand
+
+(* All construction funnels through [mk]; [key] must be the NUL-join of
+   [comps] and [len] their count — the invariants every accessor relies
+   on. *)
+let mk comps ~len key =
+  (* ndnlint: allow D5 -- the canonical flat key string is hashed once per interned name; the memoized field makes every later Name.hash representation-independent and free *)
+  intern { comps; key; h = Hashtbl.hash key; len }
+
 let make comps =
   List.iter check_component comps;
-  { comps; key = String.concat "\000" comps }
+  mk comps ~len:(List.length comps) (String.concat "\000" comps)
 
-let root = { comps = []; key = "" }
+let root = make []
 
 let of_components comps = make comps
 
@@ -26,16 +56,23 @@ let to_string t =
 
 let components t = t.comps
 
-let length t = List.length t.comps
+let length t = t.len
 
 let append t c =
   check_component c;
-  make (t.comps @ [ c ])
+  (* Only the new component needs validation, and the key extends the
+     parent's key — no re-walk of the existing components. *)
+  let key = if t.len = 0 then c else t.key ^ "\000" ^ c in
+  mk (t.comps @ [ c ]) ~len:(t.len + 1) key
 
-let concat a b = { comps = a.comps @ b.comps; key = (match (a.comps, b.comps) with
-  | [], _ -> b.key
-  | _, [] -> a.key
-  | _ -> a.key ^ "\000" ^ b.key) }
+(* Both arguments are [t] values, so their components were validated by
+   [make]/[append] when they were built: gluing the canonical keys with
+   a single NUL preserves the key invariant without re-validating. *)
+let concat a b =
+  if a.len = 0 then b
+  else if b.len = 0 then a
+  else
+    mk (a.comps @ b.comps) ~len:(a.len + b.len) (a.key ^ "\000" ^ b.key)
 
 let parent t =
   match t.comps with
@@ -46,20 +83,40 @@ let parent t =
       | [ _ ] -> []
       | c :: rest -> c :: drop_last rest
     in
-    Some (make (drop_last comps))
+    let key =
+      match String.rindex_opt t.key '\000' with
+      | None -> ""
+      | Some i -> String.sub t.key 0 i
+    in
+    Some (mk (drop_last comps) ~len:(t.len - 1) key)
 
 let last t =
   let rec go = function [] -> None | [ c ] -> Some c | _ :: rest -> go rest in
   go t.comps
 
-let prefix t n =
-  if n < 0 || n > length t then invalid_arg "Name.prefix: bad length";
-  let rec take k = function
-    | _ when k = 0 -> []
-    | [] -> []
-    | c :: rest -> c :: take (k - 1) rest
+(* Byte index of the [n]-th NUL separator of [key] (1-based); callers
+   guarantee it exists. *)
+let nth_nul key n =
+  let rec go from remaining =
+    let i = String.index_from key from '\000' in
+    if remaining = 1 then i else go (i + 1) (remaining - 1)
   in
-  make (take n t.comps)
+  go 0 n
+
+let prefix t n =
+  if n < 0 || n > t.len then invalid_arg "Name.prefix: bad length";
+  if n = t.len then t
+  else if n = 0 then root
+  else begin
+    let rec take k = function
+      | _ when k = 0 -> []
+      | [] -> []
+      | c :: rest -> c :: take (k - 1) rest
+    in
+    (* The first [n] components end right before the n-th separator, so
+       the sliced key stays canonical without re-joining. *)
+    mk (take n t.comps) ~len:n (String.sub t.key 0 (nth_nul t.key n))
+  end
 
 let rec list_is_prefix p t =
   match (p, t) with
@@ -69,19 +126,21 @@ let rec list_is_prefix p t =
 
 let is_prefix ~prefix t = list_is_prefix prefix.comps t.comps
 
-let is_strict_prefix ~prefix t =
-  is_prefix ~prefix t && List.length prefix.comps < List.length t.comps
+let is_strict_prefix ~prefix t = is_prefix ~prefix t && prefix.len < t.len
 
 let namespace t ~depth =
   if depth < 0 then invalid_arg "Name.namespace: negative depth";
-  if depth >= length t then t else prefix t depth
+  if depth >= t.len then t else prefix t depth
 
 let compare a b = String.compare a.key b.key
 
-let equal a b = String.equal a.key b.key
+(* Physical-equality-first: interned names that are equal within a
+   domain are the same allocation, so the common case is one pointer
+   comparison.  The hash-then-key fallback keeps equality correct for
+   names from other domains or from unmarshalling. *)
+let equal a b = a == b || (a.h = b.h && String.equal a.key b.key)
 
-(* ndnlint: allow D5 -- t.key is the canonical flat string, so the structural hash is stable and representation-independent *)
-let hash t = Hashtbl.hash t.key
+let hash t = t.h
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

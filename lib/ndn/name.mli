@@ -6,7 +6,18 @@
     prefix of [X'] (paper, Section II, footnote 2). *)
 
 type t
-(** Immutable.  Structural equality and comparison are meaningful. *)
+(** Immutable.  Structural equality and comparison are meaningful.
+
+    Values are hash-consed per domain: equal names constructed in the
+    same domain share one allocation, so {!equal} is a pointer
+    comparison in the common case (with a canonical-key fallback that
+    keeps equality correct across domains and for unmarshalled
+    values), and {!hash} is a memoized field read.  Every value of
+    this type was built through a validating constructor
+    ({!of_string}, {!of_components}, {!append}, …), so well-formedness
+    — non-empty, NUL-free components — is an invariant of the type
+    that derived constructors such as {!concat} rely on instead of
+    re-validating. *)
 
 val root : t
 (** The empty name ["/"], prefix of every name. *)
@@ -35,7 +46,11 @@ val append : t -> string -> t
     @raise Invalid_argument as {!of_components}. *)
 
 val concat : t -> t -> t
-(** [concat a b] is [a] followed by [b]'s components. *)
+(** [concat a b] is [a] followed by [b]'s components.  No re-validation
+    happens: both arguments are [t] values, whose components are
+    well-formed by construction (the type's invariant — every [t] was
+    built through a validating constructor), so the canonical keys can
+    be glued directly. *)
 
 val parent : t -> t option
 (** Drop the last component; [None] for [root]. *)
@@ -63,8 +78,12 @@ val compare : t -> t -> int
 (** Total order: lexicographic on components. *)
 
 val equal : t -> t -> bool
+(** Physical-equality-first (hash-consed values are shared), falling
+    back to a canonical-key comparison. *)
 
 val hash : t -> int
+(** Memoized — a field read, independent of the in-memory
+    representation. *)
 
 val pp : Format.formatter -> t -> unit
 

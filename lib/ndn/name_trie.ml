@@ -52,34 +52,41 @@ let remove t name =
   in
   ignore (go t.root (Name.components name))
 
+(* [Smap.find] + [Not_found] instead of [find_opt]: the per-level [Some]
+   wrappers are the only allocations a trie descent would otherwise make. *)
 let find t name =
   let rec go node = function
     | [] -> node.value
     | c :: rest -> (
-      match Smap.find_opt c node.children with
-      | None -> None
-      | Some child -> go child rest)
+      match Smap.find c node.children with
+      | exception Not_found -> None
+      | child -> go child rest)
   in
   go t.root (Name.components name)
 
 let mem t name = find t name <> None
 
+(* Track the best depth during the descent and build the winning prefix
+   name once at the end, instead of materializing a candidate name at
+   every bound node along the path. *)
 let longest_prefix t name =
-  let rec go node depth best = function
+  let rec go node depth best_depth best = function
     | comps ->
-      let best =
+      let best_depth, best =
         match node.value with
-        | Some v -> Some (Name.prefix name depth, v)
-        | None -> best
+        | Some v -> (depth, Some v)
+        | None -> (best_depth, best)
       in
       (match comps with
-      | [] -> best
+      | [] -> (best_depth, best)
       | c :: rest -> (
-        match Smap.find_opt c node.children with
-        | None -> best
-        | Some child -> go child (depth + 1) best rest))
+        match Smap.find c node.children with
+        | exception Not_found -> (best_depth, best)
+        | child -> go child (depth + 1) best_depth best rest))
   in
-  go t.root 0 None (Name.components name)
+  match go t.root 0 0 None (Name.components name) with
+  | _, None -> None
+  | depth, Some v -> Some (Name.prefix name depth, v)
 
 let fold_prefixes t name ~init ~f =
   let rec go node depth acc = function
@@ -102,9 +109,9 @@ let descend t name =
   let rec go node = function
     | [] -> Some node
     | c :: rest -> (
-      match Smap.find_opt c node.children with
-      | None -> None
-      | Some child -> go child rest)
+      match Smap.find c node.children with
+      | exception Not_found -> None
+      | child -> go child rest)
   in
   go t.root (Name.components name)
 

@@ -1,0 +1,70 @@
+(* Micro-benchmark harness for the perf-regression suite (bench core).
+
+   Lives in lib/ so benchmark executables and tests share one
+   measurement discipline, but — per the repo's determinism rules
+   (ndnlint D3: no wall-clock reads outside bin/) — it never reads a
+   clock itself: callers inject [clock_ns], typically
+   [Bechamel.Monotonic_clock] or [Unix.gettimeofday] scaled, from their
+   executable. *)
+
+type result = {
+  label : string;
+  ns_per_op : float;
+  allocs_per_op : float;
+      (* minor-heap words allocated per operation (Gc.minor_words) *)
+  ops : int;
+  runs : int;
+}
+
+let measure ~clock_ns ?(warmup = 2) ?(runs = 5) ~label ~ops f =
+  if ops <= 0 then invalid_arg "Bench.measure: ops must be positive";
+  if runs <= 0 then invalid_arg "Bench.measure: runs must be positive";
+  for _ = 1 to warmup do
+    f ops
+  done;
+  let best_ns = ref infinity in
+  let best_words = ref infinity in
+  for _ = 1 to runs do
+    (* Settle the heap so a promotion triggered by earlier runs does not
+       bill its minor collections to this one. *)
+    Gc.full_major ();
+    let t0 = clock_ns () in
+    let w0 = Gc.minor_words () in
+    f ops;
+    let w1 = Gc.minor_words () in
+    let t1 = clock_ns () in
+    let per = 1.0 /. float_of_int ops in
+    let ns = (t1 -. t0) *. per in
+    let words = (w1 -. w0) *. per in
+    if ns < !best_ns then best_ns := ns;
+    if words < !best_words then best_words := words
+  done;
+  { label; ns_per_op = !best_ns; allocs_per_op = !best_words; ops; runs }
+
+(* Minimum across runs, not mean: the distribution of a microbenchmark
+   is one-sided (preemption, collections only ever add time), so the
+   minimum is the best estimate of the code's intrinsic cost, and the
+   allocation minimum discards first-run lazy initialization. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let result_to_json r =
+  Printf.sprintf
+    {|{"op": "%s", "ns_per_op": %.3f, "allocs_per_op": %.6f, "ops": %d, "runs": %d}|}
+    (json_escape r.label) r.ns_per_op r.allocs_per_op r.ops r.runs
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-28s %12.1f ns/op %12.3f words/op" r.label r.ns_per_op
+    r.allocs_per_op

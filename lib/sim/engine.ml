@@ -2,96 +2,171 @@ type state = Pending | Fired | Cancelled
 
 type t = {
   queue : handle Heap.t;
-  mutable clock : float;
+  (* The virtual clock lives in a one-element float array rather than a
+     mutable float field: a mixed record's float field is a pointer to
+     a box, so every assignment would allocate a fresh box and pay a
+     write barrier — once per event.  A float-array store is unboxed
+     and barrier-free. *)
+  clock : float array;
   mutable next_seq : int;
   mutable processed : int;
-  (* Events cancelled while still sitting in the queue; [pending]
-     subtracts them so it reports live events only. *)
-  mutable cancelled_queued : int;
+  (* Live events: scheduled, not yet fired, not cancelled.  Maintained
+     at schedule/fire/cancel time, so the pop path drops lazily
+     cancelled events without any counter churn. *)
+  mutable live : int;
+  (* Intrusive free-list of recycled handle records ([free == nil] means
+     empty); [nil] is a per-engine sentinel whose [next_free] is
+     itself.  Handles threaded here keep their terminal state (Fired or
+     Cancelled) until reused by a later [schedule].  [next_free] is
+     only meaningful while the record sits in the free list; it is left
+     stale once the record is rescheduled (resetting it would cost a
+     write barrier per schedule for nothing — at worst it keeps one
+     retired record reachable, and every record here is long-lived
+     anyway). *)
+  mutable free : handle;
+  nil : handle;
   tracer : Trace.t;
 }
 
-and handle = { mutable state : state; action : unit -> unit; owner : t }
+and handle = {
+  mutable state : state;
+  mutable action : unit -> unit;
+  owner : t;
+  mutable next_free : handle;
+}
+
+let nop () = ()
 
 let create ?(tracer = Trace.disabled) () =
-  {
-    queue = Heap.create ();
-    clock = 0.;
-    next_seq = 0;
-    processed = 0;
-    cancelled_queued = 0;
-    tracer;
-  }
+  let rec eng =
+    {
+      queue = Heap.create ();
+      clock = [| 0. |];
+      next_seq = 0;
+      processed = 0;
+      live = 0;
+      free = nil;
+      nil;
+      tracer;
+    }
+  and nil = { state = Fired; action = nop; owner = eng; next_free = nil } in
+  eng
 
-let now t = t.clock
+let now t = Array.unsafe_get t.clock 0
 
 let tracer t = t.tracer
 
+(* Return a popped record to the free-list.  The closure is dropped
+   immediately so it does not outlive its event; the state is left at
+   its terminal value so [is_cancelled] keeps answering for the old
+   event until the record is reused. *)
+let recycle t h =
+  h.action <- nop;
+  h.next_free <- t.free;
+  t.free <- h
+
 let schedule_at t ~time f =
-  let time = if time < t.clock then t.clock else time in
-  let h = { state = Pending; action = f; owner = t } in
+  let clk = Array.unsafe_get t.clock 0 in
+  let time = if time < clk then clk else time in
+  let h =
+    (* Physical identity against the per-engine sentinel is the
+       free-list emptiness test. *)
+    if t.free != t.nil then begin
+      let h = t.free in
+      t.free <- h.next_free;
+      h.state <- Pending;
+      h.action <- f;
+      h
+    end
+    else { state = Pending; action = f; owner = t; next_free = t.nil }
+  in
   Heap.add t.queue ~time ~seq:t.next_seq h;
   t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
   h
 
 let schedule t ~delay f =
   let delay = if delay < 0. then 0. else delay in
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at t ~time:(Array.unsafe_get t.clock 0 +. delay) f
 
 let cancel h =
   match h.state with
   | Pending ->
     h.state <- Cancelled;
-    h.owner.cancelled_queued <- h.owner.cancelled_queued + 1
+    h.owner.live <- h.owner.live - 1
   | Fired | Cancelled -> ()
 
 let is_cancelled h = h.state = Cancelled
 
+(* Dispatch a popped pending event: mark, count, trace, recycle, run.
+   The record is recycled before the action runs (the closure was saved
+   out), so events scheduled from inside the action reuse it at once.
+   The clock has already been advanced to the event's time by the fused
+   pop, so the (cold) trace branch reads it back from there. *)
+let fire t h =
+  h.state <- Fired;
+  t.processed <- t.processed + 1;
+  t.live <- t.live - 1;
+  let action = h.action in
+  recycle t h;
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer
+      {
+        Trace.time = Array.unsafe_get t.clock 0;
+        node = "engine";
+        kind = Trace.Engine_step;
+        name = "";
+        attrs =
+          [
+            ("depth", string_of_int (Heap.length t.queue));
+            ("processed", string_of_int t.processed);
+          ];
+      };
+  action ()
+
 let step t =
-  match Heap.pop_min t.queue with
-  | None -> false
-  | Some (time, _seq, h) ->
-    t.clock <- time;
+  if Heap.is_empty t.queue then false
+  else begin
+    let h = Heap.pop_min_elt_writing_time t.queue ~time_into:t.clock in
     (match h.state with
-    | Cancelled -> t.cancelled_queued <- t.cancelled_queued - 1
+    | Cancelled -> recycle t h
     | Fired -> assert false
-    | Pending ->
-      h.state <- Fired;
-      t.processed <- t.processed + 1;
-      if Trace.enabled t.tracer then
-        Trace.emit t.tracer
-          {
-            Trace.time;
-            node = "engine";
-            kind = Trace.Engine_step;
-            name = "";
-            attrs =
-              [
-                ("depth", string_of_int (Heap.length t.queue));
-                ("processed", string_of_int t.processed);
-              ];
-          };
-      h.action ());
+    | Pending -> fire t h);
     true
+  end
 
 let run ?until ?max_events t =
+  let limit = match until with Some l -> l | None -> Float.infinity in
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.peek_min t.queue with
-    | None -> continue := false
-    | Some (time, _, _) -> (
-      match until with
-      | Some limit when time > limit ->
-        (* Leave future events queued; advance the clock to the limit so
-           that a subsequent [run ~until] picks up where we stopped. *)
-        t.clock <- limit;
-        continue := false
-      | _ ->
-        ignore (step t);
-        decr budget)
+    (* [min_before] + the fused pop replace the old peek/pop double
+       traversal: one unboxed bound test, one sift, and the clock
+       written in place of a boxed-float hand-off. *)
+    if Heap.min_before t.queue limit then begin
+      let h = Heap.pop_min_elt_writing_time t.queue ~time_into:t.clock in
+      match h.state with
+      | Cancelled ->
+        (* Lazily dropped; consumes no [max_events] budget — the
+           budget counts executed events, matching
+           [events_processed]. *)
+        recycle t h
+      | Fired -> assert false
+      | Pending ->
+        fire t h;
+        decr budget
+    end
+    else begin
+      (* Queue empty, or the next event is beyond [until].  In the
+         latter case leave future events queued and advance the clock
+         to the limit so that a subsequent [run ~until] picks up where
+         we stopped. *)
+      if (not (Heap.is_empty t.queue)) && limit < Float.infinity then
+        Array.unsafe_set t.clock 0 limit;
+      continue := false
+    end
   done
 
-let pending t = Heap.length t.queue - t.cancelled_queued
+let pending t = t.live
 
 let events_processed t = t.processed

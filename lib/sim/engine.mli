@@ -4,13 +4,25 @@
     are thunks executed at their scheduled time; events scheduled for
     the same instant run in scheduling order.  Nothing here is
     concurrent — the engine is a deterministic single-threaded loop,
-    which is what makes experiments exactly reproducible. *)
+    which is what makes experiments exactly reproducible.
+
+    The hot path is allocation-free: the queue is a struct-of-arrays
+    {!Heap}, and handle records are recycled through a free-list once
+    their event has fired (or a cancelled event's instant has passed).
+    Consequence of recycling: a handle is meaningful from [schedule]
+    until its event fires or its cancelled slot is drained; after that
+    the record may be reused by a later [schedule], at which point
+    {!cancel}/{!is_cancelled} on the stale handle refer to the new
+    event.  Cancel an event only while it is still pending — which is
+    the only useful time to do so. *)
 
 type t
 
 type handle
 (** A scheduled event, usable for cancellation (e.g. a PIT-entry
-    timeout that is disarmed when the Data packet arrives). *)
+    timeout that is disarmed when the Data packet arrives).  Recycled
+    after the event fires — do not retain handles past their event's
+    lifetime (see the module preamble). *)
 
 val create : ?tracer:Trace.t -> unit -> t
 (** Fresh engine with the clock at [0.].  When [tracer] (default
@@ -28,7 +40,8 @@ val tracer : t -> Trace.t
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative delays
     are clamped to [0.] (the event runs "now", after currently pending
-    same-instant events). *)
+    same-instant events).  Allocation-free when a recycled handle
+    record is available. *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
 (** Absolute-time variant of {!schedule}.  Times in the past are clamped
@@ -36,18 +49,24 @@ val schedule_at : t -> time:float -> (unit -> unit) -> handle
 
 val cancel : handle -> unit
 (** Disarm a scheduled event.  Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+    already-cancelled event is a no-op — but see the recycling caveat
+    in the module preamble: once the event has fired, the handle may
+    have been reused by a later [schedule]. *)
 
 val is_cancelled : handle -> bool
 
 val step : t -> bool
 (** Execute the next pending event.  Returns [false] when the queue is
-    empty (clock unchanged). *)
+    empty (clock unchanged).  A popped cancelled event advances the
+    clock but executes nothing. *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Drain the event queue.  [until] stops the clock at the given time
     (events scheduled later stay queued); [max_events] bounds the number
-    of events executed — a guard against non-terminating protocols. *)
+    of events {e executed} — cancelled events drained from the queue do
+    not consume the budget, so the bound matches what
+    {!events_processed} reports — a guard against non-terminating
+    protocols. *)
 
 val pending : t -> int
 (** Number of {e live} queued events: scheduled, not yet fired and not

@@ -1,9 +1,24 @@
-(** Binary min-heap keyed by [(float, int)] pairs.
+(** 4-ary min-heap keyed by [(float, int)] pairs, stored
+    struct-of-arrays with slot indirection.
 
     The event queue of the simulator: the float key is virtual time, the
     integer key is an insertion sequence number used to break ties so
-    that events scheduled for the same instant fire in FIFO order
-    (a deterministic total order, independent of heap internals). *)
+    that events scheduled for the same instant fire in FIFO order.
+    Because [(time, seq)] is a total order, pop order is independent of
+    the internal layout (arity included) — any correct heap yields the
+    same event sequence.
+
+    Layout: parallel arrays — a flat (unboxed) [float array] of times,
+    an [int array] of sequence numbers, and an [int array] mapping heap
+    positions to stable element slots — grown by amortized doubling.
+    Elements live in a slot-indexed array and are never moved by a
+    sift, so the sift loops permute only unboxed floats and ints (no
+    write barriers, no polymorphic-array dispatch).  [add],
+    [pop_min_elt], [min_time]/[min_before], and
+    [pop_min_elt_writing_time] allocate nothing; only the
+    tuple-returning conveniences ([pop_min], [peek_min]) box their
+    result.  A popped element may remain reachable from its retired
+    slot until the slot is reused by a later [add] or [clear]. *)
 
 type 'a t
 
@@ -16,7 +31,35 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val add : 'a t -> time:float -> seq:int -> 'a -> unit
-(** Insert an element with the given priority key. *)
+(** Insert an element with the given priority key.  Allocation-free
+    except when the backing arrays double. *)
+
+val min_time : 'a t -> float
+(** Time key of the minimum element.
+    @raise Invalid_argument when empty. *)
+
+val min_before : 'a t -> float -> bool
+(** [min_before t limit] is [true] iff the heap is non-empty and the
+    minimum element's time key is [<= limit].  The unboxed bound test
+    behind [Engine.run ~until]'s stopping rule — no boxed-float return
+    as with {!min_time}, no [option] as with {!peek_min}. *)
+
+val min_seq : 'a t -> int
+(** Sequence key of the minimum element.
+    @raise Invalid_argument when empty. *)
+
+val pop_min_elt : 'a t -> 'a
+(** Remove and return the element with the smallest key, without boxing
+    the key (read it first via {!min_time}/{!min_seq} if needed).
+    @raise Invalid_argument when empty. *)
+
+val pop_min_elt_writing_time : 'a t -> time_into:float array -> 'a
+(** {!pop_min_elt}, fused with writing the popped key's time into
+    [time_into.(0)].  Lets a caller whose clock is a one-element float
+    array (the engine) receive the time without a cross-module
+    boxed-float hand-off.
+    @raise Invalid_argument when empty.  [time_into] must have length
+    [>= 1]. *)
 
 val pop_min : 'a t -> (float * int * 'a) option
 (** Remove and return the element with the smallest key, or [None] when
@@ -25,5 +68,12 @@ val pop_min : 'a t -> (float * int * 'a) option
 val peek_min : 'a t -> (float * int * 'a) option
 (** Return the smallest-keyed element without removing it. *)
 
+val pop_if_min_before : 'a t -> float -> 'a option
+(** [pop_if_min_before t limit] pops and returns the minimum element if
+    its time key is [<= limit], in one traversal — the
+    [Engine.run ~until] stopping rule without a separate peek/pop
+    pair.  [None] when the heap is empty or the head is later than
+    [limit] (the heap is left untouched). *)
+
 val clear : 'a t -> unit
-(** Remove all elements. *)
+(** Remove all elements and release the backing arrays. *)

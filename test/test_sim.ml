@@ -543,6 +543,75 @@ let qcheck_tests =
           | Some (t, _, _) -> t >= last && drain t
         in
         drain neg_infinity);
+    (* Model check: the slot-indirection heap against a sorted-list
+       reference, over an arbitrary interleaving of adds, pops,
+       bounded pops ([pop_if_min_before]) and clears.  Times are drawn
+       from a coarse grid so ties are common, which pins the FIFO
+       seq tie-break; element identity (not just key order) is compared
+       so a slot-recycling bug that served the wrong payload would be
+       caught. *)
+    QCheck.Test.make ~name:"heap agrees with sorted-list model" ~count:300
+      QCheck.(
+        list
+          (oneof
+             [
+               Gen.map (fun t -> `Add (float_of_int t)) (Gen.int_range 0 20)
+               |> make ~print:(fun _ -> "op");
+               always `Pop;
+               Gen.map
+                 (fun t -> `Pop_before (float_of_int t))
+                 (Gen.int_range 0 20)
+               |> make ~print:(fun _ -> "op");
+               always `Clear;
+             ]))
+      (fun ops ->
+        let h = Sim.Heap.create () in
+        (* Model: list of (time, seq, payload) kept sorted by (time, seq). *)
+        let model = ref [] in
+        let key_le (t1, s1, _) (t2, s2, _) =
+          t1 < t2 || (t1 = t2 && s1 <= s2)
+        in
+        let insert e =
+          let rec go = function
+            | [] -> [ e ]
+            | x :: rest -> if key_le e x then e :: x :: rest else x :: go rest
+          in
+          model := go !model
+        in
+        let seq = ref 0 in
+        List.for_all
+          (fun op ->
+            match op with
+            | `Add t ->
+              let payload = !seq * 17 in
+              Sim.Heap.add h ~time:t ~seq:!seq payload;
+              insert (t, !seq, payload);
+              incr seq;
+              Sim.Heap.length h = List.length !model
+            | `Pop -> (
+              match (Sim.Heap.pop_min h, !model) with
+              | None, [] -> true
+              | Some got, m :: rest ->
+                model := rest;
+                got = m
+              | _ -> false)
+            | `Pop_before limit -> (
+              let expect =
+                match !model with
+                | (t, _, p) :: rest when t <= limit ->
+                  model := rest;
+                  Some p
+                | _ -> None
+              in
+              match (Sim.Heap.pop_if_min_before h limit, expect) with
+              | None, None -> true
+              | Some got, Some want -> got = want
+              | _ -> false)
+            | `Clear ->
+              Sim.Heap.clear h;
+              model := [];
+              Sim.Heap.is_empty h)
+          ops);
     QCheck.Test.make ~name:"welford matches direct mean" ~count:200
       QCheck.(array_of_size Gen.(int_range 1 100) (float_range (-1e3) 1e3))
       (fun xs ->

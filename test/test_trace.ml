@@ -278,6 +278,27 @@ let golden_first =
 let golden_last =
   {|{"time":8005.934409,"node":"engine","kind":"engine.step","name":"","attrs":{"depth":"0","processed":"19"}}|}
 
+(* Golden trace for the canonical small attack campaign (LAN, seed 11,
+   8 contents x 4 runs — the same campaign the jobs-invariance tests
+   run).  Pinned before the zero-allocation heap/name rewrites, this is
+   the byte-identity contract that those rewrites are pure
+   optimizations: same events, same order, same bytes. *)
+let golden_attack_lines = 2688
+let golden_attack_sha256 =
+  "5aa928689ffe8d6c02bebd078349468c88d8cd17b920c855b79ad900f5d44442"
+
+let test_golden_attack_trace () =
+  let rendered =
+    Sim.Trace.render Sim.Trace.Jsonl (campaign ~jobs:1).Attack.Timing_experiment.trace
+  in
+  let lines =
+    String.split_on_char '\n' rendered |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "line count" golden_attack_lines (List.length lines);
+  Alcotest.(check string) "sha256 of the full attack trace"
+    golden_attack_sha256
+    (Ndn_crypto.Sha256.hex_digest rendered)
+
 let test_golden_probe_trace () =
   let rendered = Sim.Trace.render Sim.Trace.Jsonl (probe_trace ()) in
   let lines =
@@ -535,6 +556,8 @@ let () =
           Alcotest.test_case "jobs-invariant csv" `Slow test_jobs_invariant_csv;
           Alcotest.test_case "golden probe trace" `Quick
             test_golden_probe_trace;
+          Alcotest.test_case "golden attack trace" `Slow
+            test_golden_attack_trace;
         ] );
       ( "topo",
         [
