@@ -1,0 +1,391 @@
+(* bench scale: internet-scale cache privacy on a generated ISP tree.
+
+   Builds a tiered hierarchy with one [generate tree] directive, drives
+   it with aggregate edge consumers (Workload.Aggregate: one entity per
+   access router standing for its user population), then runs the
+   paper's timing attack per tier:
+
+   - warm phase: every access router's aggregate issues a Zipf +
+     diurnal-modulated request stream for a window of virtual time;
+     per-tier cache hit rates are read off the node counters;
+   - calibration: for each tier, plant a unique name so the first cache
+     on the adversary's path holding it sits exactly at that tier
+     (fetch it from an access router whose path joins the adversary's
+     at that tier), measure the probe RTT once — an empirical centroid
+     per serving tier, no analytic latency model needed;
+   - sweep: probe a mix of popular, mid-tail and fresh names from an
+     adversary host behind one access router.  Ground truth is the
+     first cache on the upward path with the name in its CS (read
+     non-mutatingly before the probe); the attacker's guess is the
+     nearest calibration centroid.  Per-tier accuracy is the fraction
+     of probes whose guess matches the truth.
+
+   Default scale: arity 10, 5 tiers = 11,111 routers, 10,000 access
+   routers x 100 users = 1M represented users.  --quick: arity 14,
+   3 tiers = 211 routers for the CI smoke job.
+
+   Outputs: per-tier CSV (BENCH_scale_tiers.csv) and an events/sec
+   entry spliced into BENCH_core.json under "bench_scale". *)
+
+let clock_ns () = Int64.to_float (Monotonic_clock.now ())
+
+type params = {
+  arity : int;
+  ntiers : int;
+  users_per_edge : int;
+  warm_ms : float;
+  probes : int;
+  spec : string;
+}
+
+let params ~quick =
+  if quick then
+    {
+      arity = 14;
+      ntiers = 3;
+      users_per_edge = 100;
+      warm_ms = 60_000.;
+      probes = 60;
+      spec =
+        "generate tree name=scale arity=14 cs=4096,1024,256 \
+         latency=const:8,const:2,const:1 payload=16 seed=7";
+    }
+  else
+    {
+      arity = 10;
+      ntiers = 5;
+      users_per_edge = 100;
+      warm_ms = 600_000.;
+      probes = 200;
+      spec =
+        "generate tree name=scale arity=10 \
+         cs=8192,4096,1024,512,256 \
+         latency=const:8,const:4,const:2,const:1,const:0.5 payload=16 seed=7";
+    }
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_core.json splicing: replace or add the "bench_scale" member
+   without disturbing whatever bench core last wrote. *)
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let splice_bench_core entry =
+  let path = "BENCH_core.json" in
+  let marker = ",\n  \"bench_scale\":" in
+  let base =
+    match open_in path with
+    | exception Sys_error _ -> "{\n  \"suite\": \"bench-core\""
+    | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match find_substring text marker with
+      | Some i -> String.sub text 0 i
+      | None -> (
+        (* Strip the final closing brace (and trailing whitespace). *)
+        match String.rindex_opt text '}' with
+        | Some i ->
+          let prefix = String.sub text 0 i in
+          let len = ref (String.length prefix) in
+          while
+            !len > 0
+            && (prefix.[!len - 1] = '\n' || prefix.[!len - 1] = ' ')
+          do
+            decr len
+          done;
+          String.sub prefix 0 !len
+        | None -> "{\n  \"suite\": \"bench-core\""))
+  in
+  let oc = open_out path in
+  output_string oc (base ^ marker ^ " " ^ entry ^ "\n}\n");
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+
+let run ~quick () =
+  Format.printf
+    "@.================ Scale: generated ISP tree + aggregate consumers \
+     ================@.";
+  let p = params ~quick in
+  let module TS = Ndn.Topology_spec in
+  let spec =
+    match TS.parse_spec p.spec with
+    | Ok s -> s
+    | Error e -> failwith ("bench scale: bad spec: " ^ e)
+  in
+  let decl =
+    match
+      List.find_map
+        (function _, TS.Generate_decl d -> Some d | _ -> None)
+        spec
+    with
+    | Some d -> d
+    | None -> assert false
+  in
+  let g = TS.Gen.graph_of decl in
+  let topo =
+    match TS.build ~seed:11 spec with
+    | Ok t -> t
+    | Error e -> failwith ("bench scale: build failed: " ^ e)
+  in
+  let net = topo.TS.network in
+  let engine = Ndn.Network.engine net in
+  let prefix = TS.Gen.prefix decl in
+  let label i = TS.Gen.node_label decl g i in
+  let node_of i =
+    match Ndn.Network.node net (label i) with
+    | Some n -> n
+    | None -> assert false
+  in
+  let k = p.ntiers in
+  (* Tier offsets: tier t spans [off.(t), off.(t+1)). *)
+  let off = Array.make (k + 1) 0 in
+  let counts = Array.make k 1 in
+  for t = 1 to k - 1 do
+    counts.(t) <- counts.(t - 1) * p.arity
+  done;
+  for t = 0 to k - 1 do
+    off.(t + 1) <- off.(t) + counts.(t)
+  done;
+  Format.printf "graph: %d routers, %d links, diameter %d, %d access routers@."
+    g.TS.Gen.node_count
+    (List.length g.TS.Gen.edges)
+    g.TS.Gen.diameter counts.(k - 1);
+
+  (* --- warm phase: one aggregate consumer per access router --- *)
+  let config =
+    {
+      Workload.Aggregate.default with
+      users = p.users_per_edge;
+      catalog = 10_000;
+      zipf_s = 0.85;
+      diurnal_amplitude = 0.5;
+      diurnal_period_ms = p.warm_ms;
+      max_retries = 1;
+    }
+  in
+  let master = Sim.Rng.create 2013 in
+  let aggregates =
+    List.map
+      (fun i ->
+        let rng = Sim.Rng.split master in
+        Workload.Aggregate.attach config ~engine ~node:(node_of i) ~prefix ~rng
+          ~until:p.warm_ms ())
+      g.TS.Gen.edge_routers
+  in
+  let t0 = clock_ns () in
+  let ev0 = Sim.Engine.events_processed engine in
+  Ndn.Network.run net;
+  let wall_s = (clock_ns () -. t0) /. 1e9 in
+  let events = Sim.Engine.events_processed engine - ev0 in
+  let events_per_sec = float_of_int events /. Float.max 1e-9 wall_s in
+  let issued =
+    List.fold_left
+      (fun acc a -> acc + Workload.Aggregate.requests_issued a)
+      0 aggregates
+  in
+  let timeouts =
+    List.fold_left
+      (fun acc a -> acc + Workload.Aggregate.timeouts a)
+      0 aggregates
+  in
+  Format.printf
+    "warm: %d requests from %d aggregates (%d users), %d timeouts@." issued
+    (List.length aggregates)
+    (p.users_per_edge * counts.(k - 1))
+    timeouts;
+  Format.printf "engine: %d events in %.2f s wall = %.0f events/s@." events
+    wall_s events_per_sec;
+
+  (* Per-tier hit rates over the warm phase. *)
+  let tier_interests = Array.make k 0 in
+  let tier_hits = Array.make k 0 in
+  for t = 0 to k - 1 do
+    for i = off.(t) to off.(t + 1) - 1 do
+      let c = Ndn.Node.counters (node_of i) in
+      tier_interests.(t) <- tier_interests.(t) + c.Ndn.Node.interests_received;
+      tier_hits.(t) <- tier_hits.(t) + c.Ndn.Node.cache_responses
+    done
+  done;
+
+  (* --- adversary host behind one access router --- *)
+  let adv_leaf = off.(k - 1) + (counts.(k - 1) / 2) in
+  let adv =
+    Ndn.Network.add_node net ~cs_capacity:0 ~caching:false "scale-adv"
+  in
+  let adv_face, _ =
+    Ndn.Network.connect net
+      ~latency:(Sim.Latency.Constant 0.25)
+      adv (node_of adv_leaf)
+  in
+  Ndn.Network.route net adv ~prefix ~via:adv_face;
+  (* Ancestor chain: path.(t) is the adversary path's router at tier t
+     (path.(k-1) = the access router itself). *)
+  let parent = TS.Gen.parents g in
+  let path = Array.make k adv_leaf in
+  for t = k - 2 downto 0 do
+    path.(t) <- parent.(path.(t + 1))
+  done;
+  (* Within-access-tier index of the adversary's leaf. *)
+  let ia = adv_leaf - off.(k - 1) in
+  let pow a b =
+    let r = ref 1 in
+    for _ = 1 to b do
+      r := !r * a
+    done;
+    !r
+  in
+  (* Calibration: for tier l, a helper access router whose path joins
+     the adversary's exactly at tier l — a leftmost access descendant
+     of a sibling (at tier l+1) of the adversary's tier-(l+1)
+     ancestor.  For l = k-1 the helper is the adversary's own access
+     router. *)
+  let helper_leaf l =
+    if l = k - 1 then adv_leaf
+    else begin
+      let j = ia / pow p.arity (k - 2 - l) in
+      let j' = if j mod p.arity < p.arity - 1 then j + 1 else j - 1 in
+      off.(k - 1) + (j' * pow p.arity (k - 2 - l))
+    end
+  in
+  let probe name = Ndn.Network.fetch_rtt net ~from:adv name in
+  let centroids =
+    Array.init k (fun l ->
+        let cal = Ndn.Name.append prefix (Printf.sprintf "cal-%d" l) in
+        ignore (Ndn.Network.fetch_rtt net ~from:(node_of (helper_leaf l)) cal);
+        match probe cal with Some rtt -> rtt | None -> Float.infinity)
+  in
+  let origin_centroid =
+    let cal = Ndn.Name.append prefix "cal-origin" in
+    match probe cal with Some rtt -> rtt | None -> Float.infinity
+  in
+  Format.printf "centroids (rtt ms): origin %.2f,%s@." origin_centroid
+    (String.concat ","
+       (Array.to_list
+          (Array.mapi (fun l c -> Printf.sprintf " t%d %.2f" l c) centroids)));
+
+  (* --- probe sweep --- *)
+  let classify rtt =
+    (* Nearest centroid; -1 encodes "origin server". *)
+    let best = ref (-1) and best_d = ref (Float.abs (rtt -. origin_centroid)) in
+    Array.iteri
+      (fun l c ->
+        let d = Float.abs (rtt -. c) in
+        if d < !best_d then begin
+          best := l;
+          best_d := d
+        end)
+      centroids;
+    !best
+  in
+  (* The interest climbs adv → access (tier k-1) → … → core (tier 0)
+     → P, so the deepest-tier cache on the path holding the name is
+     the one that serves; -1 means it reaches the origin. *)
+  let ground_truth name =
+    let holds t =
+      Ndn.Content_store.mem (Ndn.Node.content_store (node_of path.(t))) name
+    in
+    let rec deepest t = if t < 0 then -1 else if holds t then t else deepest (t - 1) in
+    deepest (k - 1)
+  in
+  let probe_rng = Sim.Rng.create 4177 in
+  let zipf = Workload.Zipf.create ~n:config.catalog ~s:config.zipf_s in
+  let tier_probes = Array.make (k + 1) 0 in
+  let tier_correct = Array.make (k + 1) 0 in
+  (* Index k holds the origin-served bucket. *)
+  let bucket t = if t = -1 then k else t in
+  for i = 1 to p.probes do
+    (* A third fresh names (origin-served), a third head ranks (likely
+       resident in the adversary's own access cache), a third Zipf
+       draws (mid-tail, served wherever they last landed). *)
+    let name =
+      match i mod 3 with
+      | 0 -> Ndn.Name.append prefix (Printf.sprintf "fresh-%d" i)
+      | 1 -> Ndn.Name.append prefix (string_of_int ((i mod 8) + 1))
+      | _ ->
+        Ndn.Name.append prefix
+          (string_of_int (Workload.Zipf.sample zipf probe_rng))
+    in
+    let truth = ground_truth name in
+    match probe name with
+    | None -> ()
+    | Some rtt ->
+      let guess = classify rtt in
+      tier_probes.(bucket truth) <- tier_probes.(bucket truth) + 1;
+      if guess = truth then
+        tier_correct.(bucket truth) <- tier_correct.(bucket truth) + 1
+  done;
+
+  (* --- report --- *)
+  let cs_of_tier t =
+    match decl.TS.gen_model with
+    | TS.Gen_tree { tiers; _ } -> (List.nth tiers t).TS.tier_cs
+    | _ -> 0
+  in
+  let csv = Buffer.create 256 in
+  Buffer.add_string csv
+    "tier,routers,cs,interests,cache_hits,hit_rate,probes,correct,\
+     attacker_accuracy\n";
+  let total_probes = ref 0 and total_correct = ref 0 in
+  for t = 0 to k - 1 do
+    let hr =
+      if tier_interests.(t) = 0 then 0.
+      else float_of_int tier_hits.(t) /. float_of_int tier_interests.(t)
+    in
+    let acc =
+      if tier_probes.(t) = 0 then 0.
+      else float_of_int tier_correct.(t) /. float_of_int tier_probes.(t)
+    in
+    total_probes := !total_probes + tier_probes.(t);
+    total_correct := !total_correct + tier_correct.(t);
+    Buffer.add_string csv
+      (Printf.sprintf "%d,%d,%d,%d,%d,%.4f,%d,%d,%.4f\n" t counts.(t)
+         (cs_of_tier t) tier_interests.(t) tier_hits.(t) hr tier_probes.(t)
+         tier_correct.(t) acc);
+    Format.printf
+      "tier %d: %6d routers  cs %5d  hit rate %5.1f%%  attacker accuracy \
+       %5.1f%% (%d probes)@."
+      t counts.(t) (cs_of_tier t) (100. *. hr) (100. *. acc) tier_probes.(t)
+  done;
+  let origin_acc =
+    if tier_probes.(k) = 0 then 0.
+    else float_of_int tier_correct.(k) /. float_of_int tier_probes.(k)
+  in
+  total_probes := !total_probes + tier_probes.(k);
+  total_correct := !total_correct + tier_correct.(k);
+  Buffer.add_string csv
+    (Printf.sprintf "origin,0,0,0,0,0,%d,%d,%.4f\n" tier_probes.(k)
+       tier_correct.(k) origin_acc);
+  Format.printf "origin-served: attacker accuracy %5.1f%% (%d probes)@."
+    (100. *. origin_acc)
+    tier_probes.(k);
+  let overall =
+    if !total_probes = 0 then 0.
+    else float_of_int !total_correct /. float_of_int !total_probes
+  in
+  Format.printf "overall attacker accuracy: %.1f%% over %d probes@."
+    (100. *. overall) !total_probes;
+  let oc = open_out "BENCH_scale_tiers.csv" in
+  output_string oc (Buffer.contents csv);
+  close_out oc;
+  Format.printf "wrote BENCH_scale_tiers.csv@.";
+  splice_bench_core
+    (Printf.sprintf
+       "{\"quick\": %b, \"routers\": %d, \"access_routers\": %d, \
+        \"represented_users\": %d, \"requests\": %d, \"events\": %d, \
+        \"wall_s\": %.3f, \"events_per_sec\": %.0f, \
+        \"attacker_accuracy\": %.4f}"
+       quick g.TS.Gen.node_count
+       counts.(k - 1)
+       (p.users_per_edge * counts.(k - 1))
+       issued events wall_s events_per_sec overall);
+  Format.printf "spliced bench_scale into BENCH_core.json@."

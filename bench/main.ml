@@ -29,11 +29,16 @@
      micro - Bechamel micro-benchmarks
      core  - perf-regression suite (Sim.Bench); writes BENCH_core.json,
              exits non-zero if the CS hit path allocates (--quick for
-             the CI smoke variant) *)
+             the CI smoke variant)
+     scale - opt-in (not in "all"): cache-privacy sweep on a generated
+             ISP hierarchy (11k routers / 1M aggregate users; --quick
+             for a 211-router smoke) driven by Workload.Aggregate;
+             writes BENCH_scale_tiers.csv and splices an events/sec
+             entry into BENCH_core.json *)
 
 let usage () =
   print_endline
-    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro|core]... \
+    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro|core|scale]... \
      [--fast|--full|--quick] [--jobs N] [--trace FILE] [--trace-format \
      jsonl|csv]";
   exit 1
@@ -102,7 +107,7 @@ let () =
   let want name = List.mem "all" selected || List.mem name selected in
   List.iter
     (fun name ->
-      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "chaos"; "micro"; "core" ])
+      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "chaos"; "micro"; "core"; "scale" ])
       then usage ())
     selected;
   if want "fig3" then Bench_fig3.run ~scale ~jobs ?trace ();
@@ -114,4 +119,8 @@ let () =
   if want "chaos" then Bench_chaos.run ~scale ~jobs ();
   if want "micro" then Bench_micro.run ();
   if want "core" then Bench_core.run ~quick:(List.mem "--quick" args) ();
+  (* scale is opt-in (not part of "all"): the default run is an
+     11k-router, 1M-user sweep. *)
+  if List.mem "scale" selected then
+    Bench_scale.run ~quick:(List.mem "--quick" args) ();
   Format.printf "@.done.@."

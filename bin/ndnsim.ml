@@ -534,21 +534,65 @@ let probe_cmd =
 (* --- topo: run probes in a user-defined topology --- *)
 
 let topo_cmd =
-  let run file warm_node warm probe_node target scope seed trace_file
+  let run file generate warm_node warm probe_node target scope seed trace_file
       trace_format faults =
     let tracer =
       if trace_file <> None then Sim.Trace.create () else Sim.Trace.disabled
     in
-    match Ndn.Topology_spec.parse_file ~seed ~tracer ~path:file () with
+    let parsed =
+      match (file, generate) with
+      | Some _, Some _ ->
+        Format.eprintf "--file and --generate are mutually exclusive@.";
+        exit 1
+      | Some file, None ->
+        Ndn.Topology_spec.parse_file ~seed ~tracer ~path:file ()
+      | None, Some directive ->
+        let text = "generate " ^ directive ^ "\n" in
+        Result.bind (Ndn.Topology_spec.parse_spec text) (fun spec ->
+            (* Surface the generated graph before building: canonical
+               directive plus its structural summary. *)
+            List.iter
+              (function
+                | _, (Ndn.Topology_spec.Generate_decl d as dir) ->
+                  let g = Ndn.Topology_spec.Gen.graph_of d in
+                  Format.printf "%s@."
+                    (Ndn.Topology_spec.print [ (1, dir) ] |> String.trim);
+                  Format.printf
+                    "generated: %d routers, %d links, diameter %d, root %s, \
+                     producer %s, hop limit %d, pit lifetime %.0f ms@."
+                    g.Ndn.Topology_spec.Gen.node_count
+                    (List.length g.Ndn.Topology_spec.Gen.edges)
+                    g.Ndn.Topology_spec.Gen.diameter
+                    (Ndn.Topology_spec.Gen.node_label d g
+                       g.Ndn.Topology_spec.Gen.root)
+                    (Ndn.Topology_spec.Gen.producer_label d)
+                    (Ndn.Topology_spec.Gen.hop_limit g)
+                    (Ndn.Topology_spec.Gen.interest_lifetime_ms d g)
+                | _ -> ())
+              spec;
+            Ndn.Topology_spec.build ~seed ~tracer spec)
+      | None, None ->
+        Format.eprintf "one of --file or --generate is required@.";
+        exit 1
+    in
+    match parsed with
     | Error msg ->
       Format.eprintf "%s@." msg;
       exit 1
     | Ok topo ->
       let out = result_formatter trace_file in
       install_faults_or_die topo.Ndn.Topology_spec.network faults;
+      let names = List.map fst topo.Ndn.Topology_spec.nodes in
+      let shown =
+        let n = List.length names in
+        if n <= 16 then String.concat ", " names
+        else
+          String.concat ", " (List.filteri (fun i _ -> i < 16) names)
+          ^ Printf.sprintf ", … %d more" (n - 16)
+      in
       Format.fprintf out "topology: %d nodes (%s)@."
         (List.length topo.Ndn.Topology_spec.nodes)
-        (String.concat ", " (List.map fst topo.Ndn.Topology_spec.nodes));
+        shown;
       let resolve label =
         match List.assoc_opt label topo.Ndn.Topology_spec.nodes with
         | Some node -> node
@@ -581,9 +625,21 @@ let topo_cmd =
   in
   let file =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "file" ] ~docv:"FILE" ~doc:"Topology specification file.")
+  in
+  let generate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "generate" ] ~docv:"DIRECTIVE"
+          ~doc:
+            "Generate the topology instead of reading a file: the body of a \
+             generate directive, e.g. 'tree name=isp arity=10 tiers=5' or \
+             'ws name=sw n=200 k=6 beta=0.2'.  Prints the canonical \
+             directive and the graph summary, then runs warm fetches and \
+             the probe as with --file.")
   in
   let warm_node =
     Arg.(value & opt string "U" & info [ "warm-node" ] ~docv:"NODE" ~doc:"Node issuing warm fetches.")
@@ -601,10 +657,13 @@ let topo_cmd =
     Arg.(value & opt (some int) None & info [ "scope" ] ~docv:"N" ~doc:"Probe scope field.")
   in
   Cmd.v
-    (Cmd.info "topo" ~doc:"Run fetches and probes in a topology defined in a spec file.")
+    (Cmd.info "topo"
+       ~doc:
+         "Run fetches and probes in a topology defined in a spec file or \
+          generated on the fly (--generate).")
     Term.(
-      const run $ file $ warm_node $ warm $ probe_node $ target $ scope
-      $ seed_arg $ trace_file_arg $ trace_format_arg $ faults_arg)
+      const run $ file $ generate $ warm_node $ warm $ probe_node $ target
+      $ scope $ seed_arg $ trace_file_arg $ trace_format_arg $ faults_arg)
 
 (* --- chaos: the attack under router churn --- *)
 

@@ -19,12 +19,21 @@ type link = {
   ba : link_dir;
 }
 
+(* Node and link collections are kept twice: a reverse-order list for
+   creation-order iteration (reversed on demand) and a hash index for
+   O(1) lookup.  Generated ISP-scale topologies create tens of
+   thousands of nodes and links; the previous append-to-the-end lists
+   made construction quadratic and every label/link lookup linear. *)
 type t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
   tracer : Sim.Trace.t;
-  mutable node_list : (string * Node.t) list;  (* creation order *)
-  mutable links : link list;
+  mutable nodes_rev : (string * Node.t) list;  (* reverse creation order *)
+  node_tbl : (string, Node.t) Hashtbl.t;
+  mutable links_rev : link list;
+  (* Keyed by the (l_a, l_b) orientation of [connect]; first link wins
+     for a duplicate pair, matching the old first-match list scan. *)
+  link_tbl : (string * string, link) Hashtbl.t;
 }
 
 let create ?(seed = 42) ?(tracer = Sim.Trace.disabled) () =
@@ -32,24 +41,29 @@ let create ?(seed = 42) ?(tracer = Sim.Trace.disabled) () =
     engine = Sim.Engine.create ~tracer ();
     rng = Sim.Rng.create seed;
     tracer;
-    node_list = [];
-    links = [];
+    nodes_rev = [];
+    node_tbl = Hashtbl.create 64;
+    links_rev = [];
+    link_tbl = Hashtbl.create 64;
   }
 
 let engine t = t.engine
 let rng t = t.rng
 let tracer t = t.tracer
 let now t = Sim.Engine.now t.engine
-let nodes t = t.node_list
-let node t label = List.assoc_opt label t.node_list
+let nodes t = List.rev t.nodes_rev
+let node t label = Hashtbl.find_opt t.node_tbl label
 
-let add_node t ?(cs_capacity = 0) ?cs_policy ?forwarding_delay ?honor_scope
-    ?caching label =
+let add_node t ?(cs_capacity = 0) ?cs_policy ?pit_lifetime_ms ?forwarding_delay
+    ?honor_scope ?caching label =
   let n =
     Node.create t.engine ~rng:(Sim.Rng.split t.rng) ~label ~tracer:t.tracer
-      ~cs_capacity ?cs_policy ?forwarding_delay ?honor_scope ?caching ()
+      ~cs_capacity ?cs_policy ?pit_lifetime_ms ?forwarding_delay ?honor_scope
+      ?caching ()
   in
-  t.node_list <- t.node_list @ [ (label, n) ];
+  t.nodes_rev <- (label, n) :: t.nodes_rev;
+  (* First node wins for a duplicate label, like the old assoc-list scan. *)
+  if not (Hashtbl.mem t.node_tbl label) then Hashtbl.add t.node_tbl label n;
   n
 
 let connect t ?(loss = 0.) ?latency_ba ~latency a b =
@@ -59,7 +73,11 @@ let connect t ?(loss = 0.) ?latency_ba ~latency a b =
   let link =
     { l_a = Node.label a; l_b = Node.label b; ab = fresh_dir (); ba = fresh_dir () }
   in
-  t.links <- t.links @ [ link ];
+  t.links_rev <- link :: t.links_rev;
+  if
+    (not (Hashtbl.mem t.link_tbl (link.l_a, link.l_b)))
+    && not (Hashtbl.mem t.link_tbl (link.l_b, link.l_a))
+  then Hashtbl.add t.link_tbl (link.l_a, link.l_b) link;
   let face_b = ref (-1) in
   let deliver ~src ~dir node face_ref lat pkt =
     let pkt_name () =
@@ -130,14 +148,12 @@ let connect t ?(loss = 0.) ?latency_ba ~latency a b =
    [true] when it is stored as (b, a), in which case the caller's "ab"
    direction is the stored [ba] one. *)
 let find_link t a b =
-  let rec go = function
-    | [] -> Error (Printf.sprintf "no link between %s and %s" a b)
-    | l :: rest ->
-      if l.l_a = a && l.l_b = b then Ok (l, false)
-      else if l.l_a = b && l.l_b = a then Ok (l, true)
-      else go rest
-  in
-  go t.links
+  match Hashtbl.find_opt t.link_tbl (a, b) with
+  | Some l -> Ok (l, false)
+  | None -> (
+    match Hashtbl.find_opt t.link_tbl (b, a) with
+    | Some l -> Ok (l, true)
+    | None -> Error (Printf.sprintf "no link between %s and %s" a b))
 
 let dirs_of link ~flipped (dir : Sim.Fault.direction) =
   match (dir, flipped) with

@@ -29,12 +29,16 @@ val add_node :
   t ->
   ?cs_capacity:int ->
   ?cs_policy:Eviction.t ->
+  ?pit_lifetime_ms:float ->
   ?forwarding_delay:Sim.Latency.t ->
   ?honor_scope:bool ->
   ?caching:bool ->
   string ->
   Node.t
-(** Create a node managed by this network's engine. *)
+(** Create a node managed by this network's engine.  [pit_lifetime_ms]
+    (default 4000) is the node's PIT entry lifetime and default
+    interest timeout — generated topologies scale it with network
+    diameter so deep hierarchies do not time interests out mid-path. *)
 
 val connect :
   t ->

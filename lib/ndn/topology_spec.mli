@@ -87,11 +87,64 @@ type producer_decl = {
   production_delay_ms : float;
 }
 
+(** {2 Generated topologies}
+
+    A [generate] directive expands at build time into an entire router
+    graph — nodes, links, shortest-path routes toward a producer host
+    attached at the graph root — drawn by a seeded deterministic
+    generator.  Three models:
+
+    {v
+    # ISP hierarchy: tiers core→access; per-tier lists are ','-joined
+    generate tree name=isp arity=10 tiers=5 cs=100000,10000,1000,1000,500 latency=const:8,const:4,const:2,const:1,const:1
+    # Watts–Strogatz small world (k even; the ring backbone is kept, so
+    # the graph is connected for every seed and beta)
+    generate ws name=sw n=200 k=6 beta=0.2 cs=2048 latency=const:2
+    # Barabási–Albert preferential attachment (m edges per new node)
+    generate ba name=pa n=200 m=3 cs=2048 latency=const:2
+    v}
+
+    Common attributes: [name] (required; node-label prefix, namespace
+    [/NAME]), [seed] (default 42), [policy] (default lru), [payload]
+    (default 1024).  Single-value [cs]/[latency] on [tree] replicate
+    across tiers; [tiers] defaults to the longer of the two lists (or
+    3).  Identical directives produce identical graphs; the canonical
+    print is the directive itself, one line however large the graph. *)
+
+type tier_spec = { tier_cs : int; tier_latency : Sim.Latency.t }
+
+type gen_model =
+  | Gen_tree of { arity : int; tiers : tier_spec list }
+      (** Tier 0 is the core root; tier [t] has [arity^t] routers, each
+          linked to one parent in tier [t-1] with tier [t]'s latency. *)
+  | Gen_ws of {
+      ws_n : int;
+      ws_k : int;
+      ws_beta : float;
+      ws_cs : int;
+      ws_latency : Sim.Latency.t;
+    }
+  | Gen_ba of {
+      ba_n : int;
+      ba_m : int;
+      ba_cs : int;
+      ba_latency : Sim.Latency.t;
+    }
+
+type generate_decl = {
+  gen_name : string;
+  gen_model : gen_model;
+  gen_seed : int;
+  gen_policy : Eviction.t;
+  gen_payload : int;
+}
+
 type directive =
   | Node_decl of node_decl
   | Link_decl of link_decl
   | Route_decl of route_decl
   | Producer_decl of producer_decl
+  | Generate_decl of generate_decl
   | Fault_decl of Sim.Fault.event
       (** A fault to install at build time; must name nodes/links
           declared on earlier lines. *)
@@ -129,6 +182,56 @@ val parse_file :
 
 val parse_latency : string -> (Sim.Latency.t, string) result
 (** The latency sub-grammar, exposed for reuse and tests. *)
+
+(** {1 The generated graphs themselves}
+
+    The pure graph layer behind [generate] directives, exposed so tests
+    can check structural invariants and benches can address generated
+    nodes without re-deriving the labelling. *)
+module Gen : sig
+  type graph = {
+    node_count : int;
+    edges : (int * int) list;
+        (** Canonical: [a < b], sorted lexicographically, no duplicates
+            or self-loops. *)
+    tier : int array;  (** Per node; all [0] for ws/ba. *)
+    root : int;  (** Where the producer host attaches. *)
+    edge_routers : int list;
+        (** Consumer attachment points, ascending: the leaf tier of a
+            tree, every non-root node of ws/ba. *)
+    diameter : int;
+        (** Two-sweep BFS estimate — exact on trees, a lower bound in
+            general (consumers of this field add slack). *)
+  }
+
+  val graph_of : generate_decl -> graph
+  (** Deterministic: equal decls (same seed included) yield structurally
+      equal graphs.  Always connected, by construction, for all three
+      models. *)
+
+  val parents : graph -> int array
+  (** BFS parent toward [root] ([-1] at the root); the tree along which
+      [build] installs routes. *)
+
+  val node_label : generate_decl -> graph -> int -> string
+  (** ["NAME-tT-nI"] for trees (tier [T], id [I]), ["NAME-nI"]
+      otherwise — the labels [build] registers with {!Network}. *)
+
+  val producer_label : generate_decl -> string
+  (** ["NAME-P"], the producer host linked to the root. *)
+
+  val prefix : generate_decl -> Name.t
+  (** [/NAME], the namespace the generated producer serves. *)
+
+  val hop_limit : graph -> int
+  (** A scope bound ample for any probe across the graph:
+      [2 * diameter + 4]. *)
+
+  val interest_lifetime_ms : generate_decl -> graph -> float
+  (** The PIT lifetime [build] gives every generated node: at least the
+      stack's 4000 ms default, scaled up with diameter and mean link
+      latency so interests survive a full round trip in deep graphs. *)
+end
 
 val print_latency : Sim.Latency.t -> string
 (** Canonical latency rendering ([Sum]s flattened to [+]-joins);

@@ -1,0 +1,446 @@
+(* Tests for the topology generator layer (Ndn.Topology_spec.Gen and
+   the [generate] directive) and the aggregate-consumer determinism
+   acceptance criteria:
+
+   - qcheck structural invariants: every generated graph (all three
+     models, arbitrary seeds and sizes) is connected, self-loop-free
+     and duplicate-edge-free with canonically ordered edges; WS
+     preserves node count and mean degree; trees give every non-root
+     exactly one parent;
+   - heavy-tailed BA degree distributions (max degree grows with n);
+   - determinism: equal decls yield structurally equal graphs and
+     byte-identical canonical prints; generate directives round-trip
+     through parse/print as a fixpoint;
+   - build: a generated tree serves fetches end-to-end, sibling probes
+     hit shared ancestor caches (the paper's attack, at generated
+     scale), node/link counts match the graph;
+   - aggregate-consumer runs are byte-identical for --jobs 1 vs 4 and
+     under an empty Sim.Fault schedule. *)
+
+module TS = Ndn.Topology_spec
+
+let lat ms = Sim.Latency.Constant ms
+
+let tree_decl ?(name = "t") ?(seed = 42) ~arity ~ntiers () =
+  {
+    TS.gen_name = name;
+    gen_model =
+      TS.Gen_tree
+        {
+          arity;
+          tiers =
+            List.init ntiers (fun t ->
+                { TS.tier_cs = 64 * (ntiers - t); tier_latency = lat 1. });
+        };
+    gen_seed = seed;
+    gen_policy = Ndn.Eviction.Lru;
+    gen_payload = 64;
+  }
+
+let ws_decl ?(name = "w") ?(seed = 42) ~n ~k ~beta () =
+  {
+    TS.gen_name = name;
+    gen_model = TS.Gen_ws { ws_n = n; ws_k = k; ws_beta = beta; ws_cs = 64; ws_latency = lat 1. };
+    gen_seed = seed;
+    gen_policy = Ndn.Eviction.Lru;
+    gen_payload = 64;
+  }
+
+let ba_decl ?(name = "b") ?(seed = 42) ~n ~m () =
+  {
+    TS.gen_name = name;
+    gen_model = TS.Gen_ba { ba_n = n; ba_m = m; ba_cs = 64; ba_latency = lat 1. };
+    gen_seed = seed;
+    gen_policy = Ndn.Eviction.Lru;
+    gen_payload = 64;
+  }
+
+(* Independent connectivity check (does not trust Gen's own BFS). *)
+let connected g =
+  let n = g.TS.Gen.node_count in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    g.TS.Gen.edges;
+  let seen = Array.make n false in
+  let rec visit stack =
+    match stack with
+    | [] -> ()
+    | v :: rest ->
+      let push =
+        List.filter
+          (fun u ->
+            if seen.(u) then false
+            else begin
+              seen.(u) <- true;
+              true
+            end)
+          adj.(v)
+      in
+      visit (push @ rest)
+  in
+  seen.(0) <- true;
+  visit [ 0 ];
+  Array.for_all (fun b -> b) seen
+
+let degrees g =
+  let deg = Array.make g.TS.Gen.node_count 0 in
+  List.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    g.TS.Gen.edges;
+  deg
+
+let well_formed_edges g =
+  let sorted =
+    List.sort_uniq
+      (fun (a1, b1) (a2, b2) ->
+        match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+      g.TS.Gen.edges
+  in
+  List.for_all
+    (fun (a, b) -> a < b && a >= 0 && b < g.TS.Gen.node_count)
+    g.TS.Gen.edges
+  && List.length sorted = List.length g.TS.Gen.edges
+  && sorted = g.TS.Gen.edges
+
+(* --- qcheck structural invariants ----------------------------------- *)
+
+let seed_gen = QCheck.Gen.int_range 0 10_000
+
+let tree_arb =
+  QCheck.make
+    ~print:(fun (arity, ntiers, seed) ->
+      Printf.sprintf "tree arity=%d tiers=%d seed=%d" arity ntiers seed)
+    QCheck.Gen.(triple (int_range 2 5) (int_range 2 4) seed_gen)
+
+let ws_arb =
+  QCheck.make
+    ~print:(fun (n, half_k, beta, seed) ->
+      Printf.sprintf "ws n=%d k=%d beta=%g seed=%d" n (2 * half_k) beta seed)
+    QCheck.Gen.(
+      quad (int_range 8 80) (int_range 1 3) (float_range 0. 1.) seed_gen)
+
+let ba_arb =
+  QCheck.make
+    ~print:(fun (n, m, seed) -> Printf.sprintf "ba n=%d m=%d seed=%d" n m seed)
+    QCheck.Gen.(triple (int_range 6 120) (int_range 1 3) seed_gen)
+
+let graph_invariants g =
+  well_formed_edges g && connected g
+  && Array.length g.TS.Gen.tier = g.TS.Gen.node_count
+  && g.TS.Gen.root >= 0
+  && g.TS.Gen.root < g.TS.Gen.node_count
+  && List.for_all
+       (fun i -> i >= 0 && i < g.TS.Gen.node_count)
+       g.TS.Gen.edge_routers
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"tree graphs are well-formed trees" ~count:100
+      tree_arb (fun (arity, ntiers, seed) ->
+        let d = tree_decl ~seed ~arity ~ntiers () in
+        let g = TS.Gen.graph_of d in
+        let parent = TS.Gen.parents g in
+        graph_invariants g
+        && List.length g.TS.Gen.edges = g.TS.Gen.node_count - 1
+        && g.TS.Gen.root = 0
+        && g.TS.Gen.diameter = 2 * (ntiers - 1)
+        (* exactly one parent per non-root, one tier up *)
+        && Array.for_all (fun p -> p >= -1) parent
+        &&
+        let ok = ref true in
+        Array.iteri
+          (fun i p ->
+            if i = g.TS.Gen.root then (if p <> -1 then ok := false)
+            else if p < 0 || g.TS.Gen.tier.(p) <> g.TS.Gen.tier.(i) - 1 then
+              ok := false)
+          parent;
+        !ok);
+    QCheck.Test.make ~name:"ws graphs connected, mean degree preserved"
+      ~count:100 ws_arb (fun (n, half_k, beta, seed) ->
+        let k = 2 * half_k in
+        QCheck.assume (k < n);
+        let d = ws_decl ~seed ~n ~k ~beta () in
+        let g = TS.Gen.graph_of d in
+        graph_invariants g
+        && g.TS.Gen.node_count = n
+        (* rewiring moves chords, never changes the edge count *)
+        && List.length g.TS.Gen.edges = n * k / 2);
+    QCheck.Test.make ~name:"ba graphs connected, correct edge count"
+      ~count:100 ba_arb (fun (n, m, seed) ->
+        QCheck.assume (n > m + 1);
+        let d = ba_decl ~seed ~n ~m () in
+        let g = TS.Gen.graph_of d in
+        let m0 = m + 1 in
+        graph_invariants g
+        && g.TS.Gen.node_count = n
+        && List.length g.TS.Gen.edges = (m0 * (m0 - 1) / 2) + ((n - m0) * m));
+    QCheck.Test.make ~name:"graphs are deterministic in the decl" ~count:50
+      ba_arb (fun (n, m, seed) ->
+        QCheck.assume (n > m + 1);
+        let d = ba_decl ~seed ~n ~m () in
+        TS.Gen.graph_of d = TS.Gen.graph_of d);
+    QCheck.Test.make ~name:"generate directives round-trip parse/print"
+      ~count:100
+      (QCheck.make
+         ~print:(fun dir -> TS.print [ (1, dir) ])
+         QCheck.Gen.(
+           map
+             (fun (which, seed, a, b, beta) ->
+               match which with
+               | 0 ->
+                 TS.Generate_decl
+                   (tree_decl ~seed ~arity:(2 + (a mod 4))
+                      ~ntiers:(2 + (b mod 3)) ())
+               | 1 ->
+                 let n = 8 + a and k = 2 * (1 + (b mod 3)) in
+                 let k = if k >= n then 2 else k in
+                 TS.Generate_decl (ws_decl ~seed ~n ~k ~beta ())
+               | _ ->
+                 TS.Generate_decl
+                   (ba_decl ~seed ~n:(6 + a) ~m:(1 + (b mod 3)) ()))
+             (tup5 (int_range 0 2) seed_gen (int_range 0 60) (int_range 0 8)
+                (float_range 0. 1.))))
+      (fun dir ->
+        let spec = [ (1, dir) ] in
+        match TS.parse_spec (TS.print spec) with
+        | Ok spec' -> TS.directives spec' = TS.directives spec
+        | Error _ -> false);
+  ]
+
+(* --- heavy-tailed BA degrees (fixed seeds: deterministic) ------------ *)
+
+let test_ba_heavy_tail () =
+  List.iter
+    (fun seed ->
+      let max_deg n =
+        let g = TS.Gen.graph_of (ba_decl ~seed ~n ~m:2 ()) in
+        Array.fold_left max 0 (degrees g)
+      in
+      let small = max_deg 100 and big = max_deg 1600 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: hub degree far above the mean 4" seed)
+        true (big >= 20);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: max degree grows with n (%d -> %d)" seed
+           small big)
+        true
+        (big > small))
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- canonical-print determinism ------------------------------------ *)
+
+let spec_text =
+  "generate tree name=isp arity=3 cs=128,64,32 \
+   latency=const:4,const:2,const:1 policy=lru payload=64 seed=9\n"
+
+let test_same_seed_byte_identical_print () =
+  let print_of text =
+    match TS.parse_spec text with
+    | Ok spec -> TS.print spec
+    | Error e -> Alcotest.fail e
+  in
+  let p1 = print_of spec_text and p2 = print_of spec_text in
+  Alcotest.(check string) "same text, byte-identical canonical print" p1 p2;
+  (* The canonical print is itself a fixpoint. *)
+  Alcotest.(check string) "print is a fixpoint" p1 (print_of p1)
+
+let test_ws_seed_changes_graph () =
+  (* Sanity that the seed actually feeds the generator: two seeds give
+     different rewirings (fixed inputs, deterministic outcome). *)
+  let edges seed =
+    (TS.Gen.graph_of (ws_decl ~seed ~n:40 ~k:4 ~beta:0.5 ())).TS.Gen.edges
+  in
+  Alcotest.(check bool) "seeds 1 and 2 rewire differently" true
+    (edges 1 <> edges 2)
+
+(* --- building a generated topology ---------------------------------- *)
+
+let build_exn text =
+  match TS.parse_spec text with
+  | Error e -> Alcotest.fail e
+  | Ok spec -> (
+    match TS.build ~seed:7 spec with
+    | Error e -> Alcotest.fail e
+    | Ok t -> (t, spec))
+
+let test_generated_tree_end_to_end () =
+  let topo, spec = build_exn spec_text in
+  let decl =
+    match TS.directives spec with
+    | [ TS.Generate_decl d ] -> d
+    | _ -> Alcotest.fail "expected one generate directive"
+  in
+  let g = TS.Gen.graph_of decl in
+  (* every graph node plus the producer host *)
+  Alcotest.(check int) "node count" (g.TS.Gen.node_count + 1)
+    (List.length topo.TS.nodes);
+  let net = topo.TS.network in
+  let leaf i = TS.node topo (TS.Gen.node_label decl g (List.nth g.TS.Gen.edge_routers i)) in
+  let name = Ndn.Name.of_string "/isp/content" in
+  let rtt1 =
+    match Ndn.Network.fetch_rtt net ~from:(leaf 0) name with
+    | Some r -> r
+    | None -> Alcotest.fail "first fetch timed out"
+  in
+  (* A sibling leaf shares the tier-1 ancestor: its probe must be served
+     from that cache, strictly faster than the full path to the
+     producer — the paper's attack signal, on a generated graph. *)
+  let rtt2 =
+    match Ndn.Network.fetch_rtt net ~from:(leaf 1) name with
+    | Some r -> r
+    | None -> Alcotest.fail "sibling probe timed out"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cache hit faster (%.2f < %.2f)" rtt2 rtt1)
+    true (rtt2 < rtt1)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_generated_name_clash_rejected () =
+  let text = "node isp-P cs=1\n" ^ spec_text in
+  match TS.parse_spec text with
+  | Error e -> Alcotest.fail e
+  | Ok spec -> (
+    match TS.build spec with
+    | Ok _ -> Alcotest.fail "expected a clash error"
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mentions the clash: %s" msg)
+        true
+        (contains_substring msg "already declared"))
+
+(* --- aggregate runs: byte identity ---------------------------------- *)
+
+(* One self-contained trial: build a generated tree, drive every access
+   router with an aggregate consumer, return a summary string capturing
+   request counts, responses, engine events and the final clock — any
+   divergence in event order or RNG consumption shows up here. *)
+let aggregate_trial ~trial ~rng =
+  let text =
+    "generate tree name=s arity=3 cs=32 latency=const:1 payload=16 seed="
+    ^ string_of_int (trial + 3)
+  in
+  let topo, spec = build_exn text in
+  let decl =
+    match TS.directives spec with
+    | [ TS.Generate_decl d ] -> d
+    | _ -> assert false
+  in
+  let g = TS.Gen.graph_of decl in
+  let net = topo.TS.network in
+  let engine = Ndn.Network.engine net in
+  let prefix = TS.Gen.prefix decl in
+  let config =
+    {
+      Workload.Aggregate.default with
+      users = 500;
+      req_per_user_per_hour = 72.;
+      catalog = 40;
+      diurnal_period_ms = 20_000.;
+    }
+  in
+  let aggs =
+    List.map
+      (fun i ->
+        let r = Sim.Rng.split rng in
+        Workload.Aggregate.attach config ~engine
+          ~node:(TS.node topo (TS.Gen.node_label decl g i))
+          ~prefix ~rng:r ~until:20_000. ())
+      g.TS.Gen.edge_routers
+  in
+  Ndn.Network.run net;
+  Printf.sprintf "trial=%d reqs=%s resp=%s to=%s events=%d now=%.6f" trial
+    (String.concat ","
+       (List.map
+          (fun a -> string_of_int (Workload.Aggregate.requests_issued a))
+          aggs))
+    (String.concat ","
+       (List.map (fun a -> string_of_int (Workload.Aggregate.responses a)) aggs))
+    (String.concat ","
+       (List.map (fun a -> string_of_int (Workload.Aggregate.timeouts a)) aggs))
+    (Sim.Engine.events_processed engine)
+    (Sim.Engine.now engine)
+
+let test_aggregate_jobs_byte_identical () =
+  let run jobs =
+    Sim.Parallel.run ~jobs ~seed:99 ~trials:4 aggregate_trial
+    |> Array.to_list |> String.concat "\n"
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool) "aggregate trials produced traffic" true
+    (String.length r1 > 0);
+  Alcotest.(check string) "--jobs 1 and --jobs 4 byte-identical" r1 r4
+
+let test_aggregate_empty_fault_schedule_identical () =
+  let run with_faults =
+    let rng = Sim.Rng.create 31 in
+    let text = "generate tree name=s arity=3 cs=32 latency=const:1 payload=16 seed=3" in
+    let topo, spec = build_exn text in
+    let decl =
+      match TS.directives spec with
+      | [ TS.Generate_decl d ] -> d
+      | _ -> assert false
+    in
+    let g = TS.Gen.graph_of decl in
+    let net = topo.TS.network in
+    if with_faults then (
+      match Ndn.Network.install_faults net [] with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+    let engine = Ndn.Network.engine net in
+    let agg =
+      Workload.Aggregate.attach
+        { Workload.Aggregate.default with users = 500; req_per_user_per_hour = 72.; catalog = 40 }
+        ~engine
+        ~node:(TS.node topo (TS.Gen.node_label decl g (List.hd g.TS.Gen.edge_routers)))
+        ~prefix:(TS.Gen.prefix decl) ~rng ~until:30_000. ()
+    in
+    Ndn.Network.run net;
+    Printf.sprintf "reqs=%d resp=%d to=%d events=%d now=%.6f"
+      (Workload.Aggregate.requests_issued agg)
+      (Workload.Aggregate.responses agg)
+      (Workload.Aggregate.timeouts agg)
+      (Sim.Engine.events_processed engine)
+      (Sim.Engine.now engine)
+  in
+  Alcotest.(check string) "empty schedule is byte-identical to none"
+    (run false) (run true)
+
+let () =
+  Alcotest.run "topology_gen"
+    [
+      ( "invariants",
+        List.map QCheck_alcotest.to_alcotest qcheck_tests
+        @ [ Alcotest.test_case "ba heavy tail" `Quick test_ba_heavy_tail ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed byte-identical print" `Quick
+            test_same_seed_byte_identical_print;
+          Alcotest.test_case "ws seed changes graph" `Quick
+            test_ws_seed_changes_graph;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "generated tree end to end" `Quick
+            test_generated_tree_end_to_end;
+          Alcotest.test_case "name clash rejected" `Quick
+            test_generated_name_clash_rejected;
+        ] );
+      ( "aggregate determinism",
+        [
+          Alcotest.test_case "jobs 1 vs 4 byte-identical" `Slow
+            test_aggregate_jobs_byte_identical;
+          Alcotest.test_case "empty fault schedule identical" `Quick
+            test_aggregate_empty_fault_schedule_identical;
+        ] );
+    ]

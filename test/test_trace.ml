@@ -399,7 +399,8 @@ let test_topo_error_latency () =
     "link U R latency=warp:9"
 
 let test_topo_error_unknown_directive () =
-  check_error ~line:1 ~needle:"expected node, link, route, producer or fault"
+  check_error ~line:1
+    ~needle:"expected node, link, route, producer, generate or fault"
     "frobnicate X"
 
 let test_topo_error_loss_range () =

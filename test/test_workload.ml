@@ -442,6 +442,165 @@ let test_lru_stack_validation () =
 
 (* --- property tests --- *)
 
+(* --- Zipf memoized normalizer (regression for the per-(n,s) memo) --- *)
+
+(* Pinned sampler output: the memo must never change what the sampler
+   draws.  If this fails, the CDF (or the splitmix64 stream) changed —
+   a reviewed decision, not a drift. *)
+let test_zipf_pinned_sampler () =
+  let z = Workload.Zipf.create ~n:1000 ~s:0.85 in
+  let rng = Sim.Rng.create 123 in
+  let samples = List.init 10 (fun _ -> Workload.Zipf.sample z rng) in
+  Alcotest.(check (list int))
+    "pinned samples for seed 123"
+    [ 11; 180; 711; 45; 38; 1; 545; 33; 1; 40 ]
+    samples
+
+let test_zipf_memo_consistent () =
+  let a = Workload.Zipf.create ~n:400 ~s:0.7 in
+  let b = Workload.Zipf.create ~n:400 ~s:0.7 in
+  for r = 1 to 400 do
+    check_close
+      (Printf.sprintf "memoized prob at rank %d" r)
+      1e-15 (Workload.Zipf.prob a r) (Workload.Zipf.prob b r)
+  done;
+  let r1 = Sim.Rng.create 5 and r2 = Sim.Rng.create 5 in
+  for i = 1 to 200 do
+    Alcotest.(check int)
+      (Printf.sprintf "sample %d identical" i)
+      (Workload.Zipf.sample a r1) (Workload.Zipf.sample b r2)
+  done;
+  (* Churn past the memo capacity so the table resets, then recreate:
+     the law must be unchanged. *)
+  let p1 = Workload.Zipf.prob a 1 in
+  for i = 1 to 80 do
+    ignore (Workload.Zipf.create ~n:(10 + i) ~s:0.5)
+  done;
+  let c = Workload.Zipf.create ~n:400 ~s:0.7 in
+  check_close "law survives a memo reset" 1e-15 p1 (Workload.Zipf.prob c 1)
+
+(* --- Aggregate consumers: statistical properties --------------------- *)
+
+(* One caching node that also hosts the producer: requests resolve
+   locally, so these tests exercise only the arrival/rank process. *)
+let aggregate_net () =
+  let net = Ndn.Network.create ~seed:4 () in
+  let n = Ndn.Network.add_node net ~cs_capacity:8 "n" in
+  let prefix = Ndn.Name.of_string "/agg" in
+  Ndn.Node.add_producer n ~prefix (fun i ->
+      Some
+        (Ndn.Data.create ~producer:"n" ~key:"k" ~payload:"v"
+           i.Ndn.Interest.name));
+  (net, n, prefix)
+
+(* Chi-squared goodness of fit of the emitted ranks against the Zipf
+   pmf.  Fixed seed, so the statistic is deterministic — the threshold
+   is the df=49 critical value at p ≈ 0.001 with headroom, not a
+   tolerance that can flake. *)
+let test_aggregate_zipf_gof () =
+  let net, n, prefix = aggregate_net () in
+  let rng = Sim.Rng.create 77 in
+  let config =
+    {
+      Workload.Aggregate.default with
+      users = 2_000;
+      req_per_user_per_hour = 90.;
+      catalog = 50;
+      zipf_s = 0.85;
+      diurnal_period_ms = 30_000.;
+      record_ranks = true;
+    }
+  in
+  let agg =
+    Workload.Aggregate.attach config
+      ~engine:(Ndn.Network.engine net)
+      ~node:n ~prefix ~rng ~until:60_000. ()
+  in
+  Ndn.Network.run net;
+  let counts =
+    match Workload.Aggregate.rank_counts agg with
+    | Some c -> c
+    | None -> Alcotest.fail "record_ranks lost the histogram"
+  in
+  let total = Array.fold_left ( + ) 0 counts in
+  Alcotest.(check int) "histogram covers every request"
+    (Workload.Aggregate.requests_issued agg)
+    total;
+  Alcotest.(check bool) "enough samples for the test" true (total > 2_000);
+  let z = Workload.Zipf.create ~n:config.catalog ~s:config.zipf_s in
+  (* Merge trailing ranks until every bin expects >= 5. *)
+  let chi2 = ref 0. and df = ref (-1) in
+  let obs = ref 0. and expd = ref 0. in
+  for r = 1 to config.catalog do
+    obs := !obs +. float_of_int counts.(r - 1);
+    expd := !expd +. (float_of_int total *. Workload.Zipf.prob z r);
+    if !expd >= 5. then begin
+      let d = !obs -. !expd in
+      chi2 := !chi2 +. (d *. d /. !expd);
+      incr df;
+      obs := 0.;
+      expd := 0.
+    end
+  done;
+  if !expd > 0. then chi2 := !chi2 +. ((!obs -. !expd) ** 2. /. !expd);
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.1f within critical range for df %d" !chi2 !df)
+    true
+    (!chi2 < 90.)
+
+(* Diurnal modulation: with phase 0 the sine is positive over the first
+   half period and negative over the second, so the first-half request
+   count must clearly dominate.  Fixed seed: deterministic. *)
+let test_aggregate_diurnal_modulation () =
+  let net, n, prefix = aggregate_net () in
+  let rng = Sim.Rng.create 13 in
+  let period = 40_000. in
+  let config =
+    {
+      Workload.Aggregate.default with
+      users = 2_000;
+      req_per_user_per_hour = 90.;
+      catalog = 20;
+      diurnal_amplitude = 0.9;
+      diurnal_period_ms = period;
+      diurnal_phase_ms = 0.;
+    }
+  in
+  let agg =
+    Workload.Aggregate.attach config
+      ~engine:(Ndn.Network.engine net)
+      ~node:n ~prefix ~rng ~until:period ()
+  in
+  Ndn.Network.run net ~until:(period /. 2.);
+  let peak = Workload.Aggregate.requests_issued agg in
+  Ndn.Network.run net;
+  let trough = Workload.Aggregate.requests_issued agg - peak in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak half (%d) >> trough half (%d)" peak trough)
+    true
+    (peak > 2 * trough && trough > 0)
+
+let test_aggregate_validation () =
+  let net, n, prefix = aggregate_net () in
+  let attach config =
+    ignore
+      (Workload.Aggregate.attach config
+         ~engine:(Ndn.Network.engine net)
+         ~node:n ~prefix
+         ~rng:(Sim.Rng.create 1)
+         ~until:10. ())
+  in
+  Alcotest.check_raises "users" (Invalid_argument "Aggregate: users must be positive")
+    (fun () -> attach { Workload.Aggregate.default with users = 0 });
+  Alcotest.check_raises "amplitude"
+    (Invalid_argument "Aggregate: diurnal_amplitude must lie in [0, 1]")
+    (fun () ->
+      attach { Workload.Aggregate.default with diurnal_amplitude = 1.5 });
+  Alcotest.check_raises "rate"
+    (Invalid_argument "Aggregate: req_per_user_per_hour must be positive")
+    (fun () ->
+      attach { Workload.Aggregate.default with req_per_user_per_hour = 0. })
+
 let qcheck_tests =
   [
     QCheck.Test.make ~name:"zipf samples within range" ~count:200
@@ -519,6 +678,8 @@ let () =
           Alcotest.test_case "sampling matches pmf" `Slow test_zipf_sampling_matches_pmf;
           Alcotest.test_case "head mass" `Quick test_zipf_head_mass;
           Alcotest.test_case "argument validation" `Quick test_zipf_rejects_bad_args;
+          Alcotest.test_case "pinned sampler" `Quick test_zipf_pinned_sampler;
+          Alcotest.test_case "memo consistent" `Quick test_zipf_memo_consistent;
         ] );
       ( "trace",
         [
@@ -565,6 +726,13 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_lru_stack_deterministic;
           Alcotest.test_case "locality beats iid" `Slow test_lru_stack_locality_beats_iid;
           Alcotest.test_case "validation" `Quick test_lru_stack_validation;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "zipf goodness of fit" `Quick test_aggregate_zipf_gof;
+          Alcotest.test_case "diurnal modulation" `Quick
+            test_aggregate_diurnal_modulation;
+          Alcotest.test_case "validation" `Quick test_aggregate_validation;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
