@@ -111,12 +111,85 @@ let splice_bench_core entry =
 
 (* ------------------------------------------------------------------ *)
 
-let run ~quick () =
+module TS = Ndn.Topology_spec
+
+(* One warm phase: build the tree (optionally sharded over [shards]
+   engine domains), attach one aggregate consumer per access router,
+   run to quiescence and measure.  Shared by the reported run and the
+   [--shards] sweep so every sweep point replays the identical
+   workload — shard mode is shard-count-invariant, so [events],
+   [issued] and [timeouts] must agree across sweep points (checked by
+   the caller); only [wall_s] may differ. *)
+type warm_result = {
+  wnet : Ndn.Network.t;
+  wevents : int;
+  wwall_s : float;
+  wissued : int;
+  wtimeouts : int;
+}
+
+let aggregate_config p =
+  {
+    Workload.Aggregate.default with
+    users = p.users_per_edge;
+    catalog = 10_000;
+    zipf_s = 0.85;
+    diurnal_amplitude = 0.5;
+    diurnal_period_ms = p.warm_ms;
+    max_retries = 1;
+  }
+
+let warm_phase ~p ~spec ~decl ~g ?shards () =
+  let topo =
+    match TS.build ~seed:11 ?shards spec with
+    | Ok t -> t
+    | Error e -> failwith ("bench scale: build failed: " ^ e)
+  in
+  let net = topo.TS.network in
+  let prefix = TS.Gen.prefix decl in
+  let node_of i =
+    match Ndn.Network.node net (TS.Gen.node_label decl g i) with
+    | Some n -> n
+    | None -> assert false
+  in
+  let config = aggregate_config p in
+  let master = Sim.Rng.create 2013 in
+  let aggregates =
+    List.map
+      (fun i ->
+        let rng = Sim.Rng.split master in
+        Workload.Aggregate.attach config ~node:(node_of i) ~prefix ~rng
+          ~until:p.warm_ms ())
+      g.TS.Gen.edge_routers
+  in
+  let t0 = clock_ns () in
+  let ev0 = Ndn.Network.events_processed net in
+  Ndn.Network.run net;
+  let wall_s = (clock_ns () -. t0) /. 1e9 in
+  let events = Ndn.Network.events_processed net - ev0 in
+  let issued =
+    List.fold_left
+      (fun acc a -> acc + Workload.Aggregate.requests_issued a)
+      0 aggregates
+  in
+  let timeouts =
+    List.fold_left
+      (fun acc a -> acc + Workload.Aggregate.timeouts a)
+      0 aggregates
+  in
+  {
+    wnet = net;
+    wevents = events;
+    wwall_s = wall_s;
+    wissued = issued;
+    wtimeouts = timeouts;
+  }
+
+let run ~quick ?shards () =
   Format.printf
     "@.================ Scale: generated ISP tree + aggregate consumers \
      ================@.";
   let p = params ~quick in
-  let module TS = Ndn.Topology_spec in
   let spec =
     match TS.parse_spec p.spec with
     | Ok s -> s
@@ -132,20 +205,6 @@ let run ~quick () =
     | None -> assert false
   in
   let g = TS.Gen.graph_of decl in
-  let topo =
-    match TS.build ~seed:11 spec with
-    | Ok t -> t
-    | Error e -> failwith ("bench scale: build failed: " ^ e)
-  in
-  let net = topo.TS.network in
-  let engine = Ndn.Network.engine net in
-  let prefix = TS.Gen.prefix decl in
-  let label i = TS.Gen.node_label decl g i in
-  let node_of i =
-    match Ndn.Network.node net (label i) with
-    | Some n -> n
-    | None -> assert false
-  in
   let k = p.ntiers in
   (* Tier offsets: tier t spans [off.(t), off.(t+1)). *)
   let off = Array.make (k + 1) 0 in
@@ -162,45 +221,24 @@ let run ~quick () =
     g.TS.Gen.diameter counts.(k - 1);
 
   (* --- warm phase: one aggregate consumer per access router --- *)
-  let config =
-    {
-      Workload.Aggregate.default with
-      users = p.users_per_edge;
-      catalog = 10_000;
-      zipf_s = 0.85;
-      diurnal_amplitude = 0.5;
-      diurnal_period_ms = p.warm_ms;
-      max_retries = 1;
-    }
+  let w = warm_phase ~p ~spec ~decl ~g ?shards () in
+  let net = w.wnet in
+  let prefix = TS.Gen.prefix decl in
+  let label i = TS.Gen.node_label decl g i in
+  let node_of i =
+    match Ndn.Network.node net (label i) with
+    | Some n -> n
+    | None -> assert false
   in
-  let master = Sim.Rng.create 2013 in
-  let aggregates =
-    List.map
-      (fun i ->
-        let rng = Sim.Rng.split master in
-        Workload.Aggregate.attach config ~engine ~node:(node_of i) ~prefix ~rng
-          ~until:p.warm_ms ())
-      g.TS.Gen.edge_routers
-  in
-  let t0 = clock_ns () in
-  let ev0 = Sim.Engine.events_processed engine in
-  Ndn.Network.run net;
-  let wall_s = (clock_ns () -. t0) /. 1e9 in
-  let events = Sim.Engine.events_processed engine - ev0 in
+  let events = w.wevents and wall_s = w.wwall_s in
+  let issued = w.wissued and timeouts = w.wtimeouts in
   let events_per_sec = float_of_int events /. Float.max 1e-9 wall_s in
-  let issued =
-    List.fold_left
-      (fun acc a -> acc + Workload.Aggregate.requests_issued a)
-      0 aggregates
-  in
-  let timeouts =
-    List.fold_left
-      (fun acc a -> acc + Workload.Aggregate.timeouts a)
-      0 aggregates
-  in
+  (match shards with
+  | None -> ()
+  | Some n -> Format.printf "sharding: %d engine domains per network@." n);
   Format.printf
     "warm: %d requests from %d aggregates (%d users), %d timeouts@." issued
-    (List.length aggregates)
+    counts.(k - 1)
     (p.users_per_edge * counts.(k - 1))
     timeouts;
   Format.printf "engine: %d events in %.2f s wall = %.0f events/s@." events
@@ -298,6 +336,7 @@ let run ~quick () =
     deepest (k - 1)
   in
   let probe_rng = Sim.Rng.create 4177 in
+  let config = aggregate_config p in
   let zipf = Workload.Zipf.create ~n:config.catalog ~s:config.zipf_s in
   let tier_probes = Array.make (k + 1) 0 in
   let tier_correct = Array.make (k + 1) 0 in
@@ -378,14 +417,69 @@ let run ~quick () =
   output_string oc (Buffer.contents csv);
   close_out oc;
   Format.printf "wrote BENCH_scale_tiers.csv@.";
+  (* --- sharded warm-phase sweep (--shards N): replay the identical
+     warm phase at shard counts 1 .. N and record events/s per point.
+     Shard mode is shard-count-invariant, so the event/request/timeout
+     totals must agree across points — an inline determinism check on
+     top of the test suite's byte-level one.  Speedups are honest
+     wall-clock ratios on this host: with fewer hardware threads than
+     shards the extra domains time-slice and the ratio sits near (or
+     below) 1. *)
+  let sharded_json =
+    match shards with
+    | None -> ""
+    | Some n ->
+      let ks = List.sort_uniq compare [ 1; max 1 (n / 2); n ] in
+      let rows =
+        List.map
+          (fun sk ->
+            let r = warm_phase ~p ~spec ~decl ~g ~shards:sk () in
+            Format.printf
+              "shards %d: %d events in %.2f s wall = %.0f events/s@." sk
+              r.wevents r.wwall_s
+              (float_of_int r.wevents /. Float.max 1e-9 r.wwall_s);
+            (sk, r))
+          ks
+      in
+      List.iter
+        (fun (sk, r) ->
+          if
+            r.wevents <> events || r.wissued <> issued
+            || r.wtimeouts <> timeouts
+          then
+            failwith
+              (Printf.sprintf
+                 "bench scale: shard count %d changed the workload \
+                  (events %d vs %d, requests %d vs %d) — shard-count \
+                  invariance is broken"
+                 sk r.wevents events r.wissued issued))
+        rows;
+      let base_wall =
+        match List.assoc_opt 1 rows with
+        | Some r -> r.wwall_s
+        | None -> wall_s
+      in
+      Printf.sprintf ", \"host_domains\": %d, \"sharded\": [%s]"
+        (Sim.Parallel.default_jobs ())
+        (String.concat ", "
+           (List.map
+              (fun (sk, r) ->
+                Printf.sprintf
+                  "{\"shards\": %d, \"events\": %d, \"wall_s\": %.3f, \
+                   \"events_per_sec\": %.0f, \"speedup_vs_1\": %.3f}"
+                  sk r.wevents r.wwall_s
+                  (float_of_int r.wevents /. Float.max 1e-9 r.wwall_s)
+                  (base_wall /. Float.max 1e-9 r.wwall_s))
+              rows))
+  in
   splice_bench_core
     (Printf.sprintf
        "{\"quick\": %b, \"routers\": %d, \"access_routers\": %d, \
         \"represented_users\": %d, \"requests\": %d, \"events\": %d, \
         \"wall_s\": %.3f, \"events_per_sec\": %.0f, \
-        \"attacker_accuracy\": %.4f}"
+        \"attacker_accuracy\": %.4f%s}"
        quick g.TS.Gen.node_count
        counts.(k - 1)
        (p.users_per_edge * counts.(k - 1))
-       issued events wall_s events_per_sec overall);
+       issued events wall_s events_per_sec overall sharded_json);
   Format.printf "spliced bench_scale into BENCH_core.json@."

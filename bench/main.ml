@@ -34,13 +34,16 @@
              ISP hierarchy (11k routers / 1M aggregate users; --quick
              for a 211-router smoke) driven by Workload.Aggregate;
              writes BENCH_scale_tiers.csv and splices an events/sec
-             entry into BENCH_core.json *)
+             entry into BENCH_core.json.  --shards K runs the network
+             sharded over K Sim.Shard engine domains and adds a
+             per-shard-count events/sec sweep (with wall-clock speedup
+             vs one shard) to that entry *)
 
 let usage () =
   print_endline
     "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro|core|scale]... \
-     [--fast|--full|--quick] [--jobs N] [--trace FILE] [--trace-format \
-     jsonl|csv]";
+     [--fast|--full|--quick] [--jobs N] [--shards K] [--trace FILE] \
+     [--trace-format jsonl|csv]";
   exit 1
 
 let () =
@@ -70,6 +73,22 @@ let () =
     grab [] args
   in
   let jobs = match jobs with Some j -> j | None -> Sim.Parallel.default_jobs () in
+  let shards, args =
+    let rec grab acc = function
+      | "--shards" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s when s >= 1 -> (Some s, List.rev_append acc rest)
+        | _ ->
+          prerr_endline "--shards expects a positive integer";
+          usage ())
+      | "--shards" :: [] ->
+        prerr_endline "--shards expects a positive integer";
+        usage ()
+      | a :: rest -> grab (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    grab [] args
+  in
   let trace_file, args =
     let rec grab acc = function
       | "--trace" :: file :: rest when file = "" || file.[0] <> '-' ->
@@ -122,5 +141,5 @@ let () =
   (* scale is opt-in (not part of "all"): the default run is an
      11k-router, 1M-user sweep. *)
   if List.mem "scale" selected then
-    Bench_scale.run ~quick:(List.mem "--quick" args) ();
+    Bench_scale.run ~quick:(List.mem "--quick" args) ?shards ();
   Format.printf "@.done.@."

@@ -35,11 +35,23 @@ let topology_arg =
     & info [ "topology" ] ~docv:"TOPO"
         ~doc:"Measurement topology: $(b,lan), $(b,wan), $(b,producer) or $(b,local).")
 
-let make_setup_of_topology = function
-  | `Lan -> fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ()
-  | `Wan -> fun ~seed ~tracer -> Ndn.Network.wan ~seed ~tracer ()
-  | `Producer -> fun ~seed ~tracer -> Ndn.Network.wan_producer ~seed ~tracer ()
-  | `Local -> fun ~seed ~tracer -> Ndn.Network.local_host ~seed ~tracer ()
+let make_setup_of_topology ?shards = function
+  | `Lan -> fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ?shards ()
+  | `Wan -> fun ~seed ~tracer -> Ndn.Network.wan ~seed ~tracer ?shards ()
+  | `Producer ->
+    fun ~seed ~tracer -> Ndn.Network.wan_producer ~seed ~tracer ?shards ()
+  | `Local -> fun ~seed ~tracer -> Ndn.Network.local_host ~seed ~tracer ?shards ()
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition each simulated network across $(docv) engine domains \
+           ($(b,Sim.Shard)).  Results, traces and metrics are byte-identical \
+           for every $(docv); combined with $(b,--jobs) the campaign budgets \
+           jobs*shards domains and refuses to oversubscribe the host.")
 
 (* --- structured event tracing (--trace / --trace-format) --- *)
 
@@ -176,12 +188,13 @@ let attach_countermeasure ?tracer router ~seed = function
 (* --- attack: the Figure 3 measurement campaign --- *)
 
 let attack_cmd =
-  let run topology contents runs seed jobs trace_file trace_format faults =
+  let run topology contents runs seed jobs shards trace_file trace_format faults
+      =
     let result =
       experiment_or_die (fun () ->
           Attack.Timing_experiment.run
-            ~make_setup:(make_setup_of_topology topology)
-            ~contents ~runs ~seed ?jobs
+            ~make_setup:(make_setup_of_topology ?shards topology)
+            ~contents ~runs ~seed ?jobs ?shards
             ?faults
             ~trace:(trace_file <> None) ())
     in
@@ -210,14 +223,15 @@ let attack_cmd =
     (Cmd.info "attack"
        ~doc:"Run the cache timing attack and report hit/miss RTT histograms.")
     Term.(
-      const run $ topology_arg $ contents $ runs $ seed_arg $ jobs
+      const run $ topology_arg $ contents $ runs $ seed_arg $ jobs $ shards_arg
       $ trace_file_arg $ trace_format_arg $ faults_arg)
 
 (* --- defend: attack vs countermeasure --- *)
 
 let defend_cmd =
-  let run topology cm contents runs seed jobs trace_file trace_format faults =
-    let base_make = make_setup_of_topology topology in
+  let run topology cm contents runs seed jobs shards trace_file trace_format
+      faults =
+    let base_make = make_setup_of_topology ?shards topology in
     (* The defended variant marks all content producer-private so the
        countermeasure engages. *)
     let private_producer =
@@ -226,27 +240,36 @@ let defend_cmd =
     let producer_make ~seed ~tracer =
       let setup =
         match topology with
-        | `Lan -> Ndn.Network.lan ~seed ~tracer ~producer:private_producer ()
-        | `Wan -> Ndn.Network.wan ~seed ~tracer ~producer:private_producer ()
+        | `Lan ->
+          Ndn.Network.lan ~seed ~tracer ?shards ~producer:private_producer ()
+        | `Wan ->
+          Ndn.Network.wan ~seed ~tracer ?shards ~producer:private_producer ()
         | `Producer ->
-          Ndn.Network.wan_producer ~seed ~tracer ~producer:private_producer ()
+          Ndn.Network.wan_producer ~seed ~tracer ?shards
+            ~producer:private_producer ()
         | `Local ->
-          Ndn.Network.local_host ~seed ~tracer ~producer:private_producer ()
+          Ndn.Network.local_host ~seed ~tracer ?shards
+            ~producer:private_producer ()
       in
-      attach_countermeasure ~tracer setup.Ndn.Network.router
-        ~seed:(seed + 10_000) cm;
+      (* The router's own tracer, not the campaign tracer: in legacy mode
+         they are the same object, but in shard mode the countermeasure's
+         records must flow through the router's shard buffer to be
+         stitched deterministically. *)
+      attach_countermeasure
+        ~tracer:(Ndn.Node.tracer setup.Ndn.Network.router)
+        setup.Ndn.Network.router ~seed:(seed + 10_000) cm;
       setup
     in
     let trace = trace_file <> None in
     let baseline =
       experiment_or_die (fun () ->
           Attack.Timing_experiment.run ~make_setup:base_make ~contents ~runs
-            ~seed ?jobs ?faults ~trace ())
+            ~seed ?jobs ?shards ?faults ~trace ())
     in
     let defended =
       experiment_or_die (fun () ->
           Attack.Timing_experiment.run ~make_setup:producer_make ~contents
-            ~runs ~seed ?jobs ?faults ~trace ())
+            ~runs ~seed ?jobs ?shards ?faults ~trace ())
     in
     Format.printf "undefended distinguisher: %.2f%%@."
       (100. *. baseline.Attack.Timing_experiment.success_rate);
@@ -279,7 +302,7 @@ let defend_cmd =
        ~doc:"Measure distinguisher accuracy with and without a countermeasure.")
     Term.(
       const run $ topology_arg $ countermeasure_arg $ contents $ runs $ seed_arg
-      $ jobs $ trace_file_arg $ trace_format_arg $ faults_arg)
+      $ jobs $ shards_arg $ trace_file_arg $ trace_format_arg $ faults_arg)
 
 (* --- trace generation --- *)
 
@@ -489,11 +512,12 @@ let interact_cmd =
 (* --- probe: one-off interactive probing --- *)
 
 let probe_cmd =
-  let run topology warm target scope seed trace_file trace_format faults =
+  let run topology warm target scope seed shards trace_file trace_format faults
+      =
     let tracer =
       if trace_file <> None then Sim.Trace.create () else Sim.Trace.disabled
     in
-    let setup = (make_setup_of_topology topology) ~seed ~tracer in
+    let setup = (make_setup_of_topology ?shards topology) ~seed ~tracer in
     let out = result_formatter trace_file in
     install_faults_or_die setup.Ndn.Network.net faults;
     List.iter
@@ -528,7 +552,7 @@ let probe_cmd =
   Cmd.v
     (Cmd.info "probe" ~doc:"Issue a single adversarial probe in a chosen topology.")
     Term.(
-      const run $ topology_arg $ warm $ target $ scope $ seed_arg
+      const run $ topology_arg $ warm $ target $ scope $ seed_arg $ shards_arg
       $ trace_file_arg $ trace_format_arg $ faults_arg)
 
 (* --- topo: run probes in a user-defined topology --- *)
@@ -669,7 +693,7 @@ let topo_cmd =
 
 let chaos_cmd =
   let run topology restart_mean downtime horizon preserve_cs contents runs seed
-      jobs trace_file trace_format faults =
+      jobs shards trace_file trace_format faults =
     let schedule =
       match faults with
       | Some s -> s
@@ -689,8 +713,8 @@ let chaos_cmd =
     let result =
       experiment_or_die (fun () ->
           Attack.Timing_experiment.run
-            ~make_setup:(make_setup_of_topology topology)
-            ~contents ~runs ~seed ?jobs ~faults:schedule
+            ~make_setup:(make_setup_of_topology ?shards topology)
+            ~contents ~runs ~seed ?jobs ?shards ~faults:schedule
             ~trace:(trace_file <> None) ())
     in
     Attack.Timing_experiment.pp_result out result;
@@ -749,8 +773,8 @@ let chaos_cmd =
           false-negative rate.")
     Term.(
       const run $ topology_arg $ restart_mean $ downtime $ horizon
-      $ preserve_cs $ contents $ runs $ seed_arg $ jobs $ trace_file_arg
-      $ trace_format_arg $ faults_arg)
+      $ preserve_cs $ contents $ runs $ seed_arg $ jobs $ shards_arg
+      $ trace_file_arg $ trace_format_arg $ faults_arg)
 
 let () =
   let doc = "NDN cache-privacy laboratory (ICDCS 2013 reproduction)" in

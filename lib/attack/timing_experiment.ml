@@ -67,9 +67,12 @@ let collect_run_faulted ~make_setup ~contents ~seed ~trace ~faults ~interval
   | Ok () -> ()
   | Error msg ->
     invalid_arg ("Timing_experiment: fault schedule rejected: " ^ msg));
-  let engine = Ndn.Network.engine net in
   let user = setup.Ndn.Network.user in
   let adversary = setup.Ndn.Network.adversary in
+  (* The adversary's own engine: identical to the network engine in
+     legacy mode, the adversary's shard engine in shard mode — where
+     reading any other shard's clock from inside a callback would race. *)
+  let adv_engine = Ndn.Node.engine adversary in
   for i = 0 to contents - 1 do
     let warm_name =
       Ndn.Name.of_string (Printf.sprintf "/prod/run%d/warm/%d" run i)
@@ -82,32 +85,32 @@ let collect_run_faulted ~make_setup ~contents ~seed ~trace ~faults ~interval
        in the real attack (the adversary does not observe the user's
        fetch).  A router reboot landing inside that window flushes the
        cache and turns the warm probe into a false negative — exactly
-       the signal-degradation mechanism churn buys. *)
-    ignore
-      (Sim.Engine.schedule_at engine ~time:at (fun () ->
-           Ndn.Node.express_interest user
-             ~on_data:(fun ~rtt_ms:_ _ -> ())
-             warm_name));
-    ignore
-      (Sim.Engine.schedule_at engine ~time:(at +. lag) (fun () ->
-           let probe obs name k =
-             let issued = Sim.Engine.now engine in
-             Ndn.Node.express_interest adversary
-               ~on_data:(fun ~rtt_ms _ ->
-                 obs := (issued, Some rtt_ms) :: !obs;
-                 k ())
-               ~on_timeout:(fun () ->
-                 obs := (issued, None) :: !obs;
-                 k ())
-               name
-           in
-           (* probe warm (hit sample) then cold (miss sample), the
-              cold chained so its RTT is not polluted by the warm
-              probe's own traffic. *)
-           probe warm_obs warm_name (fun () ->
-               probe cold_obs cold_name (fun () -> ()))))
+       the signal-degradation mechanism churn buys.  Scheduled through
+       the issuing node so the events stay keyed (and therefore
+       shard-count-invariant) in shard mode. *)
+    Ndn.Node.schedule_app_at user ~time:at (fun () ->
+        Ndn.Node.express_interest user
+          ~on_data:(fun ~rtt_ms:_ _ -> ())
+          warm_name);
+    Ndn.Node.schedule_app_at adversary ~time:(at +. lag) (fun () ->
+        let probe obs name k =
+          let issued = Sim.Engine.now adv_engine in
+          Ndn.Node.express_interest adversary
+            ~on_data:(fun ~rtt_ms _ ->
+              obs := (issued, Some rtt_ms) :: !obs;
+              k ())
+            ~on_timeout:(fun () ->
+              obs := (issued, None) :: !obs;
+              k ())
+            name
+        in
+        (* probe warm (hit sample) then cold (miss sample), the
+           cold chained so its RTT is not polluted by the warm
+           probe's own traffic. *)
+        probe warm_obs warm_name (fun () ->
+            probe cold_obs cold_name (fun () -> ())))
   done;
-  Sim.Engine.run engine;
+  Ndn.Network.run net;
   (List.rev !warm_obs, List.rev !cold_obs, tracer)
 
 let default_interval ~faults ~contents =
@@ -116,11 +119,23 @@ let default_interval ~faults ~contents =
   in
   Float.max 50. ((horizon +. 1000.) /. float_of_int (max 1 contents))
 
-let collect ?jobs ?(trace = false) ?(faults = []) ?probe_interval_ms
-    ?probe_lag_ms ~make_setup ~contents ~runs ~seed () =
+let collect ?jobs ?(shards = 1) ?(trace = false) ?(faults = [])
+    ?probe_interval_ms ?probe_lag_ms ~make_setup ~contents ~runs ~seed () =
   (* Per-run sample lists (and trace buffers) are concatenated in run
      order, so the merged arrays — and the exported trace bytes — are
      identical to a sequential (jobs = 1) campaign. *)
+  let jobs =
+    (* Both fan-out axes multiply: [jobs] trial workers each spinning a
+       [shards]-domain partition.  An unspecified [jobs] is derated so
+       the product stays within the hardware; an explicit one is only
+       validated. *)
+    match jobs with
+    | Some j -> j
+    | None -> max 1 (Sim.Parallel.default_jobs () / max 1 shards)
+  in
+  (match Sim.Parallel.check_domains ~jobs:(max 1 (min jobs runs)) ~shards with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Timing_experiment: " ^ msg));
   let runner =
     if faults = [] then collect_run ~make_setup ~contents ~seed ~trace
     else
@@ -135,7 +150,7 @@ let collect ?jobs ?(trace = false) ?(faults = []) ?probe_interval_ms
       collect_run_faulted ~make_setup ~contents ~seed ~trace ~faults ~interval
         ~lag
   in
-  let per_run = Sim.Parallel.map ?jobs runs runner in
+  let per_run = Sim.Parallel.map ~jobs runs runner in
   let warm_obs =
     List.concat_map (fun (w, _, _) -> w) (Array.to_list per_run)
   in
@@ -244,10 +259,10 @@ let summarize ~bins ~faults (warm_obs, cold_obs, trace) =
   }
 
 let run ~make_setup ?(contents = 100) ?(runs = 10) ?(seed = 7) ?(bins = 40)
-    ?jobs ?trace ?(faults = []) ?probe_interval_ms ?probe_lag_ms () =
+    ?jobs ?shards ?trace ?(faults = []) ?probe_interval_ms ?probe_lag_ms () =
   summarize ~bins ~faults
-    (collect ?jobs ?trace ~faults ?probe_interval_ms ?probe_lag_ms ~make_setup
-       ~contents ~runs ~seed ())
+    (collect ?jobs ?shards ?trace ~faults ?probe_interval_ms ?probe_lag_ms
+       ~make_setup ~contents ~runs ~seed ())
 
 let run_producer_privacy = run
 

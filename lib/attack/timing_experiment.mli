@@ -43,6 +43,7 @@ val run :
   ?seed:int ->
   ?bins:int ->
   ?jobs:int ->
+  ?shards:int ->
   ?trace:bool ->
   ?faults:Sim.Fault.schedule ->
   ?probe_interval_ms:float ->
@@ -58,6 +59,16 @@ val run :
     Runs execute on [jobs] domains via {!Sim.Parallel} — run [r] is a
     pure function of [seed + r] and per-run samples are concatenated in
     run order, so the result is identical for any [jobs].
+
+    [shards] (default 1) declares how many {!Sim.Shard} domains each
+    run's network spins up — the campaign does not shard networks
+    itself; pass a [make_setup] that builds them (e.g.
+    [Ndn.Network.lan ~shards]) and declare the count here so the two
+    fan-out axes can be budgeted together.  When [jobs] is omitted it
+    is derated to [default_jobs () / shards] (at least 1); an explicit
+    [jobs] is validated with {!Sim.Parallel.check_domains}, and the
+    campaign raises [Invalid_argument] when [jobs * shards] exceeds the
+    domain budget.
 
     [make_setup] receives a per-run [tracer]: {!Sim.Trace.disabled}
     unless [trace] (default [false]) is set, in which case each run
@@ -85,6 +96,7 @@ val run_producer_privacy :
   ?seed:int ->
   ?bins:int ->
   ?jobs:int ->
+  ?shards:int ->
   ?trace:bool ->
   ?faults:Sim.Fault.schedule ->
   ?probe_interval_ms:float ->

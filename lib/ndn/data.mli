@@ -70,4 +70,10 @@ val is_fresh : t -> age_ms:float -> bool
 (** Freshness check given the time elapsed since the object entered the
     cache. *)
 
+val import : t -> t
+(** Re-intern the name in the current domain's hash-cons table
+    ({!Name.import}) — applied to packets crossing shards in
+    [Sim.Shard] mode.  Semantically the identity; the signature stays
+    valid because no signed field changes. *)
+
 val pp : Format.formatter -> t -> unit

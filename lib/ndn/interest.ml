@@ -27,3 +27,5 @@ let pp ppf t =
 let equal a b =
   Name.equal a.name b.name && Int64.equal a.nonce b.nonce && a.scope = b.scope
   && a.consumer_private = b.consumer_private
+
+let import t = { t with name = Name.import t.name }

@@ -28,6 +28,12 @@ val decrement_scope : t -> t option
     exhausted and the interest must not be forwarded further;
     unlimited-scope interests pass through unchanged. *)
 
+val import : t -> t
+(** Re-intern the name in the current domain's hash-cons table
+    ({!Name.import}) — applied to packets crossing shards in
+    [Sim.Shard] mode so equality fast paths keep firing on the
+    receiving domain.  Semantically the identity. *)
+
 val pp : Format.formatter -> t -> unit
 
 val equal : t -> t -> bool

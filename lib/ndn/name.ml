@@ -32,6 +32,14 @@ let intern_tbl = Domain.DLS.new_key (fun () -> W.create 4096)
 
 let intern cand = W.merge (Domain.DLS.get intern_tbl) cand
 
+(* Re-intern a name built on another domain into this domain's table,
+   so that hash-consed physical-equality fast paths keep firing after a
+   cross-shard hand-off.  The fields are immutable and the invariants
+   already hold, so merging the record itself is enough: either this
+   domain already has an equal canonical copy (returned), or the
+   foreign record becomes the canonical copy here. *)
+let import t = intern t
+
 (* All construction funnels through [mk]; [key] must be the NUL-join of
    [comps] and [len] their count — the invariants every accessor relies
    on. *)

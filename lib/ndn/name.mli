@@ -85,6 +85,14 @@ val hash : t -> int
 (** Memoized — a field read, independent of the in-memory
     representation. *)
 
+val import : t -> t
+(** Re-intern a name in the {e current} domain's hash-cons table: the
+    canonical equal copy here if one exists, otherwise [t] itself
+    (which becomes canonical).  The marshal path for cross-shard
+    deliveries in [Sim.Shard] mode — names crossing domains stay
+    [equal] regardless, but importing restores the physical-equality
+    fast paths on the receiving shard. *)
+
 val pp : Format.formatter -> t -> unit
 
 module Map : Map.S with type key = t

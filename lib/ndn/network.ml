@@ -24,10 +24,16 @@ type link = {
    O(1) lookup.  Generated ISP-scale topologies create tens of
    thousands of nodes and links; the previous append-to-the-end lists
    made construction quadratic and every label/link lookup linear. *)
+(* Shard-mode state: the [Sim.Shard] runtime plus the creation-order
+   node counter that feeds every node's partition-invariant event-key
+   space. *)
+type sharded = { sh : Sim.Shard.t; mutable next_sid : int }
+
 type t = {
-  engine : Sim.Engine.t;
+  engine : Sim.Engine.t;  (* shard 0's engine in shard mode *)
   rng : Sim.Rng.t;
   tracer : Sim.Trace.t;
+  sharded : sharded option;
   mutable nodes_rev : (string * Node.t) list;  (* reverse creation order *)
   node_tbl : (string, Node.t) Hashtbl.t;
   mutable links_rev : link list;
@@ -36,11 +42,23 @@ type t = {
   link_tbl : (string * string, link) Hashtbl.t;
 }
 
-let create ?(seed = 42) ?(tracer = Sim.Trace.disabled) () =
+let create ?(seed = 42) ?(tracer = Sim.Trace.disabled) ?shards () =
+  let engine, sharded =
+    match shards with
+    | None -> (Sim.Engine.create ~tracer (), None)
+    | Some k ->
+      (* Shard engines never carry the user tracer themselves:
+         [engine.step] records are per-engine (queue depth, processed
+         count) and would differ across shard counts.  Nodes get the
+         per-shard stitch tracers instead. *)
+      let sh = Sim.Shard.create ~traced:(Sim.Trace.enabled tracer) ~shards:k () in
+      (Sim.Shard.engine sh 0, Some { sh; next_sid = 0 })
+  in
   {
-    engine = Sim.Engine.create ~tracer ();
+    engine;
     rng = Sim.Rng.create seed;
     tracer;
+    sharded;
     nodes_rev = [];
     node_tbl = Hashtbl.create 64;
     links_rev = [];
@@ -53,18 +71,47 @@ let tracer t = t.tracer
 let now t = Sim.Engine.now t.engine
 let nodes t = List.rev t.nodes_rev
 let node t label = Hashtbl.find_opt t.node_tbl label
+let is_sharded t = t.sharded <> None
+
+let shard_count t =
+  match t.sharded with None -> 1 | Some s -> Sim.Shard.shards s.sh
 
 let add_node t ?(cs_capacity = 0) ?cs_policy ?pit_lifetime_ms ?forwarding_delay
     ?honor_scope ?caching label =
   let n =
-    Node.create t.engine ~rng:(Sim.Rng.split t.rng) ~label ~tracer:t.tracer
-      ~cs_capacity ?cs_policy ?pit_lifetime_ms ?forwarding_delay ?honor_scope
-      ?caching ()
+    match t.sharded with
+    | None ->
+      Node.create t.engine ~rng:(Sim.Rng.split t.rng) ~label ~tracer:t.tracer
+        ~cs_capacity ?cs_policy ?pit_lifetime_ms ?forwarding_delay ?honor_scope
+        ?caching ()
+    | Some s ->
+      let shard = Sim.Shard.assign s.sh label in
+      let sid = s.next_sid in
+      s.next_sid <- sid + 1;
+      Node.create
+        (Sim.Shard.engine s.sh shard)
+        ~rng:(Sim.Rng.split t.rng) ~label
+        ~tracer:(Sim.Shard.tracer s.sh shard)
+        ~cs_capacity ?cs_policy ?pit_lifetime_ms ?forwarding_delay ?honor_scope
+        ?caching ~sid ~shard ()
   in
   t.nodes_rev <- (label, n) :: t.nodes_rev;
   (* First node wins for a duplicate label, like the old assoc-list scan. *)
   if not (Hashtbl.mem t.node_tbl label) then Hashtbl.add t.node_tbl label n;
   n
+
+(* Cross-shard packets re-intern their hash-consed name on the
+   receiving domain, restoring the physical-equality fast paths there;
+   the other fields are immutable plain data and cross as-is. *)
+let import_packet pkt =
+  match pkt with
+  | Packet.Interest i -> Packet.Interest (Interest.import i)
+  | Packet.Data d -> Packet.Data (Data.import d)
+
+let pkt_name pkt =
+  match pkt with
+  | Packet.Interest i -> ("interest", i.Interest.name)
+  | Packet.Data data -> ("data", data.Data.name)
 
 let connect t ?(loss = 0.) ?latency_ba ~latency a b =
   let lat_ab = latency in
@@ -78,69 +125,147 @@ let connect t ?(loss = 0.) ?latency_ba ~latency a b =
     (not (Hashtbl.mem t.link_tbl (link.l_a, link.l_b)))
     && not (Hashtbl.mem t.link_tbl (link.l_b, link.l_a))
   then Hashtbl.add t.link_tbl (link.l_a, link.l_b) link;
-  let face_b = ref (-1) in
-  let deliver ~src ~dir node face_ref lat pkt =
-    let pkt_name () =
-      match pkt with
-      | Packet.Interest i -> ("interest", i.Interest.name)
-      | Packet.Data data -> ("data", data.Data.name)
-    in
-    if not dir.up then begin
-      (* A downed direction consumes no randomness: when the link comes
-         back the RNG stream continues exactly where it left off. *)
-      if Sim.Trace.enabled t.tracer then begin
-        let pkt_type, name = pkt_name () in
-        Sim.Trace.emit t.tracer
-          {
-            Sim.Trace.time = Sim.Engine.now t.engine;
-            node = src;
-            kind = Sim.Trace.Link_drop;
-            name = Name.to_string name;
-            attrs =
-              [ ("dst", Node.label node); ("pkt", pkt_type); ("reason", "down") ];
-          }
+  match t.sharded with
+  | None ->
+    let face_b = ref (-1) in
+    let deliver ~src ~dir node face_ref lat pkt =
+      if not dir.up then begin
+        (* A downed direction consumes no randomness: when the link comes
+           back the RNG stream continues exactly where it left off. *)
+        if Sim.Trace.enabled t.tracer then begin
+          let pkt_type, name = pkt_name pkt in
+          Sim.Trace.emit t.tracer
+            {
+              Sim.Trace.time = Sim.Engine.now t.engine;
+              node = src;
+              kind = Sim.Trace.Link_drop;
+              name = Name.to_string name;
+              attrs =
+                [ ("dst", Node.label node); ("pkt", pkt_type); ("reason", "down") ];
+            }
+        end
       end
-    end
-    else begin
-      (* Sample loss, then latency, in a fixed order for determinism.
-         Both draws happen whether or not tracing is on, so enabling a
-         tracer never perturbs the RNG stream. *)
-      let lost = dir.loss > 0. && Sim.Rng.bernoulli t.rng dir.loss in
-      let d = Sim.Latency.sample lat t.rng *. dir.latency_factor in
-      if Sim.Trace.enabled t.tracer then begin
-        let pkt_type, name = pkt_name () in
-        Sim.Trace.emit t.tracer
-          {
-            Sim.Trace.time = Sim.Engine.now t.engine;
-            node = src;
-            kind = (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
-            name = Name.to_string name;
-            attrs =
-              [
-                ("dst", Node.label node);
-                ("pkt", pkt_type);
-                ("delay_ms", Printf.sprintf "%.6f" d);
-              ];
-          }
-      end;
-      if not lost then
-        ignore
-          (Sim.Engine.schedule t.engine ~delay:d (fun () ->
-               Node.receive node ~face:!face_ref pkt))
-    end
-  in
-  let face_a_ref = ref (-1) in
-  let face_a =
-    Node.add_wire_face a (fun pkt ->
-        deliver ~src:(Node.label a) ~dir:link.ab b face_b lat_ab pkt)
-  in
-  face_a_ref := face_a;
-  let fb =
-    Node.add_wire_face b (fun pkt ->
-        deliver ~src:(Node.label b) ~dir:link.ba a face_a_ref lat_ba pkt)
-  in
-  face_b := fb;
-  (face_a, fb)
+      else begin
+        (* Sample loss, then latency, in a fixed order for determinism.
+           Both draws happen whether or not tracing is on, so enabling a
+           tracer never perturbs the RNG stream. *)
+        let lost = dir.loss > 0. && Sim.Rng.bernoulli t.rng dir.loss in
+        let d = Sim.Latency.sample lat t.rng *. dir.latency_factor in
+        if Sim.Trace.enabled t.tracer then begin
+          let pkt_type, name = pkt_name pkt in
+          Sim.Trace.emit t.tracer
+            {
+              Sim.Trace.time = Sim.Engine.now t.engine;
+              node = src;
+              kind = (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
+              name = Name.to_string name;
+              attrs =
+                [
+                  ("dst", Node.label node);
+                  ("pkt", pkt_type);
+                  ("delay_ms", Printf.sprintf "%.6f" d);
+                ];
+            }
+        end;
+        if not lost then
+          ignore
+            (Sim.Engine.schedule t.engine ~delay:d (fun () ->
+                 Node.receive node ~face:!face_ref pkt))
+      end
+    in
+    let face_a_ref = ref (-1) in
+    let face_a =
+      Node.add_wire_face a (fun pkt ->
+          deliver ~src:(Node.label a) ~dir:link.ab b face_b lat_ab pkt)
+    in
+    face_a_ref := face_a;
+    let fb =
+      Node.add_wire_face b (fun pkt ->
+          deliver ~src:(Node.label b) ~dir:link.ba a face_a_ref lat_ba pkt)
+    in
+    face_b := fb;
+    (face_a, fb)
+  | Some s ->
+    (* Shard mode.  Loss/latency randomness moves from the network's
+       global stream (whose draw order would depend on the partition)
+       to one pre-split generator per link {e direction}: the draw
+       sequence then depends only on that direction's send history,
+       which is partition-invariant.  Split order = connect order, ab
+       before ba, so builds are reproducible. *)
+    let rng_ab = Sim.Rng.split t.rng in
+    let rng_ba = Sim.Rng.split t.rng in
+    if Node.shard a <> Node.shard b then begin
+      Sim.Shard.note_min_link_delay s.sh (Sim.Latency.lower_bound lat_ab);
+      Sim.Shard.note_min_link_delay s.sh (Sim.Latency.lower_bound lat_ba)
+    end;
+    let face_b = ref (-1) in
+    let deliver ~src ~rng ~dir dst face_ref lat pkt =
+      (* Runs on [src]'s shard: reads/draws only src-shard state.  The
+         trace goes to src's shard buffer; the delivery event is keyed
+         by src and either scheduled locally or handed to [Sim.Shard]'s
+         cross-shard queue, where the receiving domain re-interns the
+         packet's name. *)
+      let eng = Node.engine src in
+      let tr = Node.tracer src in
+      if not dir.up then begin
+        if Sim.Trace.enabled tr then begin
+          let pkt_type, name = pkt_name pkt in
+          Sim.Trace.emit tr
+            {
+              Sim.Trace.time = Sim.Engine.now eng;
+              node = Node.label src;
+              kind = Sim.Trace.Link_drop;
+              name = Name.to_string name;
+              attrs =
+                [ ("dst", Node.label dst); ("pkt", pkt_type); ("reason", "down") ];
+            }
+        end
+      end
+      else begin
+        let lost = dir.loss > 0. && Sim.Rng.bernoulli rng dir.loss in
+        let d = Sim.Latency.sample lat rng *. dir.latency_factor in
+        if Sim.Trace.enabled tr then begin
+          let pkt_type, name = pkt_name pkt in
+          Sim.Trace.emit tr
+            {
+              Sim.Trace.time = Sim.Engine.now eng;
+              node = Node.label src;
+              kind = (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
+              name = Name.to_string name;
+              attrs =
+                [
+                  ("dst", Node.label dst);
+                  ("pkt", pkt_type);
+                  ("delay_ms", Printf.sprintf "%.6f" d);
+                ];
+            }
+        end;
+        if not lost then begin
+          let key = Node.fresh_event_key src in
+          if Node.shard src = Node.shard dst then
+            ignore
+              (Sim.Engine.schedule_key eng ~delay:d ~key (fun () ->
+                   Node.receive dst ~face:!face_ref pkt))
+          else
+            Sim.Shard.send s.sh ~src:(Node.shard src) ~dst:(Node.shard dst)
+              ~time:(Sim.Engine.now eng +. d)
+              ~key
+              (fun () -> Node.receive dst ~face:!face_ref (import_packet pkt))
+        end
+      end
+    in
+    let face_a_ref = ref (-1) in
+    let face_a =
+      Node.add_wire_face a (fun pkt ->
+          deliver ~src:a ~rng:rng_ab ~dir:link.ab b face_b lat_ab pkt)
+    in
+    face_a_ref := face_a;
+    let fb =
+      Node.add_wire_face b (fun pkt ->
+          deliver ~src:b ~rng:rng_ba ~dir:link.ba a face_a_ref lat_ba pkt)
+    in
+    face_b := fb;
+    (face_a, fb)
 
 (* --- fault injection --- *)
 
@@ -160,6 +285,18 @@ let dirs_of link ~flipped (dir : Sim.Fault.direction) =
   | Sim.Fault.Both, _ -> [ link.ab; link.ba ]
   | Ab, false | Ba, true -> [ link.ab ]
   | Ba, false | Ab, true -> [ link.ba ]
+
+(* Shard mode reads a direction's state from the sending node's domain,
+   so fault application must happen there too: pair each affected
+   direction with the node whose sends read it (the stored [ab]
+   direction is read by [l_a]'s deliveries, [ba] by [l_b]'s). *)
+let dirs_with_owners t link ~flipped (dir : Sim.Fault.direction) =
+  let owner_a = Hashtbl.find t.node_tbl link.l_a in
+  let owner_b = Hashtbl.find t.node_tbl link.l_b in
+  match (dir, flipped) with
+  | Sim.Fault.Both, _ -> [ (owner_a, link.ab); (owner_b, link.ba) ]
+  | Ab, false | Ba, true -> [ (owner_a, link.ab) ]
+  | Ba, false | Ab, true -> [ (owner_b, link.ba) ]
 
 let direction_label = function
   | Sim.Fault.Ab -> "ab"
@@ -269,6 +406,110 @@ let apply_fault t (e : Sim.Fault.event) =
                Node.set_production_factor n 1.)))
       (node t label)
 
+(* Shard-mode fault application.  Every piece of a fault event is
+   scheduled as a node-keyed event on the domain that owns the state it
+   mutates: link-direction pieces on the sending endpoint, node pieces
+   on the node itself.  Splitting a Both-direction link fault into two
+   pieces is partition-invariant (the split depends on the endpoints,
+   never on the shard count); the trace record is emitted once, from
+   the first piece, to mirror the legacy single emission. *)
+let trace_fault_on owner ~node kind attrs =
+  let tr = Node.tracer owner in
+  if Sim.Trace.enabled tr then
+    Sim.Trace.emit tr
+      {
+        Sim.Trace.time = Sim.Engine.now (Node.engine owner);
+        node;
+        kind;
+        name = "";
+        attrs;
+      }
+
+let schedule_fault_sharded t (e : Sim.Fault.event) =
+  let at = e.Sim.Fault.at in
+  let link_pieces a b dir f =
+    match find_link t a b with
+    | Error _ -> () (* validated by install_faults; unreachable *)
+    | Ok (link, flipped) ->
+      List.iteri
+        (fun i (owner, d) ->
+          Node.schedule_app_at owner ~time:at (fun () -> f ~first:(i = 0) owner d))
+        (dirs_with_owners t link ~flipped dir)
+  in
+  match e.Sim.Fault.kind with
+  | Sim.Fault.Link_down { a; b; dir } ->
+    link_pieces a b dir (fun ~first owner d ->
+        if first then
+          trace_fault_on owner ~node:a Sim.Trace.Fault_link
+            [ ("peer", b); ("dir", direction_label dir); ("state", "down") ];
+        d.up <- false)
+  | Link_up { a; b; dir } ->
+    link_pieces a b dir (fun ~first owner d ->
+        if first then
+          trace_fault_on owner ~node:a Sim.Trace.Fault_link
+            [ ("peer", b); ("dir", direction_label dir); ("state", "up") ];
+        d.up <- true)
+  | Link_degrade { a; b; dir; loss; latency_factor; until } ->
+    link_pieces a b dir (fun ~first owner d ->
+        if first then
+          trace_fault_on owner ~node:a Sim.Trace.Fault_link
+            [
+              ("peer", b);
+              ("dir", direction_label dir);
+              ("state", "degraded");
+              ("loss", f6 loss);
+              ("latency_factor", f6 latency_factor);
+              ("until", f6 until);
+            ];
+        d.loss <- loss;
+        d.latency_factor <- latency_factor;
+        (* Each piece restores its own direction on its own shard. *)
+        Node.schedule_app_at owner ~time:until (fun () ->
+            if first then
+              trace_fault_on owner ~node:a Sim.Trace.Fault_link
+                [ ("peer", b); ("dir", direction_label dir); ("state", "restored") ];
+            d.loss <- d.base_loss;
+            d.latency_factor <- 1.))
+  | Node_crash { node = label; preserve_cs } ->
+    Option.iter
+      (fun n ->
+        Node.schedule_app_at n ~time:at (fun () ->
+            trace_fault_on n ~node:label Sim.Trace.Fault_crash
+              [ ("preserve_cs", string_of_bool preserve_cs) ];
+            Node.crash ~preserve_cs n))
+      (node t label)
+  | Node_restart { node = label } ->
+    Option.iter
+      (fun n ->
+        Node.schedule_app_at n ~time:at (fun () ->
+            trace_fault_on n ~node:label Sim.Trace.Fault_restart [];
+            Node.restart n))
+      (node t label)
+  | Producer_outage { node = label; until } ->
+    Option.iter
+      (fun n ->
+        Node.schedule_app_at n ~time:at (fun () ->
+            trace_fault_on n ~node:label Sim.Trace.Fault_producer
+              [ ("state", "down"); ("until", f6 until) ];
+            Node.set_producers_enabled n false;
+            Node.schedule_app_at n ~time:until (fun () ->
+                trace_fault_on n ~node:label Sim.Trace.Fault_producer
+                  [ ("state", "restored") ];
+                Node.set_producers_enabled n true)))
+      (node t label)
+  | Producer_slowdown { node = label; factor; until } ->
+    Option.iter
+      (fun n ->
+        Node.schedule_app_at n ~time:at (fun () ->
+            trace_fault_on n ~node:label Sim.Trace.Fault_producer
+              [ ("state", "slow"); ("factor", f6 factor); ("until", f6 until) ];
+            Node.set_production_factor n factor;
+            Node.schedule_app_at n ~time:until (fun () ->
+                trace_fault_on n ~node:label Sim.Trace.Fault_producer
+                  [ ("state", "restored") ];
+                Node.set_production_factor n 1.)))
+      (node t label)
+
 (* Check that every event's targets exist before anything is scheduled,
    so a typo in a schedule fails loudly instead of silently no-opping
    halfway through a run. *)
@@ -304,12 +545,38 @@ let install_faults t schedule =
         | Error _ as err -> err))
   in
   Result.map
-    (fun () -> Sim.Fault.install ~engine:t.engine ~apply:(apply_fault t) schedule)
+    (fun () ->
+      match t.sharded with
+      | None ->
+        Sim.Fault.install ~engine:t.engine ~apply:(apply_fault t) schedule
+      | Some s ->
+        (* A degrade that speeds a link up undercuts the lookahead
+           bound; registering the factor before anything runs keeps
+           every window of the whole run sound. *)
+        List.iter
+          (fun (e : Sim.Fault.event) ->
+            match e.Sim.Fault.kind with
+            | Sim.Fault.Link_degrade { latency_factor; _ }
+              when latency_factor < 1. ->
+              Sim.Shard.note_latency_factor s.sh latency_factor
+            | _ -> ())
+          schedule;
+        List.iter (schedule_fault_sharded t) schedule)
     (check schedule)
 
 let route _t node ~prefix ~via = Fib.add_route (Node.fib node) ~prefix ~face:via
 
-let run ?until t = Sim.Engine.run ?until t.engine
+let run ?until t =
+  match t.sharded with
+  | None -> Sim.Engine.run ?until t.engine
+  | Some s ->
+    Sim.Shard.run ?until s.sh;
+    if Sim.Trace.enabled t.tracer then Sim.Shard.flush_trace s.sh ~into:t.tracer
+
+let events_processed t =
+  match t.sharded with
+  | None -> Sim.Engine.events_processed t.engine
+  | Some s -> Sim.Shard.events_processed s.sh
 
 let fetch_rtt t ~from ?scope ?consumer_private ?timeout_ms name =
   let result = ref None in
@@ -318,7 +585,7 @@ let fetch_rtt t ~from ?scope ?consumer_private ?timeout_ms name =
     ~on_timeout:(fun () -> ())
     name;
   (* Run until the exchange (or its timeout) has fully played out. *)
-  Sim.Engine.run t.engine;
+  run t;
   !result
 
 (* --- Figure 3 topologies --- *)
@@ -375,8 +642,8 @@ let install_producer ~config ~prefix ~key node =
 let ccnd_processing = Sim.Latency.Normal { mean = 0.55; stddev = 0.12; min = 0.15 }
 let lan_ccnd_processing = Sim.Latency.Normal { mean = 0.9; stddev = 0.18; min = 0.3 }
 
-let lan ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
-  let net = create ~seed ?tracer () in
+let lan ?(seed = 42) ?tracer ?shards ?(producer = default_producer_config) () =
+  let net = create ~seed ?tracer ?shards () in
   let user = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "U" in
   let adversary =
     add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "Adv"
@@ -419,8 +686,8 @@ let attach_via_hops net ~hop_latency ~hops ~prefix consumer router =
   in
   build consumer (hops - 1)
 
-let wan ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
-  let net = create ~seed ?tracer () in
+let wan ?(seed = 42) ?tracer ?shards ?(producer = default_producer_config) () =
+  let net = create ~seed ?tracer ?shards () in
   let user = add_node net ~forwarding_delay:ccnd_processing ~caching:false "U" in
   let adversary =
     add_node net ~forwarding_delay:ccnd_processing ~caching:false "Adv"
@@ -438,8 +705,9 @@ let wan ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
   attach_via_hops net ~hop_latency:hop ~hops:3 ~prefix router producer_host;
   { net; user; adversary; router; producer_host; prefix; producer_key }
 
-let wan_producer ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
-  let net = create ~seed ?tracer () in
+let wan_producer ?(seed = 42) ?tracer ?shards ?(producer = default_producer_config)
+    () =
+  let net = create ~seed ?tracer ?shards () in
   let user = add_node net ~forwarding_delay:ccnd_processing ~caching:false "U" in
   let adversary =
     add_node net ~forwarding_delay:ccnd_processing ~caching:false "Adv"
@@ -463,8 +731,9 @@ let wan_producer ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
   route net router ~prefix ~via:r_p;
   { net; user; adversary; router; producer_host; prefix; producer_key }
 
-let local_host ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
-  let net = create ~seed ?tracer () in
+let local_host ?(seed = 42) ?tracer ?shards ?(producer = default_producer_config)
+    () =
+  let net = create ~seed ?tracer ?shards () in
   (* One host runs both honest and malicious applications; its own
      forwarder's Content Store is the probed cache. *)
   let host =
@@ -500,8 +769,8 @@ type conversation_setup = {
   bob_key : string;
 }
 
-let conversation ?(seed = 42) ?tracer () =
-  let net = create ~seed ?tracer () in
+let conversation ?(seed = 42) ?tracer ?shards () =
+  let net = create ~seed ?tracer ?shards () in
   let alice = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "alice" in
   let bob = add_node net ~forwarding_delay:lan_ccnd_processing ~caching:false "bob" in
   let eavesdropper =
@@ -548,8 +817,9 @@ type edge_core_setup = {
   ec_producer_key : string;
 }
 
-let edge_core ?(seed = 42) ?tracer ?(producer = default_producer_config) () =
-  let net = create ~seed ?tracer () in
+let edge_core ?(seed = 42) ?tracer ?shards ?(producer = default_producer_config)
+    () =
+  let net = create ~seed ?tracer ?shards () in
   let victim = add_node net ~forwarding_delay:ccnd_processing ~caching:false "victim" in
   let local_adversary =
     add_node net ~forwarding_delay:ccnd_processing ~caching:false "adv"

@@ -8,13 +8,38 @@
 
 type t
 
-val create : ?seed:int -> ?tracer:Sim.Trace.t -> unit -> t
+val create : ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> unit -> t
 (** Fresh network with its own engine and a deterministic RNG
     ([seed] defaults to 42).  [tracer] (default {!Sim.Trace.disabled})
     is shared by the engine, every node created via {!add_node} and the
     links built by {!connect}: enabling it makes the whole stack emit —
     engine dispatch, CS operations, interest/data hops and per-link
-    latency draws ([link.tx] records carry the sampled [delay_ms]). *)
+    latency draws ([link.tx] records carry the sampled [delay_ms]).
+
+    [shards]: when given (even [~shards:1]), the network runs in
+    {e shard mode} on a {!Sim.Shard} partition of [shards] shard-local
+    engines.  Nodes are assigned to shards by a platform-independent
+    hash of their label, every event is keyed with a
+    shard-count-invariant [(node, counter)] pair, link directions draw
+    from per-direction split RNGs, and {!run} advances the partition in
+    conservative lookahead windows — so traces, counters and
+    measurements are byte-identical for {e any} shard count, but differ
+    (by design) from legacy mode's single global event order.  Omitting
+    [shards] keeps the legacy single-engine path byte-for-byte
+    unchanged.  [engine t] is shard 0's engine; drivers in shard mode
+    must schedule through {!Node.schedule_app} rather than directly on
+    an engine.  Shard-mode traces omit per-engine [engine.step] records
+    (they are partition-dependent bookkeeping, not simulation
+    semantics).
+    @raise Invalid_argument if [shards < 1]. *)
+
+val is_sharded : t -> bool
+
+val shard_count : t -> int
+(** Number of shard engines ([1] in legacy mode). *)
+
+val events_processed : t -> int
+(** Total events fired — across all shard engines in shard mode. *)
 
 val engine : t -> Sim.Engine.t
 
@@ -105,7 +130,11 @@ val install_faults : t -> Sim.Fault.schedule -> (unit, string) result
     with [state=restored]).  On [Error _] nothing was scheduled. *)
 
 val run : ?until:float -> t -> unit
-(** Drain the event queue (bounded by [until] when given). *)
+(** Drain the event queue (bounded by [until] when given).  In shard
+    mode this advances the {!Sim.Shard} partition — spawning
+    [shards - 1] domains for the duration of the call — and then
+    stitches the shard trace buffers into the network tracer in global
+    [(time, key)] order. *)
 
 val fetch_rtt :
   t ->
@@ -142,26 +171,27 @@ type producer_config = {
 val default_producer_config : producer_config
 
 val lan :
-  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
-  probe_setup
-(** Figure 3(a): U and Adv on Fast Ethernet to R; P behind R. *)
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> ?producer:producer_config ->
+  unit -> probe_setup
+(** Figure 3(a): U and Adv on Fast Ethernet to R; P behind R.  [shards]
+    (here and on every builder below) is forwarded to {!create}. *)
 
 val wan :
-  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
-  probe_setup
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> ?producer:producer_config ->
+  unit -> probe_setup
 (** Figure 3(b): U and Adv several (2) hops from the shared R; P three
     hops from R.  Intermediate hops are caching NDN routers. *)
 
 val wan_producer :
-  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
-  probe_setup
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> ?producer:producer_config ->
+  unit -> probe_setup
 (** Figure 3(c): P directly connected to R; U and Adv three long-haul
     hops away — the producer-privacy setting where hit and miss
     distributions overlap heavily. *)
 
 val local_host :
-  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
-  probe_setup
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> ?producer:producer_config ->
+  unit -> probe_setup
 (** Figure 3(d): honest applications and a malicious application share
     one host's forwarder; [user == adversary] is the host node and
     [router] is that same host (its local Content Store is the probed
@@ -186,7 +216,8 @@ type conversation_setup = {
   bob_key : string;
 }
 
-val conversation : ?seed:int -> ?tracer:Sim.Trace.t -> unit -> conversation_setup
+val conversation :
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> unit -> conversation_setup
 (** Alice, Bob and the adversary all attached to one router over
     Fast Ethernet; routes installed for both parties' prefixes.  No
     producers are registered — callers attach session endpoints (see
@@ -213,8 +244,8 @@ type edge_core_setup = {
 }
 
 val edge_core :
-  ?seed:int -> ?tracer:Sim.Trace.t -> ?producer:producer_config -> unit ->
-  edge_core_setup
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> ?producer:producer_config ->
+  unit -> edge_core_setup
 (** victim, adversary — edge1 — core — P; remote consumer — edge2 —
     core.  The core-to-producer link is slow (tens of ms), so core
     caching matters to remote consumers — which is exactly what an

@@ -60,6 +60,16 @@ type t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
   tracer : Sim.Trace.t;
+  (* Shard-mode identity: [sid] is the node's creation-order index
+     ([-1] in legacy unsharded networks) and [shard] the engine it was
+     assigned to.  In shard mode every event this node schedules is
+     keyed with [(sid, kseq++)] packed into one int — a globally unique
+     key whose order depends only on node creation order and per-node
+     history, never on the partition — which is what makes the heap pop
+     order (and thus the whole simulation) shard-count-invariant. *)
+  sid : int;
+  shard : int;
+  mutable kseq : int;
   cs : unit Content_store.t;
   pit : Pit.t;
   fib : Fib.t;
@@ -80,7 +90,7 @@ type t = {
 let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
     ?(cs_capacity = 0) ?(cs_policy = Eviction.Lru) ?(pit_lifetime_ms = 4000.)
     ?(forwarding_delay = Sim.Latency.Constant 0.02) ?(honor_scope = true)
-    ?(caching = true) () =
+    ?(caching = true) ?(sid = -1) ?(shard = 0) () =
   let cs_rng =
     match cs_policy with Eviction.Random_replacement -> Some (Sim.Rng.split rng) | _ -> None
   in
@@ -89,6 +99,9 @@ let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
     engine;
     rng;
     tracer;
+    sid;
+    shard;
+    kseq = 0;
     cs =
       Content_store.create ~policy:cs_policy ?rng:cs_rng ~tracer ~owner:label
         ~capacity:cs_capacity ();
@@ -134,6 +147,34 @@ let trace t kind name attrs =
 
 let label t = t.label
 let engine t = t.engine
+let tracer t = t.tracer
+let shard t = t.shard
+
+(* Event-key packing: 41 bits of per-node counter under 21+ bits of
+   node id keeps keys positive, unique and ordered by (sid, kseq) in a
+   63-bit int — ~2M nodes and ~2.2e12 events per node before
+   overflow. *)
+let key_bits = 41
+
+let fresh_event_key t =
+  let k = (t.sid lsl key_bits) lor t.kseq in
+  t.kseq <- t.kseq + 1;
+  k
+
+(* All of this node's event scheduling funnels through these two: the
+   legacy path is byte-for-byte the engine's FIFO counter (pinned by
+   the golden traces), the shard path the partition-invariant key. *)
+let sched t ~delay f =
+  if t.sid < 0 then Sim.Engine.schedule t.engine ~delay f
+  else Sim.Engine.schedule_key t.engine ~delay ~key:(fresh_event_key t) f
+
+let sched_at t ~time f =
+  if t.sid < 0 then Sim.Engine.schedule_at t.engine ~time f
+  else Sim.Engine.schedule_key_at t.engine ~time ~key:(fresh_event_key t) f
+
+let schedule_app t ~delay f = ignore (sched t ~delay f)
+
+let schedule_app_at t ~time f = ignore (sched_at t ~time f)
 let content_store t = t.cs
 let pit t = t.pit
 let fib t = t.fib
@@ -184,13 +225,13 @@ let send_data t ~face data =
       trace t Sim.Trace.Data_sent data.Data.name
         [ ("face", string_of_int face) ];
       ignore
-        (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
+        (sched t ~delay:(proc_delay t) (fun () ->
              send (Packet.Data data)))
     | Local_app ->
       t.c.data_sent <- t.c.data_sent + 1;
       trace t Sim.Trace.Data_sent data.Data.name [ ("face", "local") ];
       ignore
-        (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
+        (sched t ~delay:(proc_delay t) (fun () ->
              dispatch_local t data))
     | Producer_app _ -> () (* producers do not consume data *)
 
@@ -211,7 +252,7 @@ let rec send_interest_on_face t ~face interest =
       trace t Sim.Trace.Interest_forwarded interest.Interest.name
         [ ("face", string_of_int face) ];
       ignore
-        (Sim.Engine.schedule t.engine ~delay:(proc_delay t) (fun () ->
+        (sched t ~delay:(proc_delay t) (fun () ->
              send (Packet.Interest interest)));
       true)
   | Producer_app { handler; delay } -> (
@@ -227,7 +268,7 @@ let rec send_interest_on_face t ~face interest =
       | None -> false
       | Some data ->
         ignore
-          (Sim.Engine.schedule t.engine
+          (sched t
              ~delay:(delay *. t.production_factor)
              (fun () ->
                (* The produced object behaves as data arriving on the
@@ -261,7 +302,7 @@ and handle_data_alive t ~face data =
       List.iter (fun f -> if f <> face then send_data t ~face:f data) faces
     else
       ignore
-        (Sim.Engine.schedule t.engine ~delay:pad (fun () ->
+        (sched t ~delay:pad (fun () ->
              List.iter (fun f -> if f <> face then send_data t ~face:f data) faces))
   end
 
@@ -278,7 +319,7 @@ let forward_as_miss t ~face interest =
   | Pit.Forward -> (
     (* Arm a sweep so abandoned entries do not linger forever. *)
     ignore
-      (Sim.Engine.schedule t.engine ~delay:(t.pit_lifetime_ms +. 1.) (fun () ->
+      (sched t ~delay:(t.pit_lifetime_ms +. 1.) (fun () ->
            let dropped = Pit.expire t.pit ~now:(Sim.Engine.now t.engine) in
            List.iter (fun n -> trace t Sim.Trace.Pit_timeout n []) dropped));
     let hops = Fib.next_hops t.fib name in
@@ -303,7 +344,7 @@ let handle_interest_alive t ~face interest =
       t.c.delayed_responses <- t.c.delayed_responses + 1;
       let data = entry.Content_store.data in
       ignore
-        (Sim.Engine.schedule t.engine ~delay (fun () -> send_data t ~face data))
+        (sched t ~delay (fun () -> send_data t ~face data))
     | Treat_as_miss -> forward_as_miss t ~face interest)
   | None ->
     t.strat.note_miss ~now interest;
@@ -326,6 +367,13 @@ let add_producer t ~prefix ?(production_delay_ms = 0.1) handler =
 
 let express_interest t ?scope ?(consumer_private = false) ?timeout_ms ~on_data
     ?(on_timeout = fun () -> ()) name =
+  (* Shard mode: claim a fresh trace-stitch key for this expression.
+     When called from a root context (a driver between runs) this gives
+     its emissions their own slot in the cross-shard total order; when
+     called from inside an event, overriding the event's key is equally
+     shard-count-invariant because it happens at the same point of the
+     node's deterministic history either way. *)
+  if t.sid >= 0 then Sim.Engine.set_cur_key t.engine (fresh_event_key t);
   let now = Sim.Engine.now t.engine in
   let timeout_ms = Option.value timeout_ms ~default:t.pit_lifetime_ms in
   let cell =
@@ -343,7 +391,7 @@ let express_interest t ?scope ?(consumer_private = false) ?timeout_ms ~on_data
         on_data;
         on_timeout;
         timeout_handle =
-          Sim.Engine.schedule t.engine ~delay:timeout_ms (fun () ->
+          sched t ~delay:timeout_ms (fun () ->
               (* Give up: unregister this expression and notify. *)
               let p = Lazy.force pending in
               (match Name_trie.find t.pending_local name with

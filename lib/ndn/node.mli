@@ -55,9 +55,19 @@ val create :
   ?forwarding_delay:Sim.Latency.t ->
   ?honor_scope:bool ->
   ?caching:bool ->
+  ?sid:int ->
+  ?shard:int ->
   unit ->
   t
-(** [tracer] (default {!Sim.Trace.disabled}): when enabled the node
+(** [sid]/[shard] (defaults [-1]/[0]) put the node in {e shard mode}:
+    with [sid >= 0] every event it schedules is keyed with the packed
+    [(sid, per-node counter)] pair via {!Sim.Engine.schedule_key}, so
+    pop order is invariant under [Sim.Shard] partitioning.  [sid] must
+    then be globally unique (creation order) and [shard] names the
+    engine's shard.  Legacy networks leave both at their defaults and
+    are byte-for-byte unchanged.
+
+    [tracer] (default {!Sim.Trace.disabled}): when enabled the node
     emits [interest.recv]/[interest.fwd]/[interest.collapsed],
     [data.recv]/[data.sent] and [pit.timeout] records tagged with
     [label], and its Content Store emits the [cs.*] family.
@@ -120,6 +130,31 @@ val production_factor : t -> float
 val label : t -> string
 
 val engine : t -> Sim.Engine.t
+
+val tracer : t -> Sim.Trace.t
+(** The tracer passed at creation — in shard mode, the node's shard
+    tracer, which is where code acting on this node's behalf (link
+    delivery, fault application, countermeasure wrappers) must emit so
+    records land in the right stitch buffer. *)
+
+val shard : t -> int
+(** The shard index passed at creation ([0] for legacy nodes). *)
+
+val fresh_event_key : t -> int
+(** Next packed [(sid, counter)] event key, consuming one counter
+    step.  For network plumbing that schedules on the node's behalf
+    (cross-shard link delivery); application code should use
+    {!schedule_app} instead.  Only meaningful in shard mode. *)
+
+val schedule_app : t -> delay:float -> (unit -> unit) -> unit
+(** Schedule driver/application work on this node's engine, keyed with
+    the node's own event key in shard mode and with the engine's FIFO
+    counter otherwise.  Anything a driver wants to run "on a node" in a
+    sharded network must go through this (or {!schedule_app_at}) so the
+    event order stays shard-count-invariant. *)
+
+val schedule_app_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant of {!schedule_app}. *)
 
 val content_store : t -> unit Content_store.t
 

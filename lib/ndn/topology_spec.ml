@@ -1092,10 +1092,10 @@ let build_generate b (d : generate_decl) =
    declaration-order rule as routes — so install errors stay local. *)
 let build_fault b e = Network.install_faults b.net [ e ]
 
-let build ?(seed = 42) ?tracer spec =
+let build ?(seed = 42) ?tracer ?shards spec =
   let b =
     {
-      net = Network.create ~seed ?tracer ();
+      net = Network.create ~seed ?tracer ?shards ();
       decls_rev = [];
       names = Hashtbl.create 64;
       faces = Hashtbl.create 16;
@@ -1129,17 +1129,17 @@ let build ?(seed = 42) ?tracer spec =
   in
   go spec
 
-let parse ?seed ?tracer text =
+let parse ?seed ?tracer ?shards text =
   let* spec = parse_spec text in
-  build ?seed ?tracer spec
+  build ?seed ?tracer ?shards spec
 
-let parse_file ?seed ?tracer ~path () =
+let parse_file ?seed ?tracer ?shards ~path () =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
       let text = really_input_string ic n in
-      parse ?seed ?tracer text)
+      parse ?seed ?tracer ?shards text)
 
 let parse_latency s = parse_latency s

@@ -167,18 +167,23 @@ val print : spec -> string
     identical value.  [parse_spec (print s) = Ok s] up to line
     numbers. *)
 
-val build : ?seed:int -> ?tracer:Sim.Trace.t -> spec -> (t, string) result
+val build :
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> spec -> (t, string) result
 (** Instantiate the network ([seed] defaults to 42; [tracer] — default
     {!Sim.Trace.disabled} — is threaded to the engine, every node and
-    every link).  Semantic errors (duplicate node, undeclared endpoint,
-    route without a link) carry the offending directive's line
-    number. *)
+    every link; [shards] is forwarded to {!Network.create}, putting the
+    whole build in shard mode).  Semantic errors (duplicate node,
+    undeclared endpoint, route without a link) carry the offending
+    directive's line number. *)
 
-val parse : ?seed:int -> ?tracer:Sim.Trace.t -> string -> (t, string) result
+val parse :
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> string ->
+  (t, string) result
 (** [parse_spec] followed by [build]. *)
 
 val parse_file :
-  ?seed:int -> ?tracer:Sim.Trace.t -> path:string -> unit -> (t, string) result
+  ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> path:string -> unit ->
+  (t, string) result
 
 val parse_latency : string -> (Sim.Latency.t, string) result
 (** The latency sub-grammar, exposed for reuse and tests. *)

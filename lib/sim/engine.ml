@@ -2,13 +2,21 @@ type state = Pending | Fired | Cancelled
 
 type t = {
   queue : handle Heap.t;
-  (* The virtual clock lives in a one-element float array rather than a
-     mutable float field: a mixed record's float field is a pointer to
-     a box, so every assignment would allocate a fresh box and pay a
-     write barrier — once per event.  A float-array store is unboxed
-     and barrier-free. *)
+  (* The virtual clock lives in a float array rather than a mutable
+     float field: a mixed record's float field is a pointer to a box,
+     so every assignment would allocate a fresh box and pay a write
+     barrier — once per event.  A float-array store is unboxed and
+     barrier-free.  Slot 0 is the clock; slot 1 is the time of the last
+     event that actually executed (used by [Sim.Shard] to compute a
+     shard-count-invariant finish time). *)
   clock : float array;
   mutable next_seq : int;
+  (* Heap key of the event currently being dispatched (or, between
+     events, of whatever root context last claimed the key via
+     [set_cur_key]).  [Sim.Shard]'s trace stitcher tags every trace
+     record with this so records can be merged across shards in a
+     shard-count-invariant total order. *)
+  mutable cur_key : int;
   mutable processed : int;
   (* Live events: scheduled, not yet fired, not cancelled.  Maintained
      at schedule/fire/cancel time, so the pop path drops lazily
@@ -41,8 +49,9 @@ let create ?(tracer = Trace.disabled) () =
   let rec eng =
     {
       queue = Heap.create ();
-      clock = [| 0. |];
+      clock = [| 0.; 0. |];
       next_seq = 0;
+      cur_key = 0;
       processed = 0;
       live = 0;
       free = nil;
@@ -53,6 +62,15 @@ let create ?(tracer = Trace.disabled) () =
   eng
 
 let now t = Array.unsafe_get t.clock 0
+
+let last_fire_time t = Array.unsafe_get t.clock 1
+
+let advance_clock_to t time =
+  if time > Array.unsafe_get t.clock 0 then Array.unsafe_set t.clock 0 time
+
+let cur_key t = t.cur_key
+
+let set_cur_key t key = t.cur_key <- key
 
 let tracer t = t.tracer
 
@@ -65,7 +83,7 @@ let recycle t h =
   h.next_free <- t.free;
   t.free <- h
 
-let schedule_at t ~time f =
+let add_event t ~time ~seq f =
   let clk = Array.unsafe_get t.clock 0 in
   let time = if time < clk then clk else time in
   let h =
@@ -80,14 +98,24 @@ let schedule_at t ~time f =
     end
     else { state = Pending; action = f; owner = t; next_free = t.nil }
   in
-  Heap.add t.queue ~time ~seq:t.next_seq h;
-  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue ~time ~seq h;
   t.live <- t.live + 1;
+  h
+
+let schedule_at t ~time f =
+  let h = add_event t ~time ~seq:t.next_seq f in
+  t.next_seq <- t.next_seq + 1;
   h
 
 let schedule t ~delay f =
   let delay = if delay < 0. then 0. else delay in
   schedule_at t ~time:(Array.unsafe_get t.clock 0 +. delay) f
+
+let schedule_key_at t ~time ~key f = add_event t ~time ~seq:key f
+
+let schedule_key t ~delay ~key f =
+  let delay = if delay < 0. then 0. else delay in
+  schedule_key_at t ~time:(Array.unsafe_get t.clock 0 +. delay) ~key f
 
 let cancel h =
   match h.state with
@@ -107,6 +135,7 @@ let fire t h =
   h.state <- Fired;
   t.processed <- t.processed + 1;
   t.live <- t.live - 1;
+  Array.unsafe_set t.clock 1 (Array.unsafe_get t.clock 0);
   let action = h.action in
   recycle t h;
   if Trace.enabled t.tracer then
@@ -127,6 +156,7 @@ let fire t h =
 let step t =
   if Heap.is_empty t.queue then false
   else begin
+    t.cur_key <- Heap.min_seq t.queue;
     let h = Heap.pop_min_elt_writing_time t.queue ~time_into:t.clock in
     (match h.state with
     | Cancelled -> recycle t h
@@ -144,6 +174,7 @@ let run ?until ?max_events t =
        traversal: one unboxed bound test, one sift, and the clock
        written in place of a boxed-float hand-off. *)
     if Heap.min_before t.queue limit then begin
+      t.cur_key <- Heap.min_seq t.queue;
       let h = Heap.pop_min_elt_writing_time t.queue ~time_into:t.clock in
       match h.state with
       | Cancelled ->
@@ -168,5 +199,10 @@ let run ?until ?max_events t =
   done
 
 let pending t = t.live
+
+let has_queued t = not (Heap.is_empty t.queue)
+
+let next_event_time t =
+  if Heap.is_empty t.queue then Float.infinity else Heap.min_time t.queue
 
 let events_processed t = t.processed

@@ -47,6 +47,31 @@ val schedule_at : t -> time:float -> (unit -> unit) -> handle
 (** Absolute-time variant of {!schedule}.  Times in the past are clamped
     to the current instant. *)
 
+val schedule_key : t -> delay:float -> key:int -> (unit -> unit) -> handle
+(** {!schedule} with an explicit heap tie-break key instead of the
+    engine's private insertion counter.  Same-instant events fire in
+    ascending [key] order.  Used by {!Sim.Shard}-mode networks, which
+    key every event with a globally unique [(node id, per-node counter)]
+    pair so that pop order — and therefore the whole simulation — is
+    invariant under the partitioning of nodes into shards.  Callers
+    must never mix keyed and unkeyed scheduling on one engine: the
+    engine's internal counter would collide with packed keys. *)
+
+val schedule_key_at : t -> time:float -> key:int -> (unit -> unit) -> handle
+(** Absolute-time variant of {!schedule_key}. *)
+
+val cur_key : t -> int
+(** Heap key of the event currently being dispatched (or the value most
+    recently installed with {!set_cur_key}).  {!Sim.Shard} tags trace
+    records with this to stitch per-shard buffers into a
+    shard-count-invariant total order. *)
+
+val set_cur_key : t -> int -> unit
+(** Claim the current key from a root context (code running between
+    events, e.g. a driver expressing an interest directly), so trace
+    records it causes sort under a fresh unique key rather than under
+    whatever event happened to run last. *)
+
 val cancel : handle -> unit
 (** Disarm a scheduled event.  Cancelling an already-fired or
     already-cancelled event is a no-op — but see the recycling caveat
@@ -72,6 +97,29 @@ val pending : t -> int
 (** Number of {e live} queued events: scheduled, not yet fired and not
     cancelled.  (Cancelled events physically stay in the queue until
     their instant passes, but they are not counted here.) *)
+
+val has_queued : t -> bool
+(** Whether any event (live or lazily cancelled) is still physically
+    queued.  This is the condition legacy [run ~until] uses to decide
+    whether to advance the clock to the limit; {!Sim.Shard} needs the
+    same predicate across all shard engines to compute a
+    shard-count-invariant finish time. *)
+
+val next_event_time : t -> float
+(** Time key of the earliest queued event, or [infinity] when the queue
+    is empty.  Read by {!Sim.Shard} to agree on the next global
+    lookahead window. *)
+
+val last_fire_time : t -> float
+(** Time of the last event that actually executed ([0.] before any
+    has).  Unlike {!now}, this is not disturbed by [run ~until] clamping
+    the clock, which makes it the shard-count-invariant ingredient of
+    {!Sim.Shard}'s finish-time rule. *)
+
+val advance_clock_to : t -> float -> unit
+(** Push the clock forward to the given time if it is ahead of {!now}
+    (never backwards).  {!Sim.Shard} realigns all shard engines to one
+    agreed finish time after a windowed run. *)
 
 val events_processed : t -> int
 (** Total events executed since creation. *)

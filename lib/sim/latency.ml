@@ -21,6 +21,22 @@ let rec sample t rng =
   in
   if v < 0. then 0. else v
 
+(* Greatest lower bound of [sample]: no draw can come out below this.
+   [Sim.Shard] derives its conservative lookahead window from the
+   minimum over all cross-shard links, so the bound must be sound
+   (never above any possible sample) — mirroring [sample]'s final
+   clamp, it is never negative. *)
+let lower_bound t =
+  let rec lb = function
+    | Constant d -> d
+    | Uniform { lo; _ } -> lo
+    | Normal { min; _ } -> min
+    | Shifted_exponential { shift; _ } -> shift
+    | Sum parts -> List.fold_left (fun acc p -> acc +. lb p) 0. parts
+  in
+  let v = lb t in
+  if v < 0. then 0. else v
+
 let rec mean = function
   | Constant d -> d
   | Uniform { lo; hi } -> (lo +. hi) /. 2.

@@ -23,6 +23,13 @@ type t =
 val sample : t -> Rng.t -> float
 (** Draw one latency in milliseconds.  Always [>= 0.]. *)
 
+val lower_bound : t -> float
+(** Greatest lower bound of {!sample}: no draw is ever below it, and it
+    is never negative.  {!Sim.Shard} computes its conservative
+    lookahead window as the minimum [lower_bound] over cross-shard
+    links, so a model whose bound is [0.] (e.g. [Constant 0.]) cannot
+    cross shards. *)
+
 val mean : t -> float
 (** Analytic mean of the model (truncation of [Normal] is ignored: with
     sensible parameters its effect is negligible, and the value is used

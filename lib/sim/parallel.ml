@@ -9,6 +9,29 @@
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* Both fan-out axes — trial workers here, shard domains in
+   [Sim.Shard] — multiply, and each sharded trial spins its shard
+   domains concurrently with every other trial's.  [Shard.run] worker
+   domains busy-wait at window barriers, so oversubscription does not
+   just time-slice: spinning domains steal the cycles the simulating
+   domains need, and throughput collapses.  The budget below allows
+   either axis alone to reach the hardware count (a lone sharded trial
+   may legitimately use every core, whatever [jobs] clamping already
+   did), but refuses combinations whose product exceeds it. *)
+let check_domains ~jobs ~shards =
+  if jobs < 1 then invalid_arg "Parallel.check_domains: jobs < 1";
+  if shards < 1 then invalid_arg "Parallel.check_domains: shards < 1";
+  let avail = default_jobs () in
+  let budget = max avail (max jobs shards) in
+  if jobs * shards > budget then
+    Error
+      (Printf.sprintf
+         "domain budget exceeded: %d trial worker(s) x %d shard(s) = %d \
+          domains, but only %d hardware thread(s) are available; lower \
+          --jobs or --shards so their product fits"
+         jobs shards (jobs * shards) avail)
+  else Ok ()
+
 (* Worker protocol: claim the next unclaimed index until none remain.
    The first exception (by claim order on that worker) is captured and
    re-raised on the caller once every domain has been joined, so no

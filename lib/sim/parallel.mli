@@ -23,6 +23,17 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: one worker per hardware
     thread the runtime believes is available (at least 1). *)
 
+val check_domains : jobs:int -> shards:int -> (unit, string) result
+(** Guard against multiplying the two fan-out axes past the hardware:
+    [jobs] trial workers each running a [shards]-domain {!Sim.Shard}
+    network occupy [jobs * shards] domains at once, and the shard
+    workers busy-wait at window barriers, so oversubscribing collapses
+    throughput instead of merely time-slicing.  Returns [Error msg]
+    when the product exceeds [max (default_jobs ()) (max jobs shards)]
+    — either axis alone may reach the hardware count (or exceed it when
+    the caller explicitly asked for that axis), but not both
+    multiplied.  Raises [Invalid_argument] if either count is [< 1]. *)
+
 val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [map ~jobs n f] computes [|f 0; ...; f (n-1)|] on a pool of at most
     [jobs] domains ([jobs] defaults to {!default_jobs}; values [< 1]

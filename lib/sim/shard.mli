@@ -1,0 +1,97 @@
+(** Conservative intra-trial multicore sharding.
+
+    {!Parallel} runs independent trials on separate domains; this
+    module parallelizes {e one} trial: the caller partitions its node
+    set into [K] shard-local {!Engine}s (one OCaml domain each), keys
+    every event with a globally unique [(node id, per-node counter)]
+    pair via {!Engine.schedule_key}, and routes cross-shard deliveries
+    through {!send}.  {!run} then advances all shards in conservative
+    lookahead windows (classic null-message/time-bucket design): the
+    window width is the minimum {!Latency.lower_bound} over cross-shard
+    links (as registered with {!note_min_link_delay}), so no shard can
+    ever receive a message dated inside a window it already executed.
+
+    {b Determinism.}  Pop order on each engine is total on
+    [(time, key)] and the keys are partition-independent, so every
+    node processes the identical event sequence for any shard count;
+    trace records are tagged with the emitting event's key and
+    {!flush_trace} stitches the per-shard buffers by [(time, tag)] into
+    one byte stream.  [Ndn.Network] builds on this to make
+    [--shards N] byte-identical to [--shards 1].
+
+    {b Threading rules.}  Between two {!run} calls everything belongs
+    to the calling domain.  During {!run}, shard [i]'s engine (and the
+    nodes living on it) must only be touched from shard [i]'s events;
+    the only legal cross-shard channel is {!send}. *)
+
+type t
+
+val create : ?traced:bool -> shards:int -> unit -> t
+(** [shards] engines with fresh clocks.  When [traced] (default
+    [false]), each shard gets an enabled sink {!tracer} that buffers
+    tagged records for {!flush_trace}; otherwise all shard tracers are
+    {!Trace.disabled}.  Engine-level [engine.step] records are never
+    emitted in shard mode: queue depth and processed counts are
+    per-engine quantities and would differ across shard counts.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shards : t -> int
+
+val engine : t -> int -> Engine.t
+(** The engine hosting shard [i]. *)
+
+val tracer : t -> int -> Trace.t
+(** The tracer to hand to every node assigned to shard [i]. *)
+
+val assign : t -> string -> int
+(** Fixed hash-based shard assignment (FNV-1a of the label, mod
+    shard count) — platform- and run-independent. *)
+
+val note_min_link_delay : t -> float -> unit
+(** Register a cross-shard link's minimum one-way delay
+    ({!Latency.lower_bound}).  The lookahead window is the minimum over
+    all registered delays.  While it is unregistered ([infinity]) no
+    cross-shard link exists, so {!run} executes the shards one after
+    the other on the calling domain; {!run} refuses to start when the
+    registered lookahead is not positive. *)
+
+val note_latency_factor : t -> float -> unit
+(** Register a fault-schedule latency degradation factor [< 1.]: a
+    [Link_degrade] that {e speeds up} a link shrinks the soundness
+    bound, so the lookahead is scaled down by the smallest factor ever
+    registered. *)
+
+val send :
+  t -> src:int -> dst:int -> time:float -> key:int -> (unit -> unit) -> unit
+(** Enqueue a cross-shard delivery: [f] will execute on shard [dst]'s
+    engine at [time] with heap tie-break [key].  Must only be called
+    from shard [src]'s domain (or from the calling domain between
+    runs), with [time >= sender's now + the registered minimum link
+    delay].  Queues are bounded; overflowing one lookahead window
+    raises [Failure]. *)
+
+val run : ?until:float -> t -> unit
+(** Advance all shards in lookahead windows until globally quiescent
+    (or until the horizon, leaving later events queued).  Spawns
+    [shards - 1] domains for the duration of the call; combined with
+    {!Parallel} trial workers, budget them via
+    {!Parallel.check_domains}.  On return all shard clocks are aligned
+    to one shard-count-invariant finish time.  An exception raised by
+    any shard's event stops every shard at the next window boundary and
+    is re-raised here. *)
+
+val flush_trace : t -> into:Trace.t -> unit
+(** Stitch and clear all per-shard tagged trace buffers: records are
+    emitted into [into] sorted by [(time, tag)] — a total order
+    independent of the shard count.  Call between {!run}s (never during
+    one). *)
+
+val now : t -> float
+(** The aligned clock (all shards agree between runs). *)
+
+val events_processed : t -> int
+(** Total events executed across all shard engines. *)
+
+val pending : t -> int
+(** Live queued events across all shard engines (cross-shard messages
+    still in flight between runs are not counted). *)

@@ -98,22 +98,25 @@ let rec schedule_next t =
     match t.until with
     | Some stop_at when fire > stop_at -> t.active <- false
     | _ ->
-      ignore
-        (Sim.Engine.schedule t.engine ~delay:dt (fun () ->
-             if t.active then begin
-               let u = Sim.Rng.float t.rng 1. in
-               if u *. peak <= rate_at t.config (Sim.Engine.now t.engine) then
-                 issue t;
-               schedule_next t
-             end))
+      (* Keyed through the node so the arrival events stay ordered
+         shard-count-invariantly when the node lives in a Sim.Shard
+         partition (a plain engine FIFO tie-break would depend on what
+         else shares the engine). *)
+      Ndn.Node.schedule_app t.node ~delay:dt (fun () ->
+          if t.active then begin
+            let u = Sim.Rng.float t.rng 1. in
+            if u *. peak <= rate_at t.config (Sim.Engine.now t.engine) then
+              issue t;
+            schedule_next t
+          end)
   end
 
-let attach config ~engine ~node ~prefix ~rng ?until () =
+let attach config ~node ~prefix ~rng ?until () =
   validate config;
   let t =
     {
       config;
-      engine;
+      engine = Ndn.Node.engine node;
       node;
       prefix;
       rng;

@@ -50,7 +50,6 @@ type t
 
 val attach :
   config ->
-  engine:Sim.Engine.t ->
   node:Ndn.Node.t ->
   prefix:Ndn.Name.t ->
   rng:Sim.Rng.t ->
@@ -58,7 +57,9 @@ val attach :
   unit ->
   t
 (** Start the stream: schedules the first candidate arrival on
-    [engine] and thereafter self-perpetuates via Ogata thinning
+    [node]'s engine — through {!Ndn.Node.schedule_app}, so the stream
+    is shard-count-invariant when the node lives in a [Sim.Shard]
+    partition — and thereafter self-perpetuates via Ogata thinning
     (candidates at the peak rate, accepted with probability
     [rate(t)/peak]) — so the sequence of RNG draws is independent of
     how many candidates are rejected, and two configs differing only

@@ -1,0 +1,3 @@
+let d = Domain.spawn (fun () -> 0)
+let m = Mutex.create ()
+let a = Atomic.make 0

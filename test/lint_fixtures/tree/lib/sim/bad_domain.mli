@@ -1,0 +1,3 @@
+val d : int Domain.t
+val m : Mutex.t
+val a : int Atomic.t

@@ -27,6 +27,9 @@ let golden_jsonl =
     {|{"rule":"D5","severity":"error","file":"lib/sim/bad_compare.ml","line":2,"col":20,"message":"polymorphic Hashtbl.hash in a key-bearing library; hash a canonical scalar (e.g. the key string) or use the key module's hash","status":"active"}|};
     {|{"rule":"D5","severity":"error","file":"lib/sim/bad_compare.ml","line":2,"col":37,"message":"polymorphic Hashtbl.hash in a key-bearing library; hash a canonical scalar (e.g. the key string) or use the key module's hash","status":"active"}|};
     {|{"rule":"D6","severity":"error","file":"lib/sim/bad_compare.ml","line":3,"col":17,"message":"structural (=) on an abstract key value; use the key module's equal/compare so representation changes cannot silently alter results","status":"active"}|};
+    {|{"rule":"D8","severity":"error","file":"lib/sim/bad_domain.ml","line":1,"col":8,"message":"raw Domain use in lib/; all concurrency must flow through Sim.Parallel (trial fan-out) or Sim.Shard (intra-trial sharding), which centralize the determinism argument — ad-hoc domains, locks or atomics can reorder events with the scheduler","status":"active"}|};
+    {|{"rule":"D8","severity":"error","file":"lib/sim/bad_domain.ml","line":2,"col":8,"message":"raw Mutex use in lib/; all concurrency must flow through Sim.Parallel (trial fan-out) or Sim.Shard (intra-trial sharding), which centralize the determinism argument — ad-hoc domains, locks or atomics can reorder events with the scheduler","status":"active"}|};
+    {|{"rule":"D8","severity":"error","file":"lib/sim/bad_domain.ml","line":3,"col":8,"message":"raw Atomic use in lib/; all concurrency must flow through Sim.Parallel (trial fan-out) or Sim.Shard (intra-trial sharding), which centralize the determinism argument — ad-hoc domains, locks or atomics can reorder events with the scheduler","status":"active"}|};
     {|{"rule":"D4","severity":"error","file":"lib/sim/bad_env.ml","line":1,"col":14,"message":"Sys.getenv in lib/: environment must not influence simulation results; plumb configuration through function arguments","status":"active"}|};
     {|{"rule":"D4","severity":"error","file":"lib/sim/bad_env.ml","line":2,"col":15,"message":"Sys.getenv_opt in lib/: environment must not influence simulation results; plumb configuration through function arguments","status":"active"}|};
     {|{"rule":"D7","severity":"warning","file":"lib/sim/bad_hashtbl.ml","line":1,"col":15,"message":"Hashtbl.iter iterates in hash order; sort before anything order-sensitive (or suppress with a pragma/allowlist entry explaining why the order cannot leak)","status":"active"}|};

@@ -353,7 +353,7 @@ let aggregate_trial ~trial ~rng =
     List.map
       (fun i ->
         let r = Sim.Rng.split rng in
-        Workload.Aggregate.attach config ~engine
+        Workload.Aggregate.attach config
           ~node:(TS.node topo (TS.Gen.node_label decl g i))
           ~prefix ~rng:r ~until:20_000. ())
       g.TS.Gen.edge_routers
@@ -401,7 +401,6 @@ let test_aggregate_empty_fault_schedule_identical () =
     let agg =
       Workload.Aggregate.attach
         { Workload.Aggregate.default with users = 500; req_per_user_per_hour = 72.; catalog = 40 }
-        ~engine
         ~node:(TS.node topo (TS.Gen.node_label decl g (List.hd g.TS.Gen.edge_routers)))
         ~prefix:(TS.Gen.prefix decl) ~rng ~until:30_000. ()
     in

@@ -299,6 +299,40 @@ let test_golden_attack_trace () =
     golden_attack_sha256
     (Ndn_crypto.Sha256.hex_digest rendered)
 
+(* The same canonical campaign under --shards 4.  Shard mode orders
+   same-time events by (node id, per-node counter) keys rather than the
+   legacy single-heap insertion order, so its bytes legitimately differ
+   from the legacy golden above — but they must be pinned just as hard:
+   one golden per execution mode, and within shard mode the bytes must
+   not depend on K (test_shard.ml sweeps K; here we pin K=4 against the
+   digest and against a --shards 1 rerun). *)
+let campaign_sharded ~shards =
+  Attack.Timing_experiment.run
+    ~make_setup:(fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ~shards ())
+    ~contents:8 ~runs:4 ~seed:11 ~jobs:1 ~shards ~trace:true ()
+
+let golden_sharded_attack_lines = 1664
+let golden_sharded_attack_sha256 =
+  "30ca93bd37efb8391669321567e34cc832e0674558562c9a1b676c07f0aba11a"
+
+let test_golden_sharded_attack_trace () =
+  let rendered =
+    Sim.Trace.render Sim.Trace.Jsonl
+      (campaign_sharded ~shards:4).Attack.Timing_experiment.trace
+  in
+  let lines =
+    String.split_on_char '\n' rendered |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "line count" golden_sharded_attack_lines
+    (List.length lines);
+  Alcotest.(check string) "sha256 of the sharded attack trace"
+    golden_sharded_attack_sha256
+    (Ndn_crypto.Sha256.hex_digest rendered);
+  Alcotest.(check string) "--shards 4 matches --shards 1"
+    (Sim.Trace.render Sim.Trace.Jsonl
+       (campaign_sharded ~shards:1).Attack.Timing_experiment.trace)
+    rendered
+
 let test_golden_probe_trace () =
   let rendered = Sim.Trace.render Sim.Trace.Jsonl (probe_trace ()) in
   let lines =
@@ -559,6 +593,8 @@ let () =
             test_golden_probe_trace;
           Alcotest.test_case "golden attack trace" `Slow
             test_golden_attack_trace;
+          Alcotest.test_case "golden sharded attack trace" `Slow
+            test_golden_sharded_attack_trace;
         ] );
       ( "topo",
         [

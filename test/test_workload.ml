@@ -512,9 +512,7 @@ let test_aggregate_zipf_gof () =
     }
   in
   let agg =
-    Workload.Aggregate.attach config
-      ~engine:(Ndn.Network.engine net)
-      ~node:n ~prefix ~rng ~until:60_000. ()
+    Workload.Aggregate.attach config ~node:n ~prefix ~rng ~until:60_000. ()
   in
   Ndn.Network.run net;
   let counts =
@@ -567,9 +565,7 @@ let test_aggregate_diurnal_modulation () =
     }
   in
   let agg =
-    Workload.Aggregate.attach config
-      ~engine:(Ndn.Network.engine net)
-      ~node:n ~prefix ~rng ~until:period ()
+    Workload.Aggregate.attach config ~node:n ~prefix ~rng ~until:period ()
   in
   Ndn.Network.run net ~until:(period /. 2.);
   let peak = Workload.Aggregate.requests_issued agg in
@@ -581,12 +577,10 @@ let test_aggregate_diurnal_modulation () =
     (peak > 2 * trough && trough > 0)
 
 let test_aggregate_validation () =
-  let net, n, prefix = aggregate_net () in
+  let _net, n, prefix = aggregate_net () in
   let attach config =
     ignore
-      (Workload.Aggregate.attach config
-         ~engine:(Ndn.Network.engine net)
-         ~node:n ~prefix
+      (Workload.Aggregate.attach config ~node:n ~prefix
          ~rng:(Sim.Rng.create 1)
          ~until:10. ())
   in

@@ -61,6 +61,13 @@ let all_rules =
       synopsis = "unordered Hashtbl.iter/fold in lib/ with no visible sort";
     };
     {
+      id = "D8";
+      severity = Error;
+      synopsis =
+        "raw concurrency primitive (Domain/Mutex/Condition/Atomic) outside \
+         Sim.Parallel / Sim.Shard";
+    };
+    {
       id = "T1";
       severity = Error;
       synopsis = "trace kind emitted but missing from the registry";
@@ -290,6 +297,9 @@ type file_ctx = {
   in_bin : bool;
   in_keyspace : bool;  (* lib/sim or lib/ndn: abstract keys live here *)
   is_rng_impl : bool;
+  is_domain_impl : bool;
+      (* lib/sim/parallel.ml and lib/sim/shard.ml: the only modules
+         allowed to touch Domain/Mutex/Condition/Atomic directly (D8). *)
   defines_compare : bool;
       (* The file binds a value named [compare] somewhere; unqualified
          [compare] then plausibly refers to it, so D5 stays quiet. *)
@@ -411,6 +421,15 @@ let scan_structure ctx ~key_modules ~registry ~emit ~record_kind str =
         "polymorphic Hashtbl.hash in a key-bearing library; hash a \
          canonical scalar (e.g. the key string) or use the key module's \
          hash"
+    | (("Domain" | "Mutex" | "Condition" | "Semaphore" | "Atomic") as m) :: _
+      when ctx.in_lib && not ctx.is_domain_impl ->
+      f "D8"
+        (Printf.sprintf
+           "raw %s use in lib/; all concurrency must flow through \
+            Sim.Parallel (trial fan-out) or Sim.Shard (intra-trial \
+            sharding), which centralize the determinism argument — \
+            ad-hoc domains, locks or atomics can reorder events with \
+            the scheduler" m)
     | [ "Hashtbl"; (("iter" | "fold") as fn) ]
       when ctx.in_lib && not !sort_in_item ->
       f "D7"
@@ -579,6 +598,8 @@ let lint cfg =
           String.starts_with ~prefix:"lib/sim/" rel
           || String.starts_with ~prefix:"lib/ndn/" rel;
         is_rng_impl = rel = "lib/sim/rng.ml";
+        is_domain_impl =
+          rel = "lib/sim/parallel.ml" || rel = "lib/sim/shard.ml";
         defines_compare = false;
         pragmas;
       }
