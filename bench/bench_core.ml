@@ -268,6 +268,41 @@ let cs_insert_workload policy () =
     done
 
 (* ------------------------------------------------------------------ *)
+(* PIT expiry sweep: steady state over a 4096-entry sliding window —
+   one insert + one [expire] call per op, lifetime 4096 ticks, so each
+   expire drops exactly the one entry crossing the horizon.  Guards
+   the FIFO expiry index: cost must stay O(expired), not a scan of the
+   live table (a rescan would pay ~window entries per op here).  The
+   8192-name universe keeps reinserted names distinct from their
+   long-expired predecessors. *)
+
+let pit_names =
+  lazy
+    (Array.init 8192 (fun i ->
+         Ndn.Name.of_string (Printf.sprintf "/bench/pit%d/entry/%d" (i mod 16) i)))
+
+let pit_expire_workload () =
+  let names = Lazy.force pit_names in
+  let pit = Ndn.Pit.create ~lifetime_ms:4096. () in
+  let tick = ref 0 in
+  for _ = 1 to 4096 do
+    incr tick;
+    ignore
+      (Ndn.Pit.insert pit ~now:(float_of_int !tick) ~face:1
+         ~nonce:(Int64.of_int !tick)
+         names.(!tick land 8191))
+  done;
+  fun ops ->
+    for _ = 1 to ops do
+      incr tick;
+      ignore
+        (Ndn.Pit.insert pit ~now:(float_of_int !tick) ~face:1
+           ~nonce:(Int64.of_int !tick)
+           names.(!tick land 8191));
+      ignore (Ndn.Pit.expire pit ~now:(float_of_int !tick))
+    done
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: one Figure 3 LAN campaign — every subsystem the rest of
    this file measures in isolation, composed. *)
 
@@ -353,6 +388,7 @@ let run ~quick () =
     (old_r, new_r)
   in
   let cs_hit = m ~label:"cs-hit/exact-untraced" (cs_hit_workload ()) in
+  let pit_expire = m ~label:"pit-expire/steady-window" (pit_expire_workload ()) in
   let cs_inserts =
     List.map
       (fun policy ->
@@ -377,7 +413,7 @@ let run ~quick () =
   in
   let speedup = churn_old.Sim.Bench.ns_per_op /. churn.Sim.Bench.ns_per_op in
   Format.printf "engine churn speedup vs boxed baseline: %.2fx@." speedup;
-  let results = (churn :: cs_hit :: cs_inserts) @ [ fig3 ] in
+  let results = (churn :: cs_hit :: pit_expire :: cs_inserts) @ [ fig3 ] in
   let json =
     String.concat ""
       [
@@ -414,4 +450,12 @@ let run ~quick () =
     Format.eprintf
       "warning: engine churn speedup %.2fx below the 2x target (noise, or a \
        regression — compare BENCH_core.json against the checked-in one)@."
-      speedup
+      speedup;
+  (* An O(live-table) expiry rescan would pay ~4096 entries per op here
+     — microseconds, not the sub-µs an indexed pop costs.  Warn loudly
+     (threshold is generous: 10x headroom on slow CI hosts). *)
+  if pit_expire.Sim.Bench.ns_per_op > 10_000. then
+    Format.eprintf
+      "warning: pit-expire at %.0f ns/op looks like a live-table rescan — \
+       the FIFO expiry index should make expire O(expired)@."
+      pit_expire.Sim.Bench.ns_per_op

@@ -37,11 +37,20 @@
              entry into BENCH_core.json.  --shards K runs the network
              sharded over K Sim.Shard engine domains and adds a
              per-shard-count events/sec sweep (with wall-clock speedup
-             vs one shard) to that entry *)
+             vs one shard) to that entry
+     overload - opt-in (not in "all"): interest-flooding sweep on the
+             same generated hierarchy with the robust plane armed
+             (finite PITs, NACKs, bounded link queues): flood
+             intensity x admission policy x queue depth, recording
+             attacker accuracy, false-negative rate, Random-Cache
+             utility, goodput and give-up rate; splices an "overload"
+             entry into BENCH_core.json (--quick for the smoke
+             variant) *)
 
 let usage () =
   print_endline
-    "usage: main.exe [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro|core|scale]... \
+    "usage: main.exe \
+     [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro|core|scale|overload]... \
      [--fast|--full|--quick] [--jobs N] [--shards K] [--trace FILE] \
      [--trace-format jsonl|csv]";
   exit 1
@@ -126,7 +135,7 @@ let () =
   let want name = List.mem "all" selected || List.mem name selected in
   List.iter
     (fun name ->
-      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "chaos"; "micro"; "core"; "scale" ])
+      if not (List.mem name [ "all"; "fig3"; "fig4"; "fig5"; "text"; "thms"; "ablation"; "chaos"; "micro"; "core"; "scale"; "overload" ])
       then usage ())
     selected;
   if want "fig3" then Bench_fig3.run ~scale ~jobs ?trace ();
@@ -142,4 +151,8 @@ let () =
      11k-router, 1M-user sweep. *)
   if List.mem "scale" selected then
     Bench_scale.run ~quick:(List.mem "--quick" args) ?shards ();
+  (* overload is opt-in for the same reason: a 10-point flood sweep
+     over the generated hierarchy. *)
+  if List.mem "overload" selected then
+    Bench_overload.run ~quick:(List.mem "--quick" args) ();
   Format.printf "@.done.@."

@@ -6,6 +6,7 @@
      ndnsim replay   --requests 200000 --policy expo --capacity 8000
      ndnsim theorems --k 5 --delta 0.05
      ndnsim probe    --warm /prod/a --target /prod/a
+     ndnsim flood    --rate 4 --pit-capacity 256 --admission evict-oldest
 
    Every experiment of the paper is reachable from here; `bench/main.exe`
    regenerates the figures wholesale. *)
@@ -185,15 +186,77 @@ let attach_countermeasure ?tracer router ~seed = function
          (Core.Private_router.Random_cache_mimic
             { kdist; grouping = Core.Grouping.By_namespace 2 }))
 
+(* --- overload plumbing shared by `attack --flood` and `flood` --- *)
+
+let admission_arg =
+  let parse s =
+    match Ndn.Pit.admission_of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown admission policy %S" s))
+  in
+  let print ppf a = Format.pp_print_string ppf (Ndn.Pit.admission_to_string a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Ndn.Pit.Drop_new
+    & info [ "admission" ] ~docv:"POLICY"
+        ~doc:
+          "PIT admission policy once $(b,--pit-capacity) is set: \
+           $(b,drop-new), $(b,evict-oldest) or $(b,per-face-fair).")
+
+let pit_capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pit-capacity" ] ~docv:"N"
+        ~doc:
+          "Bound the shared router's PIT to $(docv) entries (default: \
+           unbounded, the legacy plane).")
+
+(* Arm the robust plane on an existing probe setup and launch the
+   flood: NACKs everywhere, optional finite PIT on the shared router,
+   and an unsatisfiable producer subnamespace ([prefix/boom] resolves
+   to a handler that never answers) that the flooding station hammers
+   so every flood interest pins PIT state for its full lifetime. *)
+let arm_flood ~setup ~rate ~until ~pit_capacity ~admission ~seed =
+  List.iter
+    (fun (_, n) -> Ndn.Node.set_nacks_enabled n true)
+    (Ndn.Network.nodes setup.Ndn.Network.net);
+  (match pit_capacity with
+  | Some c ->
+    Ndn.Node.set_pit_limits setup.Ndn.Network.router ~capacity:c ~admission ()
+  | None -> ());
+  let boom = Ndn.Name.append setup.Ndn.Network.prefix "boom" in
+  Ndn.Node.add_producer setup.Ndn.Network.producer_host ~prefix:boom (fun _ ->
+      None);
+  Workload.Flood.attach
+    {
+      Workload.Flood.rate_per_ms = rate;
+      scope = None;
+      timeout_ms = Some 2000.;
+    }
+    ~node:setup.Ndn.Network.adversary ~prefix:boom
+    ~rng:(Sim.Rng.create (seed + 0xF100d))
+    ~until ()
+
 (* --- attack: the Figure 3 measurement campaign --- *)
 
 let attack_cmd =
   let run topology contents runs seed jobs shards trace_file trace_format faults
-      =
+      flood flood_until pit_capacity admission =
+    let base_make = make_setup_of_topology ?shards topology in
+    let make_setup ~seed ~tracer =
+      let setup = base_make ~seed ~tracer in
+      (match flood with
+      | None -> ()
+      | Some rate ->
+        ignore
+          (arm_flood ~setup ~rate ~until:flood_until ~pit_capacity ~admission
+             ~seed));
+      setup
+    in
     let result =
       experiment_or_die (fun () ->
-          Attack.Timing_experiment.run
-            ~make_setup:(make_setup_of_topology ?shards topology)
+          Attack.Timing_experiment.run ~make_setup
             ~contents ~runs ~seed ?jobs ?shards
             ?faults
             ~trace:(trace_file <> None) ())
@@ -219,12 +282,32 @@ let attack_cmd =
             "Fan runs over $(docv) domains (default: one per hardware \
              thread).  Results and traces are identical for any value.")
   in
+  let flood =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "flood" ] ~docv:"RATE"
+          ~doc:
+            "Run the campaign under an interest flood: the adversary \
+             station also injects $(docv) unsatisfiable interests per \
+             virtual millisecond ($(b,Workload.Flood)), with NACKs enabled \
+             network-wide.  Results stay byte-identical across \
+             $(b,--jobs)/$(b,--shards).")
+  in
+  let flood_until =
+    Arg.(
+      value
+      & opt float 2000.
+      & info [ "flood-until" ] ~docv:"MS"
+          ~doc:"Stop flood injection at this virtual time (per run).")
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Run the cache timing attack and report hit/miss RTT histograms.")
     Term.(
       const run $ topology_arg $ contents $ runs $ seed_arg $ jobs $ shards_arg
-      $ trace_file_arg $ trace_format_arg $ faults_arg)
+      $ trace_file_arg $ trace_format_arg $ faults_arg $ flood $ flood_until
+      $ pit_capacity_arg $ admission_arg)
 
 (* --- defend: attack vs countermeasure --- *)
 
@@ -689,6 +772,135 @@ let topo_cmd =
       const run $ file $ generate $ warm_node $ warm $ probe_node $ target
       $ scope $ seed_arg $ trace_file_arg $ trace_format_arg $ faults_arg)
 
+(* --- flood: graceful degradation under interest flooding --- *)
+
+let flood_cmd =
+  let run topology rate duration pit_capacity admission queue_rate queue_depth
+      fetches seed shards trace_file trace_format faults =
+    let tracer =
+      if trace_file <> None then Sim.Trace.create () else Sim.Trace.disabled
+    in
+    let setup = (make_setup_of_topology ?shards topology) ~seed ~tracer in
+    let net = setup.Ndn.Network.net in
+    let out = result_formatter trace_file in
+    install_faults_or_die net faults;
+    (match queue_rate with
+    | None -> ()
+    | Some mbps ->
+      let a = Ndn.Node.label setup.Ndn.Network.router
+      and b = Ndn.Node.label setup.Ndn.Network.producer_host in
+      (match
+         Ndn.Network.set_link_queue net ~a ~b ~rate_mbps:mbps
+           ~depth:queue_depth ()
+       with
+      | Ok () ->
+        Format.fprintf out "queue: %s<->%s at %.2f Mbps, depth %d@." a b mbps
+          queue_depth
+      | Error msg ->
+        Format.eprintf "--queue-rate: %s@." msg;
+        exit 1));
+    let fl =
+      arm_flood ~setup ~rate ~until:duration ~pit_capacity ~admission ~seed
+    in
+    (* Honest cohort: backoff-armed fetches from U spread across the
+       flood window, measuring what the robust plane salvages. *)
+    let completed = ref 0
+    and give_ups = ref 0
+    and honest_nacks = ref 0
+    and latency_sum = ref 0. in
+    let backoff =
+      Ndn.Consumer.backoff ~jitter:0.2 (Sim.Rng.create (seed + 0xBac0))
+    in
+    let user = setup.Ndn.Network.user in
+    let step = duration /. float_of_int (max 1 fetches) in
+    for i = 1 to fetches do
+      let name =
+        Ndn.Name.append setup.Ndn.Network.prefix
+          (Printf.sprintf "flood-honest-%d" i)
+      in
+      Ndn.Node.schedule_app_at user
+        ~time:(step *. float_of_int i)
+        (fun () ->
+          Ndn.Consumer.fetch user ~max_retries:3 ~backoff
+            ~on_done:(fun o ->
+              incr completed;
+              honest_nacks := !honest_nacks + o.Ndn.Consumer.nacks;
+              match o.Ndn.Consumer.data with
+              | None -> incr give_ups
+              | Some _ -> latency_sum := !latency_sum +. o.Ndn.Consumer.elapsed_ms)
+            name)
+    done;
+    Ndn.Network.run net;
+    Format.fprintf out
+      "flood: %.2f interests/ms for %.0f ms -> %d issued, %d NACKed, %d \
+       timed out@."
+      rate duration
+      (Workload.Flood.interests_issued fl)
+      (Workload.Flood.nacks_received fl)
+      (Workload.Flood.timeouts fl);
+    let pit = Ndn.Node.pit setup.Ndn.Network.router in
+    (match pit_capacity with
+    | Some c ->
+      Format.fprintf out
+        "router PIT: capacity %d (%s), %d rejections, %d evictions@." c
+        (Ndn.Pit.admission_to_string admission)
+        (Ndn.Pit.rejections pit) (Ndn.Pit.evictions pit)
+    | None ->
+      Format.fprintf out "router PIT: unbounded, peak-free legacy plane@.");
+    let delivered = !completed - !give_ups in
+    Format.fprintf out
+      "honest: %d/%d fetches delivered (%d gave up), %d NACK fast-failures, \
+       mean latency %.2f ms@."
+      delivered !completed !give_ups !honest_nacks
+      (if delivered = 0 then 0. else !latency_sum /. float_of_int delivered);
+    match trace_file with
+    | Some file -> write_trace ~file ~format:trace_format tracer
+    | None -> ()
+  in
+  let rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Flood intensity: unsatisfiable interests per virtual ms.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2000.
+      & info [ "duration" ] ~docv:"MS" ~doc:"Flood window in virtual ms.")
+  in
+  let queue_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "queue-rate" ] ~docv:"MBPS"
+          ~doc:
+            "Bound the router-producer link with a transmission queue \
+             serializing at $(docv) Mbps (default: latency-only legacy \
+             links).")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Packets the bounded link queue holds before dropping.")
+  in
+  let fetches =
+    Arg.(
+      value & opt int 10
+      & info [ "fetches" ] ~docv:"N"
+          ~doc:"Honest backoff-armed fetches spread across the flood window.")
+  in
+  Cmd.v
+    (Cmd.info "flood"
+       ~doc:
+         "Flood a measurement topology with unsatisfiable interests \
+          (PIT-exhaustion DoS) and report how the robust plane — finite \
+          PIT, NACKs, bounded queues, consumer backoff — degrades.")
+    Term.(
+      const run $ topology_arg $ rate $ duration $ pit_capacity_arg
+      $ admission_arg $ queue_rate $ queue_depth $ fetches $ seed_arg
+      $ shards_arg $ trace_file_arg $ trace_format_arg $ faults_arg)
+
 (* --- chaos: the attack under router churn --- *)
 
 let chaos_cmd =
@@ -792,5 +1004,6 @@ let () =
             leak_cmd;
             interact_cmd;
             topo_cmd;
+            flood_cmd;
             chaos_cmd;
           ]))

@@ -31,16 +31,51 @@ module Rtt_estimator : sig
   val samples : t -> int
 end
 
+(** {1 Retry backoff policy}
+
+    Layered {e between} attempts, on top of Karn/RTO: after a failed
+    attempt the next interest waits an exponentially growing, jittered
+    extra delay, so a population of consumers recovering from the same
+    congestion event does not re-synchronize into the very burst that
+    congested it. *)
+
+type backoff
+
+val backoff :
+  ?base_ms:float ->
+  ?factor:float ->
+  ?jitter:float ->
+  ?max_delay_ms:float ->
+  Sim.Rng.t ->
+  backoff
+(** Delay before re-attempt [n+1] (after 1-based attempt [n] failed):
+    [min max_delay_ms (base_ms * factor^(n-1))], then spread uniformly
+    by at most [±jitter] (a fraction, drawn from the given generator —
+    the policy's own stream, so fetches never perturb node or network
+    randomness).  Defaults: 10 ms base, factor 2, jitter 0.1, cap 10 s.
+    With [jitter = 0.] the generator is never consulted and the delays
+    are exactly the deterministic exponential schedule.
+    @raise Invalid_argument unless [base_ms > 0], [factor >= 1],
+    [0 <= jitter < 1] and [max_delay_ms >= base_ms]. *)
+
+val backoff_delay : backoff -> attempt:int -> float
+(** The delay the policy would impose after 1-based [attempt] failed,
+    consuming one jitter draw (none when [jitter = 0.]).  Exposed for
+    property tests; {!fetch} calls it internally. *)
+
 type outcome = {
   data : Data.t option;  (** [None] after exhausting retries. *)
   attempts : int;  (** Interests expressed (1 = no retransmission). *)
   elapsed_ms : float;
+  nacks : int;  (** Attempts answered by a NACK (always 0 without a
+                    backoff policy — plain fetches ignore NACKs). *)
 }
 
 val fetch :
   Node.t ->
   ?max_retries:int ->
   ?estimator:Rtt_estimator.t ->
+  ?backoff:backoff ->
   ?consumer_private:bool ->
   on_done:(outcome -> unit) ->
   Name.t ->
@@ -51,11 +86,21 @@ val fetch :
     Per Karn's algorithm only first-attempt RTTs feed the estimator —
     a sample measured across a retransmission is ambiguous and would
     corrupt [srtt] — while the backed-off RTO is retained either way.
-    Drive the engine to observe [on_done]. *)
+    Drive the engine to observe [on_done].
+
+    [backoff] (default: none) arms the robust plane: retries wait the
+    policy's jittered delay, an arriving NACK (requires
+    {!Node.set_nacks_enabled} on the expressing forwarder) fails the
+    attempt immediately instead of waiting out the RTO — the fast
+    recovery path — and exhausting the budget emits a
+    [consumer.give_up] trace record with the attempt and NACK counts.
+    Without it, behavior is byte-identical to the historical fetch:
+    NACKs are ignored and retries fire exactly at the RTO. *)
 
 val fetch_sequence :
   Node.t ->
   ?max_retries:int ->
+  ?backoff:backoff ->
   ?consumer_private:bool ->
   names:Name.t list ->
   on_done:(outcome list -> unit) ->

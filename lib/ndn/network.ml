@@ -5,11 +5,32 @@
    delivery code below draws exactly the same RNG stream as it would
    without any fault machinery (multiplying a latency by 1.0 is an
    exact float identity). *)
+(* Bounded transmission queue discipline for one link direction. *)
+type queue_policy =
+  | Drop_tail
+  | Early_drop
+
+let queue_policy_to_string = function
+  | Drop_tail -> "drop-tail"
+  | Early_drop -> "early-drop"
+
 type link_dir = {
   base_loss : float;
   mutable up : bool;
   mutable loss : float;
   mutable latency_factor : float;
+  (* Transmission-queue state.  [q_rate] is the serialization rate in
+     bytes per millisecond; [<= 0.] (the default) means "no queue": the
+     delivery path is the exact legacy one and none of these fields is
+     ever read on it.  With a rate set, each offered packet serializes
+     for [size / q_rate] ms behind the packets already queued
+     ([busy_until]); at most [q_depth] packets may be backlogged, the
+     rest are dropped by [q_policy]. *)
+  mutable q_rate : float;
+  mutable q_depth : int;
+  mutable q_policy : queue_policy;
+  mutable busy_until : float;
+  mutable qlen : int;
 }
 
 type link = {
@@ -76,6 +97,11 @@ let is_sharded t = t.sharded <> None
 let shard_count t =
   match t.sharded with None -> 1 | Some s -> Sim.Shard.shards s.sh
 
+let set_stall_watchdog t ?stall_ms ~clock_ms () =
+  match t.sharded with
+  | None -> ()
+  | Some s -> Sim.Shard.set_watchdog s.sh ?stall_ms ~clock_ms ()
+
 let add_node t ?(cs_capacity = 0) ?cs_policy ?pit_lifetime_ms ?forwarding_delay
     ?honor_scope ?caching label =
   let n =
@@ -107,16 +133,30 @@ let import_packet pkt =
   match pkt with
   | Packet.Interest i -> Packet.Interest (Interest.import i)
   | Packet.Data d -> Packet.Data (Data.import d)
+  | Packet.Nack n -> Packet.Nack (Nack.import n)
 
 let pkt_name pkt =
   match pkt with
   | Packet.Interest i -> ("interest", i.Interest.name)
   | Packet.Data data -> ("data", data.Data.name)
+  | Packet.Nack n -> ("nack", n.Nack.name)
 
 let connect t ?(loss = 0.) ?latency_ba ~latency a b =
   let lat_ab = latency in
   let lat_ba = Option.value latency_ba ~default:latency in
-  let fresh_dir () = { base_loss = loss; up = true; loss; latency_factor = 1. } in
+  let fresh_dir () =
+    {
+      base_loss = loss;
+      up = true;
+      loss;
+      latency_factor = 1.;
+      q_rate = 0.;
+      q_depth = 0;
+      q_policy = Drop_tail;
+      busy_until = 0.;
+      qlen = 0;
+    }
+  in
   let link =
     { l_a = Node.label a; l_b = Node.label b; ab = fresh_dir (); ba = fresh_dir () }
   in
@@ -128,7 +168,8 @@ let connect t ?(loss = 0.) ?latency_ba ~latency a b =
   match t.sharded with
   | None ->
     let face_b = ref (-1) in
-    let deliver ~src ~dir node face_ref lat pkt =
+    let deliver ~src ~dir dst face_ref back_ref lat pkt =
+      let src_label = Node.label src in
       if not dir.up then begin
         (* A downed direction consumes no randomness: when the link comes
            back the RNG stream continues exactly where it left off. *)
@@ -137,11 +178,11 @@ let connect t ?(loss = 0.) ?latency_ba ~latency a b =
           Sim.Trace.emit t.tracer
             {
               Sim.Trace.time = Sim.Engine.now t.engine;
-              node = src;
+              node = src_label;
               kind = Sim.Trace.Link_drop;
               name = Name.to_string name;
               attrs =
-                [ ("dst", Node.label node); ("pkt", pkt_type); ("reason", "down") ];
+                [ ("dst", Node.label dst); ("pkt", pkt_type); ("reason", "down") ];
             }
         end
       end
@@ -149,39 +190,101 @@ let connect t ?(loss = 0.) ?latency_ba ~latency a b =
         (* Sample loss, then latency, in a fixed order for determinism.
            Both draws happen whether or not tracing is on, so enabling a
            tracer never perturbs the RNG stream. *)
-        let lost = dir.loss > 0. && Sim.Rng.bernoulli t.rng dir.loss in
-        let d = Sim.Latency.sample lat t.rng *. dir.latency_factor in
-        if Sim.Trace.enabled t.tracer then begin
-          let pkt_type, name = pkt_name pkt in
-          Sim.Trace.emit t.tracer
-            {
-              Sim.Trace.time = Sim.Engine.now t.engine;
-              node = src;
-              kind = (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
-              name = Name.to_string name;
-              attrs =
-                [
-                  ("dst", Node.label node);
-                  ("pkt", pkt_type);
-                  ("delay_ms", Printf.sprintf "%.6f" d);
-                ];
-            }
-        end;
-        if not lost then
-          ignore
-            (Sim.Engine.schedule t.engine ~delay:d (fun () ->
-                 Node.receive node ~face:!face_ref pkt))
+        let transmit () =
+          let lost = dir.loss > 0. && Sim.Rng.bernoulli t.rng dir.loss in
+          let d = Sim.Latency.sample lat t.rng *. dir.latency_factor in
+          if Sim.Trace.enabled t.tracer then begin
+            let pkt_type, name = pkt_name pkt in
+            Sim.Trace.emit t.tracer
+              {
+                Sim.Trace.time = Sim.Engine.now t.engine;
+                node = src_label;
+                kind =
+                  (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
+                name = Name.to_string name;
+                attrs =
+                  [
+                    ("dst", Node.label dst);
+                    ("pkt", pkt_type);
+                    ("delay_ms", Printf.sprintf "%.6f" d);
+                  ];
+              }
+          end;
+          if not lost then
+            ignore
+              (Sim.Engine.schedule t.engine ~delay:d (fun () ->
+                   Node.receive dst ~face:!face_ref pkt))
+        in
+        if dir.q_rate <= 0. then transmit ()
+        else begin
+          (* Bounded transmission queue: the packet serializes at
+             [q_rate] bytes/ms behind the current backlog; a full queue
+             (or an early-drop coin) drops it at the tail.  The drop of
+             an Interest is answered with a Congested NACK handed back
+             to the sending forwarder, which relays it downstream along
+             its PIT entry — if its NACK plane is enabled. *)
+          let now_t = Sim.Engine.now t.engine in
+          let full = dir.qlen >= dir.q_depth in
+          let early =
+            (not full)
+            && dir.q_policy = Early_drop
+            && dir.qlen > 0
+            && Sim.Rng.bernoulli t.rng
+                 (float_of_int dir.qlen /. float_of_int dir.q_depth)
+          in
+          if full || early then begin
+            if Sim.Trace.enabled t.tracer then begin
+              let pkt_type, name = pkt_name pkt in
+              Sim.Trace.emit t.tracer
+                {
+                  Sim.Trace.time = now_t;
+                  node = src_label;
+                  kind = Sim.Trace.Queue_drop;
+                  name = Name.to_string name;
+                  attrs =
+                    [
+                      ("dst", Node.label dst);
+                      ("pkt", pkt_type);
+                      ("policy", queue_policy_to_string dir.q_policy);
+                      ("depth", string_of_int dir.qlen);
+                    ];
+                }
+            end;
+            match pkt with
+            | Packet.Interest i when Node.nacks_enabled src ->
+              let nack =
+                Nack.create ~nonce:i.Interest.nonce ~reason:Nack.Congested
+                  i.Interest.name
+              in
+              ignore
+                (Sim.Engine.schedule t.engine ~delay:0. (fun () ->
+                     Node.receive src ~face:!back_ref (Packet.Nack nack)))
+            | _ -> ()
+          end
+          else begin
+            dir.qlen <- dir.qlen + 1;
+            let start = Float.max now_t dir.busy_until in
+            let depart =
+              start +. (float_of_int (Wire.encoded_size pkt) /. dir.q_rate)
+            in
+            dir.busy_until <- depart;
+            ignore
+              (Sim.Engine.schedule t.engine ~delay:(depart -. now_t) (fun () ->
+                   dir.qlen <- dir.qlen - 1;
+                   transmit ()))
+          end
+        end
       end
     in
     let face_a_ref = ref (-1) in
     let face_a =
       Node.add_wire_face a (fun pkt ->
-          deliver ~src:(Node.label a) ~dir:link.ab b face_b lat_ab pkt)
+          deliver ~src:a ~dir:link.ab b face_b face_a_ref lat_ab pkt)
     in
     face_a_ref := face_a;
     let fb =
       Node.add_wire_face b (fun pkt ->
-          deliver ~src:(Node.label b) ~dir:link.ba a face_a_ref lat_ba pkt)
+          deliver ~src:b ~dir:link.ba a face_a_ref face_b lat_ba pkt)
     in
     face_b := fb;
     (face_a, fb)
@@ -199,12 +302,15 @@ let connect t ?(loss = 0.) ?latency_ba ~latency a b =
       Sim.Shard.note_min_link_delay s.sh (Sim.Latency.lower_bound lat_ba)
     end;
     let face_b = ref (-1) in
-    let deliver ~src ~rng ~dir dst face_ref lat pkt =
+    let deliver ~src ~rng ~dir dst face_ref back_ref lat pkt =
       (* Runs on [src]'s shard: reads/draws only src-shard state.  The
          trace goes to src's shard buffer; the delivery event is keyed
          by src and either scheduled locally or handed to [Sim.Shard]'s
          cross-shard queue, where the receiving domain re-interns the
-         packet's name. *)
+         packet's name.  Queue state, too, lives entirely on the sending
+         side: serialization only ever {e delays} the start of a
+         delivery, so the cross-shard lookahead bound (the latency lower
+         bound) stays sound. *)
       let eng = Node.engine src in
       let tr = Node.tracer src in
       if not dir.up then begin
@@ -222,47 +328,106 @@ let connect t ?(loss = 0.) ?latency_ba ~latency a b =
         end
       end
       else begin
-        let lost = dir.loss > 0. && Sim.Rng.bernoulli rng dir.loss in
-        let d = Sim.Latency.sample lat rng *. dir.latency_factor in
-        if Sim.Trace.enabled tr then begin
-          let pkt_type, name = pkt_name pkt in
-          Sim.Trace.emit tr
-            {
-              Sim.Trace.time = Sim.Engine.now eng;
-              node = Node.label src;
-              kind = (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
-              name = Name.to_string name;
-              attrs =
-                [
-                  ("dst", Node.label dst);
-                  ("pkt", pkt_type);
-                  ("delay_ms", Printf.sprintf "%.6f" d);
-                ];
-            }
-        end;
-        if not lost then begin
-          let key = Node.fresh_event_key src in
-          if Node.shard src = Node.shard dst then
+        let transmit () =
+          let lost = dir.loss > 0. && Sim.Rng.bernoulli rng dir.loss in
+          let d = Sim.Latency.sample lat rng *. dir.latency_factor in
+          if Sim.Trace.enabled tr then begin
+            let pkt_type, name = pkt_name pkt in
+            Sim.Trace.emit tr
+              {
+                Sim.Trace.time = Sim.Engine.now eng;
+                node = Node.label src;
+                kind =
+                  (if lost then Sim.Trace.Link_drop else Sim.Trace.Link_transmit);
+                name = Name.to_string name;
+                attrs =
+                  [
+                    ("dst", Node.label dst);
+                    ("pkt", pkt_type);
+                    ("delay_ms", Printf.sprintf "%.6f" d);
+                  ];
+              }
+          end;
+          if not lost then begin
+            let key = Node.fresh_event_key src in
+            if Node.shard src = Node.shard dst then
+              ignore
+                (Sim.Engine.schedule_key eng ~delay:d ~key (fun () ->
+                     Node.receive dst ~face:!face_ref pkt))
+            else
+              Sim.Shard.send s.sh ~src:(Node.shard src) ~dst:(Node.shard dst)
+                ~time:(Sim.Engine.now eng +. d)
+                ~key
+                (fun () -> Node.receive dst ~face:!face_ref (import_packet pkt))
+          end
+        in
+        if dir.q_rate <= 0. then transmit ()
+        else begin
+          let now_t = Sim.Engine.now eng in
+          let full = dir.qlen >= dir.q_depth in
+          let early =
+            (not full)
+            && dir.q_policy = Early_drop
+            && dir.qlen > 0
+            && Sim.Rng.bernoulli rng
+                 (float_of_int dir.qlen /. float_of_int dir.q_depth)
+          in
+          if full || early then begin
+            if Sim.Trace.enabled tr then begin
+              let pkt_type, name = pkt_name pkt in
+              Sim.Trace.emit tr
+                {
+                  Sim.Trace.time = now_t;
+                  node = Node.label src;
+                  kind = Sim.Trace.Queue_drop;
+                  name = Name.to_string name;
+                  attrs =
+                    [
+                      ("dst", Node.label dst);
+                      ("pkt", pkt_type);
+                      ("policy", queue_policy_to_string dir.q_policy);
+                      ("depth", string_of_int dir.qlen);
+                    ];
+                }
+            end;
+            match pkt with
+            | Packet.Interest i when Node.nacks_enabled src ->
+              let nack =
+                Nack.create ~nonce:i.Interest.nonce ~reason:Nack.Congested
+                  i.Interest.name
+              in
+              let key = Node.fresh_event_key src in
+              ignore
+                (Sim.Engine.schedule_key eng ~delay:0. ~key (fun () ->
+                     Node.receive src ~face:!back_ref (Packet.Nack nack)))
+            | _ -> ()
+          end
+          else begin
+            dir.qlen <- dir.qlen + 1;
+            let start = Float.max now_t dir.busy_until in
+            let depart =
+              start +. (float_of_int (Wire.encoded_size pkt) /. dir.q_rate)
+            in
+            dir.busy_until <- depart;
+            let key = Node.fresh_event_key src in
             ignore
-              (Sim.Engine.schedule_key eng ~delay:d ~key (fun () ->
-                   Node.receive dst ~face:!face_ref pkt))
-          else
-            Sim.Shard.send s.sh ~src:(Node.shard src) ~dst:(Node.shard dst)
-              ~time:(Sim.Engine.now eng +. d)
-              ~key
-              (fun () -> Node.receive dst ~face:!face_ref (import_packet pkt))
+              (Sim.Engine.schedule_key eng ~delay:(depart -. now_t) ~key
+                 (fun () ->
+                   dir.qlen <- dir.qlen - 1;
+                   transmit ()))
+          end
         end
       end
     in
     let face_a_ref = ref (-1) in
     let face_a =
       Node.add_wire_face a (fun pkt ->
-          deliver ~src:a ~rng:rng_ab ~dir:link.ab b face_b lat_ab pkt)
+          deliver ~src:a ~rng:rng_ab ~dir:link.ab b face_b face_a_ref lat_ab pkt)
     in
     face_a_ref := face_a;
     let fb =
       Node.add_wire_face b (fun pkt ->
-          deliver ~src:b ~rng:rng_ba ~dir:link.ba a face_a_ref lat_ba pkt)
+          deliver ~src:b ~rng:rng_ba ~dir:link.ba a face_a_ref face_b lat_ba pkt)
     in
     face_b := fb;
     (face_a, fb)
@@ -328,6 +493,35 @@ let restore_link t ~a ~b ?(dir = Sim.Fault.Both) () =
         (fun d ->
           d.loss <- d.base_loss;
           d.latency_factor <- 1.)
+        (dirs_of link ~flipped dir))
+    (find_link t a b)
+
+let set_link_queue t ~a ~b ?(dir = Sim.Fault.Both) ~rate_mbps ~depth
+    ?(policy = Drop_tail) () =
+  if not (rate_mbps > 0. && Float.is_finite rate_mbps) then
+    Error "link queue: rate_mbps must be positive and finite"
+  else if depth <= 0 then Error "link queue: depth must be positive"
+  else
+    Result.map
+      (fun (link, flipped) ->
+        List.iter
+          (fun d ->
+            (* Mbit/s -> bytes/ms. *)
+            d.q_rate <- rate_mbps *. 125.;
+            d.q_depth <- depth;
+            d.q_policy <- policy)
+          (dirs_of link ~flipped dir))
+      (find_link t a b)
+
+let clear_link_queue t ~a ~b ?(dir = Sim.Fault.Both) () =
+  Result.map
+    (fun (link, flipped) ->
+      List.iter
+        (fun d ->
+          d.q_rate <- 0.;
+          d.q_depth <- 0;
+          d.busy_until <- 0.;
+          d.qlen <- 0)
         (dirs_of link ~flipped dir))
     (find_link t a b)
 

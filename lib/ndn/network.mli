@@ -35,6 +35,14 @@ val create : ?seed:int -> ?tracer:Sim.Trace.t -> ?shards:int -> unit -> t
 
 val is_sharded : t -> bool
 
+val set_stall_watchdog :
+  t -> ?stall_ms:float -> clock_ms:(unit -> float) -> unit -> unit
+(** Arm {!Sim.Shard.set_watchdog} on the underlying partition: a shard
+    stalled at a window barrier for [stall_ms] wall-clock ms (default
+    30 s, measured by the injected [clock_ms]) raises a diagnostic
+    [Failure] naming the stuck shard and the pending queue depths.
+    No-op in legacy (unsharded) mode. *)
+
 val shard_count : t -> int
 (** Number of shard engines ([1] in legacy mode). *)
 
@@ -116,6 +124,43 @@ val restore_link :
   (unit, string) result
 (** Reset a link direction to its base parameters from {!connect}:
     configured loss, latency factor 1.  Does not change up/down state. *)
+
+(** {1 Bounded link queues}
+
+    By default links have infinite capacity: every offered packet is
+    scheduled for delivery immediately (after its sampled latency) and
+    the plane cannot congest — the legacy model.  Giving a direction a
+    {e transmission queue} makes packets serialize at a finite rate
+    behind the backlog, with a bounded number waiting; the excess is
+    dropped, which is what an interest-flooding adversary exploits and
+    what NACKs ({!Node.set_nacks_enabled}) report downstream. *)
+
+type queue_policy =
+  | Drop_tail  (** Drop the arriving packet when the queue is full. *)
+  | Early_drop
+      (** Additionally drop arrivals with probability
+          [backlog / depth] while filling — a RED-style early signal
+          that spreads drops across flows instead of bursting them at
+          the tail. *)
+
+val set_link_queue :
+  t -> a:string -> b:string -> ?dir:Sim.Fault.direction -> rate_mbps:float ->
+  depth:int -> ?policy:queue_policy -> unit -> (unit, string) result
+(** Give the [a]–[b] link (either orientation; [dir] defaults [Both])
+    a bounded transmission queue: packets serialize at [rate_mbps]
+    (Mbit/s, using {!Wire.encoded_size} bytes per packet) and at most
+    [depth] may be backlogged; [policy] (default {!Drop_tail}) decides
+    the excess.  A dropped packet is traced as [queue.drop]; a dropped
+    {e Interest} is answered with a [Congested] NACK to the sending
+    forwarder when that forwarder has NACKs enabled.  Configure before
+    traffic runs.  [Error _] if the link does not exist, the rate is
+    not positive and finite, or [depth <= 0]. *)
+
+val clear_link_queue :
+  t -> a:string -> b:string -> ?dir:Sim.Fault.direction -> unit ->
+  (unit, string) result
+(** Return a direction to the unbounded legacy model (and forget any
+    backlog state). *)
 
 val install_faults : t -> Sim.Fault.schedule -> (unit, string) result
 (** Validate the schedule ({!Sim.Fault.validate} plus an upfront check

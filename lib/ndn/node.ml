@@ -24,6 +24,7 @@ type pending_expression = {
   issued : float;
   on_data : rtt_ms:float -> Data.t -> unit;
   on_timeout : unit -> unit;
+  on_nack : (Nack.reason -> unit) option;
   timeout_handle : Sim.Engine.handle;
 }
 
@@ -39,6 +40,8 @@ type mutable_counters = {
   mutable no_route_drops : int;
   mutable unsolicited_data : int;
   mutable dropped_down : int;
+  mutable nacks_sent : int;
+  mutable nacks_received : int;
 }
 
 type counters = {
@@ -53,6 +56,8 @@ type counters = {
   no_route_drops : int;
   unsolicited_data : int;
   dropped_down : int;
+  nacks_sent : int;
+  nacks_received : int;
 }
 
 type t = {
@@ -71,11 +76,12 @@ type t = {
   shard : int;
   mutable kseq : int;
   cs : unit Content_store.t;
-  pit : Pit.t;
+  mutable pit : Pit.t;
   fib : Fib.t;
   pit_lifetime_ms : float;
   forwarding_delay : Sim.Latency.t;
   honor_scope : bool;
+  mutable nacks : bool;
   mutable caching : bool;
   mutable alive : bool;
   mutable producers_enabled : bool;
@@ -87,13 +93,38 @@ type t = {
   c : mutable_counters;
 }
 
+let trace t kind name attrs =
+  if Sim.Trace.enabled t.tracer then
+    Sim.Trace.emit t.tracer
+      {
+        Sim.Trace.time = Sim.Engine.now t.engine;
+        node = t.label;
+        kind;
+        name = Name.to_string name;
+        attrs;
+      }
+
+(* Replace the PIT with a fresh (empty) finite table.  Pending entries
+   are discarded, so callers configure overload limits right after
+   construction, before any traffic runs. *)
+let set_pit_limits t ?capacity ?admission () =
+  let admission = Option.value admission ~default:Pit.Drop_new in
+  t.pit <-
+    Pit.create ~lifetime_ms:t.pit_lifetime_ms ?capacity ~admission
+      ~on_evict:(fun name ->
+        trace t Sim.Trace.Pit_drop name
+          [ ("policy", Pit.admission_to_string admission); ("reason", "evict") ])
+      ()
+
 let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
     ?(cs_capacity = 0) ?(cs_policy = Eviction.Lru) ?(pit_lifetime_ms = 4000.)
+    ?pit_capacity ?pit_admission ?(nacks = false)
     ?(forwarding_delay = Sim.Latency.Constant 0.02) ?(honor_scope = true)
     ?(caching = true) ?(sid = -1) ?(shard = 0) () =
   let cs_rng =
     match cs_policy with Eviction.Random_replacement -> Some (Sim.Rng.split rng) | _ -> None
   in
+  let t =
   {
     label;
     engine;
@@ -110,6 +141,7 @@ let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
     pit_lifetime_ms;
     forwarding_delay;
     honor_scope;
+    nacks;
     caching;
     alive = true;
     producers_enabled = true;
@@ -131,19 +163,15 @@ let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
         no_route_drops = 0;
         unsolicited_data = 0;
         dropped_down = 0;
+        nacks_sent = 0;
+        nacks_received = 0;
       };
   }
-
-let trace t kind name attrs =
-  if Sim.Trace.enabled t.tracer then
-    Sim.Trace.emit t.tracer
-      {
-        Sim.Trace.time = Sim.Engine.now t.engine;
-        node = t.label;
-        kind;
-        name = Name.to_string name;
-        attrs;
-      }
+  in
+  (match pit_capacity with
+  | None -> ()
+  | Some _ -> set_pit_limits t ?capacity:pit_capacity ?admission:pit_admission ());
+  t
 
 let label t = t.label
 let engine t = t.engine
@@ -181,6 +209,8 @@ let fib t = t.fib
 let set_strategy t s = t.strat <- s
 let strategy t = t.strat
 let set_caching t b = t.caching <- b
+let set_nacks_enabled t b = t.nacks <- b
+let nacks_enabled t = t.nacks
 let local_face _t = 0
 
 let add_face t kind =
@@ -213,6 +243,27 @@ let dispatch_local t data =
         (List.rev !cell))
     (List.rev matched)
 
+(* A NACK reaching the application face fails exactly the expressions
+   that asked to hear about it ([on_nack]); the rest keep their armed
+   timeout, so legacy consumers observe nothing new. *)
+let dispatch_local_nack t nack =
+  let name = nack.Nack.name in
+  match Name_trie.find t.pending_local name with
+  | None -> ()
+  | Some cell ->
+    let notify, keep =
+      List.partition (fun p -> Option.is_some p.on_nack) !cell
+    in
+    cell := keep;
+    if keep = [] then Name_trie.remove t.pending_local name;
+    List.iter
+      (fun p ->
+        Sim.Engine.cancel p.timeout_handle;
+        match p.on_nack with
+        | Some f -> f nack.Nack.reason
+        | None -> ())
+      (List.rev notify)
+
 (* --- sending --- *)
 
 let proc_delay t = Sim.Latency.sample t.forwarding_delay t.rng
@@ -234,6 +285,36 @@ let send_data t ~face data =
         (sched t ~delay:(proc_delay t) (fun () ->
              dispatch_local t data))
     | Producer_app _ -> () (* producers do not consume data *)
+
+(* Emit (or relay) a NACK downstream.  Each send — origin or relay hop
+   — is traced under the reason's registered [nack.*] kind. *)
+let send_nack t ~face nack =
+  if t.nacks && face >= 0 && face < t.n_faces then
+    match t.faces.(face) with
+    | Wire send ->
+      t.c.nacks_sent <- t.c.nacks_sent + 1;
+      trace t (Nack.trace_kind nack.Nack.reason) nack.Nack.name
+        [ ("face", string_of_int face) ];
+      ignore
+        (sched t ~delay:(proc_delay t) (fun () -> send (Packet.Nack nack)))
+    | Local_app ->
+      t.c.nacks_sent <- t.c.nacks_sent + 1;
+      trace t (Nack.trace_kind nack.Nack.reason) nack.Nack.name
+        [ ("face", "local") ];
+      ignore
+        (sched t ~delay:(proc_delay t) (fun () -> dispatch_local_nack t nack))
+    | Producer_app _ -> ()
+
+(* A NACK consumes exactly the refused entry and travels the reverse
+   path like Data — but satisfies nothing, so a later retransmission
+   re-forwards.  Nodes with the feature off drop NACKs silently. *)
+let handle_nack t ~face nack =
+  if not t.alive then t.c.dropped_down <- t.c.dropped_down + 1
+  else if t.nacks then begin
+    t.c.nacks_received <- t.c.nacks_received + 1;
+    let faces = Pit.take t.pit nack.Nack.name in
+    List.iter (fun f -> if f <> face then send_nack t ~face:f nack) faces
+  end
 
 let rec send_interest_on_face t ~face interest =
   match t.faces.(face) with
@@ -312,7 +393,22 @@ let forward_as_miss t ~face interest =
   let now = Sim.Engine.now t.engine in
   let name = interest.Interest.name in
   match Pit.insert t.pit ~now ~face ~nonce:interest.Interest.nonce name with
-  | Pit.Duplicate -> ()
+  | Pit.Duplicate ->
+    if t.nacks then
+      send_nack t ~face
+        (Nack.create ~nonce:interest.Interest.nonce ~reason:Nack.Duplicate name)
+  | Pit.Rejected ->
+    (* The admission policy refused the entry: the interest dies here.
+       With NACKs on, say so instead of letting downstream time out. *)
+    trace t Sim.Trace.Pit_drop name
+      [
+        ("policy", Pit.admission_to_string (Pit.admission_policy t.pit));
+        ("reason", "reject");
+        ("face", string_of_int face);
+      ];
+    if t.nacks then
+      send_nack t ~face
+        (Nack.create ~nonce:interest.Interest.nonce ~reason:Nack.Pit_full name)
   | Pit.Collapsed ->
     t.c.interests_collapsed <- t.c.interests_collapsed + 1;
     trace t Sim.Trace.Interest_collapsed name [ ("face", string_of_int face) ]
@@ -325,7 +421,13 @@ let forward_as_miss t ~face interest =
     let hops = Fib.next_hops t.fib name in
     let usable = List.filter (fun f -> f <> face) hops in
     match usable with
-    | [] -> t.c.no_route_drops <- t.c.no_route_drops + 1
+    | [] ->
+      t.c.no_route_drops <- t.c.no_route_drops + 1;
+      if t.nacks then begin
+        ignore (Pit.take t.pit name);
+        send_nack t ~face
+          (Nack.create ~nonce:interest.Interest.nonce ~reason:Nack.No_route name)
+      end
     | hop :: _ -> ignore (send_interest_on_face t ~face:hop interest))
 
 let handle_interest_alive t ~face interest =
@@ -358,6 +460,7 @@ let receive t ~face packet =
   match packet with
   | Packet.Interest i -> handle_interest t ~face i
   | Packet.Data d -> handle_data_internal t ~face d
+  | Packet.Nack n -> handle_nack t ~face n
 
 (* --- applications --- *)
 
@@ -366,7 +469,7 @@ let add_producer t ~prefix ?(production_delay_ms = 0.1) handler =
   Fib.add_route t.fib ~prefix ~face
 
 let express_interest t ?scope ?(consumer_private = false) ?timeout_ms ~on_data
-    ?(on_timeout = fun () -> ()) name =
+    ?(on_timeout = fun () -> ()) ?on_nack name =
   (* Shard mode: claim a fresh trace-stitch key for this expression.
      When called from a root context (a driver between runs) this gives
      its emissions their own slot in the cross-shard total order; when
@@ -390,6 +493,7 @@ let express_interest t ?scope ?(consumer_private = false) ?timeout_ms ~on_data
         issued = now;
         on_data;
         on_timeout;
+        on_nack;
         timeout_handle =
           sched t ~delay:timeout_ms (fun () ->
               (* Give up: unregister this expression and notify. *)
@@ -472,12 +576,16 @@ let counters t =
     no_route_drops = t.c.no_route_drops;
     unsolicited_data = t.c.unsolicited_data;
     dropped_down = t.c.dropped_down;
+    nacks_sent = t.c.nacks_sent;
+    nacks_received = t.c.nacks_received;
   }
 
 let pp_counters ppf (c : counters) =
   Format.fprintf ppf
     "in=%d fwd=%d collapsed=%d data_in=%d data_out=%d cache=%d delayed=%d \
-     scope_drop=%d no_route=%d unsolicited=%d down_drop=%d"
+     scope_drop=%d no_route=%d unsolicited=%d down_drop=%d nack_out=%d \
+     nack_in=%d"
     c.interests_received c.interests_forwarded c.interests_collapsed
     c.data_received c.data_sent c.cache_responses c.delayed_responses
     c.scope_drops c.no_route_drops c.unsolicited_data c.dropped_down
+    c.nacks_sent c.nacks_received

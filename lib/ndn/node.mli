@@ -52,6 +52,9 @@ val create :
   ?cs_capacity:int ->
   ?cs_policy:Eviction.t ->
   ?pit_lifetime_ms:float ->
+  ?pit_capacity:int ->
+  ?pit_admission:Pit.admission ->
+  ?nacks:bool ->
   ?forwarding_delay:Sim.Latency.t ->
   ?honor_scope:bool ->
   ?caching:bool ->
@@ -77,9 +80,27 @@ val create :
     (Section III), so it is switchable.  [caching] (default [true]):
     when [false] the node never admits content into its CS — used for
     consumer hosts in probing experiments, where the adversary bypasses
-    its own local cache. *)
+    its own local cache.
+
+    [pit_capacity]/[pit_admission] bound the PIT (default: unbounded —
+    see {!Pit}); [nacks] (default [false]) lets this forwarder
+    generate, relay and consume {!Nack.t} packets.  All three default
+    to the legacy byte-identical behavior. *)
 
 val set_caching : t -> bool -> unit
+
+val set_pit_limits : t -> ?capacity:int -> ?admission:Pit.admission -> unit -> unit
+(** Replace the PIT with a fresh finite table ([admission] defaults to
+    {!Pit.Drop_new}; omitting [capacity] returns to unbounded).
+    Pending entries are {e discarded} — call this while configuring a
+    topology, before traffic runs. *)
+
+val set_nacks_enabled : t -> bool -> unit
+(** Switch NACK generation/relay/consumption on this forwarder.  Off
+    (the default), arriving NACKs are dropped silently and none are
+    produced — the legacy plane. *)
+
+val nacks_enabled : t -> bool
 
 (** {1 Fault injection}
 
@@ -200,12 +221,18 @@ val express_interest :
   ?timeout_ms:float ->
   on_data:(rtt_ms:float -> Data.t -> unit) ->
   ?on_timeout:(unit -> unit) ->
+  ?on_nack:(Nack.reason -> unit) ->
   Name.t ->
   unit
 (** Issue an interest from the local application.  [on_data] fires with
     the measured round-trip time when content arrives; [on_timeout]
     (default: ignore) fires after [timeout_ms] (default the PIT
-    lifetime) without a response.  The local Content Store is consulted
+    lifetime) without a response.  [on_nack]: when given {e and} the
+    forwarder has NACKs enabled, an arriving NACK for this name cancels
+    the timeout and fires exactly one of the three callbacks — the
+    fast-failure signal backoff-aware consumers react to; when omitted
+    a NACK leaves the expression waiting for its timeout, exactly as
+    before NACKs existed.  The local Content Store is consulted
     first — which is precisely the local-adversary channel. *)
 
 (** {1 Introspection} *)
@@ -222,6 +249,8 @@ type counters = {
   no_route_drops : int;
   unsolicited_data : int;
   dropped_down : int;  (** Packets dropped because the node was crashed. *)
+  nacks_sent : int;  (** NACKs originated or relayed downstream. *)
+  nacks_received : int;  (** NACKs arriving on any face. *)
 }
 
 val counters : t -> counters

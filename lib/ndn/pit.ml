@@ -1,19 +1,156 @@
+type admission = Drop_new | Evict_oldest | Per_face_fair
+
+let admission_to_string = function
+  | Drop_new -> "drop-new"
+  | Evict_oldest -> "evict-oldest"
+  | Per_face_fair -> "per-face-fair"
+
+let admission_of_string s =
+  match String.lowercase_ascii s with
+  | "drop-new" | "drop_new" -> Some Drop_new
+  | "evict-oldest" | "evict_oldest" -> Some Evict_oldest
+  | "per-face-fair" | "per_face_fair" -> Some Per_face_fair
+  | _ -> None
+
 type entry = {
   created : float;
+  stamp : int; (* pairs the trie binding with its expiry-index slot *)
+  face0 : int; (* creating face, charged under Per_face_fair *)
   mutable arrivals : (int * int64) list; (* (face, nonce), newest first *)
 }
 
-type insert_result = Forward | Collapsed | Duplicate
+type insert_result = Forward | Collapsed | Duplicate | Rejected
 
-type t = { lifetime_ms : float; trie : entry Name_trie.t }
+type t = {
+  lifetime_ms : float;
+  capacity : int option;
+  admission : admission;
+  on_evict : Name.t -> unit;
+  trie : entry Name_trie.t;
+  (* Time-ordered expiry index: the per-PIT lifetime is a constant and
+     [created] is the monotone engine clock, so insertion order is
+     expiry order and a FIFO suffices.  Entries removed early (satisfy,
+     eviction) leave a stale slot behind; the [stamp] check skips it
+     when popped, so [expire] costs O(popped), never a trie rescan. *)
+  expiry : (int * float * Name.t) Queue.t;
+  face_live : (int, int) Hashtbl.t; (* live entries per creating face *)
+  face_ever : (int, unit) Hashtbl.t;
+  mutable faces_seen : int;
+  mutable next_stamp : int;
+  mutable evictions : int;
+  mutable rejections : int;
+}
 
-let create ?(lifetime_ms = 4000.) () = { lifetime_ms; trie = Name_trie.create () }
+let create ?(lifetime_ms = 4000.) ?capacity ?(admission = Drop_new)
+    ?(on_evict = fun _ -> ()) () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Pit.create: capacity must be positive"
+  | _ -> ());
+  {
+    lifetime_ms;
+    capacity;
+    admission;
+    on_evict;
+    trie = Name_trie.create ();
+    expiry = Queue.create ();
+    face_live = Hashtbl.create 8;
+    face_ever = Hashtbl.create 8;
+    faces_seen = 0;
+    next_stamp = 0;
+    evictions = 0;
+    rejections = 0;
+  }
+
+let capacity t = t.capacity
+
+let admission_policy t = t.admission
+
+let evictions t = t.evictions
+
+let rejections t = t.rejections
+
+let charging = function
+  | { capacity = Some _; admission = Per_face_fair; _ } -> true
+  | _ -> false
+
+let charge t face =
+  if charging t then begin
+    if not (Hashtbl.mem t.face_ever face) then begin
+      Hashtbl.add t.face_ever face ();
+      t.faces_seen <- t.faces_seen + 1
+    end;
+    Hashtbl.replace t.face_live face
+      (1 + Option.value (Hashtbl.find_opt t.face_live face) ~default:0)
+  end
+
+let discharge t face =
+  if charging t then
+    match Hashtbl.find_opt t.face_live face with
+    | Some n when n > 1 -> Hashtbl.replace t.face_live face (n - 1)
+    | Some _ -> Hashtbl.remove t.face_live face
+    | None -> ()
+
+let remove_entry t name entry =
+  Name_trie.remove t.trie name;
+  discharge t entry.face0
+
+(* Drop the oldest live entry: pop the index front, skipping stale
+   slots, until a stamp still bound in the trie turns up. *)
+let rec evict_oldest t =
+  match Queue.take_opt t.expiry with
+  | None -> false
+  | Some (stamp, _, name) -> (
+    match Name_trie.find t.trie name with
+    | Some e when e.stamp = stamp ->
+      remove_entry t name e;
+      t.evictions <- t.evictions + 1;
+      t.on_evict name;
+      true
+    | _ -> evict_oldest t)
+
+(* Per-face quota: an equal share of the table, at least one slot, over
+   every face that has ever created an entry here.  The divisor is
+   monotone, so a flooding face's share only shrinks as victims show
+   up; honest faces keep [capacity / faces] slots however hard one
+   attacker pushes. *)
+let face_quota t cap face =
+  let share = max 1 (cap / max 1 t.faces_seen) in
+  let live = Option.value (Hashtbl.find_opt t.face_live face) ~default:0 in
+  live < share
+
+let admit t ~face =
+  match t.capacity with
+  | None -> true
+  | Some cap -> (
+    match t.admission with
+    | Drop_new -> Name_trie.size t.trie < cap
+    | Evict_oldest -> Name_trie.size t.trie < cap || evict_oldest t
+    | Per_face_fair ->
+      (* Count this face among the claimants before computing shares,
+         so the very first interest from a previously unseen face is
+         judged against the post-arrival divisor. *)
+      if not (Hashtbl.mem t.face_ever face) then begin
+        Hashtbl.add t.face_ever face ();
+        t.faces_seen <- t.faces_seen + 1
+      end;
+      Name_trie.size t.trie < cap && face_quota t cap face)
 
 let insert t ~now ~face ~nonce name =
   match Name_trie.find t.trie name with
   | None ->
-    Name_trie.add t.trie name { created = now; arrivals = [ (face, nonce) ] };
-    Forward
+    if admit t ~face then begin
+      let stamp = t.next_stamp in
+      t.next_stamp <- stamp + 1;
+      Name_trie.add t.trie name
+        { created = now; stamp; face0 = face; arrivals = [ (face, nonce) ] };
+      charge t face;
+      Queue.add (stamp, now, name) t.expiry;
+      Forward
+    end
+    else begin
+      t.rejections <- t.rejections + 1;
+      Rejected
+    end
   | Some entry ->
     if List.exists (fun (f, n) -> f = face && Int64.equal n nonce) entry.arrivals
     then Duplicate
@@ -57,10 +194,17 @@ let satisfy_timed t name =
         | Some c -> Some (Float.min c entry.created))
       None matched
   in
-  List.iter (fun (n, _) -> Name_trie.remove t.trie n) matched;
+  List.iter (fun (n, e) -> remove_entry t n e) matched;
   (dedup_keep_order faces, oldest)
 
 let satisfy t name = fst (satisfy_timed t name)
+
+let take t name =
+  match Name_trie.find t.trie name with
+  | None -> []
+  | Some entry ->
+    remove_entry t name entry;
+    dedup_keep_order (List.rev_map fst entry.arrivals)
 
 let pending t name = Name_trie.mem t.trie name
 
@@ -70,15 +214,32 @@ let faces t name =
   | Some entry -> dedup_keep_order (List.rev_map fst entry.arrivals)
 
 let expire t ~now =
-  let stale =
-    List.filter_map
-      (fun (name, entry) ->
-        if now -. entry.created > t.lifetime_ms then Some name else None)
-      (Name_trie.to_list t.trie)
+  (* Pop the index front while it is stale; each slot is either a live
+     expired entry (drop and report) or a leftover from an early
+     removal (skip).  Names are reported in canonical trie order, as
+     the historical full-rescan implementation did, so traced sweeps
+     render identically. *)
+  let stale = ref [] in
+  let rec go () =
+    match Queue.peek_opt t.expiry with
+    | Some (stamp, created, name) when now -. created > t.lifetime_ms ->
+      ignore (Queue.pop t.expiry);
+      (match Name_trie.find t.trie name with
+      | Some e when e.stamp = stamp ->
+        remove_entry t name e;
+        stale := name :: !stale
+      | _ -> ());
+      go ()
+    | _ -> ()
   in
-  List.iter (Name_trie.remove t.trie) stale;
-  stale
+  go ();
+  List.sort Name.compare !stale
 
 let size t = Name_trie.size t.trie
 
-let clear t = Name_trie.clear t.trie
+let clear t =
+  Name_trie.clear t.trie;
+  Queue.clear t.expiry;
+  Hashtbl.reset t.face_live;
+  Hashtbl.reset t.face_ever;
+  t.faces_seen <- 0

@@ -2,6 +2,7 @@
      INTEREST       0x05 [ NAME NONCE SCOPE? FLAGS? ]
      DATA           0x06 [ NAME PRODUCER PAYLOAD SIGNATURE FLAGS?
                            CONTENT_ID? FRESHNESS? ]
+     NACK           0x03 [ NAME NONCE REASON ]
      NAME           0x07 [ COMPONENT* ]
      COMPONENT      0x08 bytes
      NONCE          0x0A 8 bytes big-endian
@@ -11,6 +12,8 @@
      PRODUCER       0x16 bytes
      PAYLOAD        0x15 bytes
      SIGNATURE      0x17 bytes
+     REASON         0x0E 1 byte (0 congested, 1 no_route, 2 pit_full,
+                                 3 duplicate)
      CONTENT_ID     0x12 bytes
      FRESHNESS      0x13 8 bytes (float bits, big-endian)
 
@@ -25,11 +28,13 @@ let pp_error ppf e = Format.fprintf ppf "wire error at byte %d: %s" e.offset e.r
 
 let t_interest = 0x05
 let t_data = 0x06
+let t_nack = 0x03
 let t_name = 0x07
 let t_component = 0x08
 let t_nonce = 0x0A
 let t_scope = 0x0C
 let t_flags = 0x0D
+let t_reason = 0x0E
 let t_content_id = 0x12
 let t_freshness = 0x13
 let t_payload = 0x15
@@ -94,9 +99,28 @@ let encode_data d =
   add_tlv buf t_data (encode_data_body d);
   Buffer.contents buf
 
+let reason_byte = function
+  | Nack.Congested -> 0
+  | Nack.No_route -> 1
+  | Nack.Pit_full -> 2
+  | Nack.Duplicate -> 3
+
+let encode_nack_body (n : Nack.t) =
+  let buf = Buffer.create 64 in
+  add_tlv buf t_name (encode_name n.Nack.name);
+  add_tlv buf t_nonce (be64 n.Nack.nonce);
+  add_tlv buf t_reason (String.make 1 (Char.chr (reason_byte n.Nack.reason)));
+  Buffer.contents buf
+
+let encode_nack n =
+  let buf = Buffer.create 80 in
+  add_tlv buf t_nack (encode_nack_body n);
+  Buffer.contents buf
+
 let encode_packet = function
   | Packet.Interest i -> encode_interest i
   | Packet.Data d -> encode_data d
+  | Packet.Nack n -> encode_nack n
 
 let encoded_size p = String.length (encode_packet p)
 
@@ -241,6 +265,35 @@ let decode_data_body s ~off ~len =
 (* Data.t is private; rebuilding with the carried signature goes
    through [Data.of_wire]. *)
 
+type nack_acc = {
+  mutable n_name : Name.t option;
+  mutable n_nonce : int64 option;
+  mutable n_reason : Nack.reason option;
+}
+
+let decode_nack_body s ~off ~len =
+  let acc = { n_name = None; n_nonce = None; n_reason = None } in
+  ignore
+    (fold_tlvs s ~off ~len ~init:() ~f:(fun () ~typ ~voff ~vlen ->
+         if typ = t_name then acc.n_name <- Some (decode_name s ~off:voff ~len:vlen)
+         else if typ = t_nonce then acc.n_nonce <- Some (decode_be64 s ~off:voff ~len:vlen)
+         else if typ = t_reason then begin
+           if vlen <> 1 then fail voff "reason must be one byte";
+           acc.n_reason <-
+             (match Char.code s.[voff] with
+             | 0 -> Some Nack.Congested
+             | 1 -> Some Nack.No_route
+             | 2 -> Some Nack.Pit_full
+             | 3 -> Some Nack.Duplicate
+             | b -> fail voff (Printf.sprintf "unknown nack reason %d" b))
+         end
+         else fail voff (Printf.sprintf "unknown nack field 0x%02x" typ)));
+  match (acc.n_name, acc.n_nonce, acc.n_reason) with
+  | Some name, Some nonce, Some reason -> Nack.create ~nonce ~reason name
+  | None, _, _ -> fail off "nack missing name"
+  | _, None, _ -> fail off "nack missing nonce"
+  | _, _, None -> fail off "nack missing reason"
+
 let decode_interest s =
   try
     let typ, voff, vlen = read_header s 0 in
@@ -269,11 +322,20 @@ let decode_data s =
          ~strict_match ~content_id ~freshness_ms)
   with Fail e -> Error e
 
+let decode_nack s =
+  try
+    let typ, voff, vlen = read_header s 0 in
+    if typ <> t_nack then fail 0 "not a nack packet";
+    if voff + vlen <> String.length s then fail (voff + vlen) "trailing bytes";
+    Ok (decode_nack_body s ~off:voff ~len:vlen)
+  with Fail e -> Error e
+
 let decode_packet s =
   try
     let typ, _, _ = read_header s 0 in
     if typ = t_interest then
       Result.map (fun i -> Packet.Interest i) (decode_interest s)
     else if typ = t_data then Result.map (fun d -> Packet.Data d) (decode_data s)
+    else if typ = t_nack then Result.map (fun n -> Packet.Nack n) (decode_nack s)
     else fail 0 (Printf.sprintf "unknown packet type 0x%02x" typ)
   with Fail e -> Error e

@@ -18,11 +18,15 @@ val encode_interest : Interest.t -> string
 
 val encode_data : Data.t -> string
 
+val encode_nack : Nack.t -> string
+
 val encode_packet : Packet.t -> string
 
 val decode_interest : string -> (Interest.t, error) result
 
 val decode_data : string -> (Data.t, error) result
+
+val decode_nack : string -> (Nack.t, error) result
 
 val decode_packet : string -> (Packet.t, error) result
 (** Dispatches on the outer TLV type. *)

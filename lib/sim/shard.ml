@@ -54,6 +54,8 @@ type t = {
   queues : queue array; (* length k*k, index src*k + dst *)
   mutable min_link_delay : float; (* infinity until a link is noted *)
   mutable latency_factor : float; (* min fault degradation factor seen *)
+  mutable watchdog : (float * (unit -> float)) option;
+      (* (stall bound ms, wall-clock) — None = no watchdog (default) *)
 }
 
 (* One lookahead window can hold at most [queue_bound] messages per
@@ -88,7 +90,15 @@ let create ?(traced = false) ~shards () =
     queues = Array.init (shards * shards) (fun _ -> { arr = [||]; len = 0 });
     min_link_delay = Float.infinity;
     latency_factor = 1.;
+    watchdog = None;
   }
+
+let set_watchdog t ?(stall_ms = 30_000.) ~clock_ms () =
+  if not (stall_ms > 0. && Float.is_finite stall_ms) then
+    invalid_arg "Sim.Shard.set_watchdog: stall_ms must be positive and finite";
+  t.watchdog <- Some (stall_ms, clock_ms)
+
+let clear_watchdog t = t.watchdog <- None
 
 let shards t = t.k
 
@@ -160,16 +170,62 @@ let run_windows_connected t ~until ~la =
   let bmutex = Mutex.create () in
   let bcond = Condition.create () in
   let fail = Atomic.make None in
+  (* Which sense each worker last signed in with: a straggler is a slot
+     still carrying the previous sense.  Plain (non-atomic) bools — the
+     array is only read to build the stall diagnostic, where a torn
+     read at worst misnames a shard that arrived at the last instant. *)
+  let arrived = Array.make k false in
+  (* Snapshot of the stalled partition, racy by design (the point is
+     that somebody is NOT making progress).  Names the shards that
+     never reached the barrier, how much work each engine still holds,
+     and any backed-up cross-shard queues. *)
+  let stall_diagnostic ~waiter ~stall_ms s =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Sim.Shard: stall watchdog — no barrier progress in %.0f ms (shard %d \
+          waiting); stuck shard(s):"
+         stall_ms waiter);
+    for j = 0 to k - 1 do
+      if arrived.(j) <> s then Buffer.add_string buf (Printf.sprintf " %d" j)
+    done;
+    Buffer.add_string buf "; pending events:";
+    Array.iteri
+      (fun j eng ->
+        Buffer.add_string buf (Printf.sprintf " %d:%d" j (Engine.pending eng)))
+      t.engines;
+    Buffer.add_string buf "; cross-shard queue depths:";
+    let any = ref false in
+    Array.iteri
+      (fun idx q ->
+        if q.len > 0 then begin
+          any := true;
+          Buffer.add_string buf
+            (Printf.sprintf " %d->%d:%d" (idx / k) (idx mod k) q.len)
+        end)
+      t.queues;
+    if not !any then Buffer.add_string buf " none";
+    Buffer.contents buf
+  in
   (* Sense-reversing barrier, hybrid wait: spin briefly (fast path when
      every shard has its own core), then block on the condition
      variable — pure spinning on an oversubscribed host (fewer cores
      than shards) burns whole scheduler quanta per window and collapses
      throughput.  The releaser flips [bsense] while holding the mutex,
      so a waiter that saw the old sense before locking cannot miss the
-     broadcast. *)
-  let barrier sense =
+     broadcast.
+
+     With a watchdog armed, the block phase polls instead of sleeping
+     (OCaml's [Condition] has no timed wait): the waiter checks the
+     injected wall-clock every 4096 relaxations and raises a diagnostic
+     once the stall bound passes without release.  That failure is not
+     recoverable — peers blocked at the same barrier raise their own
+     copies, and the stuck shard keeps running until its window ends —
+     it exists to turn a silent hang into an actionable error. *)
+  let barrier i sense =
     let s = not !sense in
     sense := s;
+    arrived.(i) <- s;
     if Atomic.fetch_and_add bcount 1 = k - 1 then begin
       Atomic.set bcount 0;
       Mutex.lock bmutex;
@@ -184,11 +240,22 @@ let run_windows_connected t ~until ~la =
         Domain.cpu_relax ()
       done;
       if Atomic.get bsense <> s then begin
-        Mutex.lock bmutex;
-        while Atomic.get bsense <> s do
-          Condition.wait bcond bmutex
-        done;
-        Mutex.unlock bmutex
+        match t.watchdog with
+        | None ->
+          Mutex.lock bmutex;
+          while Atomic.get bsense <> s do
+            Condition.wait bcond bmutex
+          done;
+          Mutex.unlock bmutex
+        | Some (stall_ms, clock_ms) ->
+          let t0 = clock_ms () in
+          let polls = ref 0 in
+          while Atomic.get bsense <> s do
+            Domain.cpu_relax ();
+            incr polls;
+            if !polls land 4095 = 0 && clock_ms () -. t0 > stall_ms then
+              failwith (stall_diagnostic ~waiter:i ~stall_ms s)
+          done
       end
     end
   in
@@ -209,7 +276,7 @@ let run_windows_connected t ~until ~la =
         done;
       local_next.(i) <-
         (if !poisoned then Float.neg_infinity else Engine.next_event_time eng);
-      barrier sense;
+      barrier i sense;
       let gnext = ref Float.infinity in
       for s = 0 to k - 1 do
         if local_next.(s) < !gnext then gnext := local_next.(s)
@@ -236,7 +303,7 @@ let run_windows_connected t ~until ~la =
            let bt = Printexc.get_raw_backtrace () in
            ignore (Atomic.compare_and_set fail None (Some (exn, bt)));
            poisoned := true);
-        barrier sense;
+        barrier i sense;
         round ()
       end
     in

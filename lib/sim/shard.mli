@@ -61,6 +61,26 @@ val note_latency_factor : t -> float -> unit
     bound, so the lookahead is scaled down by the smallest factor ever
     registered. *)
 
+val set_watchdog : t -> ?stall_ms:float -> clock_ms:(unit -> float) -> unit -> unit
+(** Arm the barrier stall watchdog for subsequent {!run}s: a shard that
+    waits more than [stall_ms] (default 30_000) of wall-clock time at a
+    window barrier without release raises [Failure] with a diagnostic
+    naming the shard(s) that never arrived, every engine's pending
+    event count and the cross-shard queue depths — turning a hung run
+    (an event-loop livelock, a deadlocked callback) into an actionable
+    error.  [clock_ms] supplies wall-clock milliseconds; the library
+    deliberately takes it as an argument (the simulator core reads no
+    wall clocks — see lint rule D3), e.g. from [Unix.gettimeofday] in a
+    binary.  While armed, blocked waiters poll (the stdlib [Condition]
+    has no timed wait) checking the clock every few thousand spins, so
+    leave it off — the default — for oversubscribed perf runs.  A fired
+    watchdog does not stop the stuck shard; the run is unrecoverable
+    and the process should exit.
+    @raise Invalid_argument unless [stall_ms] is positive and finite. *)
+
+val clear_watchdog : t -> unit
+(** Disarm: return the barrier to its hybrid spin-then-block wait. *)
+
 val send :
   t -> src:int -> dst:int -> time:float -> key:int -> (unit -> unit) -> unit
 (** Enqueue a cross-shard delivery: [f] will execute on shard [dst]'s

@@ -21,6 +21,13 @@ type kind =
   | Fault_crash
   | Fault_restart
   | Fault_producer
+  | Pit_drop
+  | Queue_drop
+  | Nack_congested
+  | Nack_no_route
+  | Nack_pit_full
+  | Nack_duplicate
+  | Consumer_give_up
 
 type event = {
   time : float;
@@ -53,6 +60,13 @@ let kind_to_string = function
   | Fault_crash -> "fault.crash"
   | Fault_restart -> "fault.restart"
   | Fault_producer -> "fault.producer"
+  | Pit_drop -> "pit.drop"
+  | Queue_drop -> "queue.drop"
+  | Nack_congested -> "nack.congested"
+  | Nack_no_route -> "nack.no_route"
+  | Nack_pit_full -> "nack.pit_full"
+  | Nack_duplicate -> "nack.duplicate"
+  | Consumer_give_up -> "consumer.give_up"
 
 let all_kinds =
   [
@@ -60,6 +74,8 @@ let all_kinds =
     Interest_received; Interest_forwarded; Interest_collapsed; Data_received;
     Data_sent; Pit_timeout; Link_transmit; Link_drop; Rc_draw; Rc_fake_miss;
     Rc_hit; Cs_flush; Fault_link; Fault_crash; Fault_restart; Fault_producer;
+    Pit_drop; Queue_drop; Nack_congested; Nack_no_route; Nack_pit_full;
+    Nack_duplicate; Consumer_give_up;
   ]
 
 let all_kind_names = List.map kind_to_string all_kinds

@@ -25,7 +25,9 @@
     ["data.sent"], ["pit.timeout"], ["link.tx"], ["link.drop"],
     ["rc.draw"], ["rc.fake_miss"], ["rc.hit"], ["cs.flush"],
     ["fault.link"], ["fault.crash"], ["fault.restart"],
-    ["fault.producer"]. *)
+    ["fault.producer"], ["pit.drop"], ["queue.drop"],
+    ["nack.congested"], ["nack.no_route"], ["nack.pit_full"],
+    ["nack.duplicate"], ["consumer.give_up"]. *)
 type kind =
   | Engine_step  (** One event executed by {!Engine}. *)
   | Cs_hit
@@ -49,6 +51,19 @@ type kind =
   | Fault_crash  (** Injected router crash (attrs: preserve_cs). *)
   | Fault_restart  (** Injected router restart. *)
   | Fault_producer  (** Injected producer outage/slowdown (attrs: state). *)
+  | Pit_drop
+      (** A finite PIT rejected or evicted an entry (attrs: policy,
+          reason). *)
+  | Queue_drop
+      (** A bounded link transmission queue dropped a packet (attrs:
+          peer, policy, depth). *)
+  | Nack_congested  (** NACK sent/propagated: transmission queue full. *)
+  | Nack_no_route  (** NACK sent/propagated: no FIB route. *)
+  | Nack_pit_full  (** NACK sent/propagated: PIT admission refused. *)
+  | Nack_duplicate  (** NACK sent/propagated: looping duplicate nonce. *)
+  | Consumer_give_up
+      (** A consumer fetch exhausted its retry budget (attrs:
+          attempts, nacks). *)
 
 type event = {
   time : float;  (** Virtual time (ms) at emission. *)

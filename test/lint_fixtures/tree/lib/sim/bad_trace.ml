@@ -1,5 +1,6 @@
-type kind = Step | Sneaky
+type kind = Step | Sneaky | Nacky
 
 let kind_to_string = function
   | Step -> "engine.step"
   | Sneaky -> "cs.sneaky"
+  | Nacky -> "nack.congested"

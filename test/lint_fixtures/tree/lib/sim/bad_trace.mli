@@ -1,3 +1,3 @@
-type kind = Step | Sneaky
+type kind = Step | Sneaky | Nacky
 
 val kind_to_string : kind -> string

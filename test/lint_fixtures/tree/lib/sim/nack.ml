@@ -1,0 +1,1 @@
+type reason = Congested | Sneaky_reason

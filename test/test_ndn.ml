@@ -785,11 +785,18 @@ let test_wire_packet_dispatch () =
   let d = Data.create ~producer:"P" ~key:"k" ~payload:"x" (name "/b") in
   (match Wire.decode_packet (Wire.encode_packet (Packet.Interest i)) with
   | Ok (Packet.Interest _) -> ()
-  | Ok (Packet.Data _) -> Alcotest.fail "wrong branch"
+  | Ok (Packet.Data _ | Packet.Nack _) -> Alcotest.fail "wrong branch"
   | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Wire.pp_error e));
-  match Wire.decode_packet (Wire.encode_packet (Packet.Data d)) with
+  (match Wire.decode_packet (Wire.encode_packet (Packet.Data d)) with
   | Ok (Packet.Data _) -> ()
-  | Ok (Packet.Interest _) -> Alcotest.fail "wrong branch"
+  | Ok (Packet.Interest _ | Packet.Nack _) -> Alcotest.fail "wrong branch"
+  | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Wire.pp_error e));
+  let nk =
+    Nack.create ~nonce:7L ~reason:Nack.Pit_full (name "/a/b")
+  in
+  match Wire.decode_packet (Wire.encode_packet (Packet.Nack nk)) with
+  | Ok (Packet.Nack nk') -> Alcotest.(check bool) "nack roundtrips" true (Nack.equal nk nk')
+  | Ok (Packet.Interest _ | Packet.Data _) -> Alcotest.fail "wrong branch"
   | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Wire.pp_error e)
 
 let test_wire_rejects_garbage () =
@@ -1078,7 +1085,7 @@ let qcheck_tests =
           Name.equal d.Data.name d'.Data.name
           && d.Data.payload = d'.Data.payload
           && Data.verify d' ~key:"k"
-        | Ok (Packet.Interest _) | Error _ -> false);
+        | Ok (Packet.Interest _ | Packet.Nack _) | Error _ -> false);
     QCheck.Test.make ~name:"segmentation split/concat roundtrip" ~count:200
       (QCheck.pair QCheck.string (QCheck.int_range 1 64))
       (fun (payload, segment_size) ->

@@ -43,6 +43,7 @@ let golden_jsonl =
     {|{"rule":"T1","severity":"error","file":"lib/sim/bad_trace.ml","line":5,"col":15,"message":"trace kind \"cs.sneaky\" is emitted here but absent from the registry; add it (and document it) before shipping the event","status":"active"}|};
     {|{"rule":"D3","severity":"error","file":"lib/sim/bad_wallclock.ml","line":1,"col":13,"message":"wall-clock read (Unix.gettimeofday) outside bin/; simulated components must only see virtual time","status":"active"}|};
     {|{"rule":"D3","severity":"error","file":"lib/sim/bad_wallclock.ml","line":2,"col":13,"message":"wall-clock read (Sys.time) outside bin/; simulated components must only see virtual time","status":"active"}|};
+    {|{"rule":"T3","severity":"error","file":"lib/sim/nack.ml","line":1,"col":24,"message":"NACK reason constructor Sneaky_reason has no registered trace kind \"nack.sneaky_reason\"; register (and emit) it so this refusal stays observable","status":"active"}|};
     {|{"rule":"S1","severity":"error","file":"lib/sim/no_mli.ml","line":1,"col":0,"message":"module under lib/ has no .mli; every library module must declare its interface","status":"active"}|};
     {|{"rule":"D5","severity":"error","file":"lib/sim/pragma_ok.ml","line":1,"col":8,"message":"polymorphic Hashtbl.hash in a key-bearing library; hash a canonical scalar (e.g. the key string) or use the key module's hash","status":"pragma"}|};
     {|{"rule":"D2","severity":"error","file":"lib/sim/pragma_ok.ml","line":4,"col":11,"message":"Random.bool uses the global Random state; draw from a Sim.Rng generator instead","status":"pragma"}|};

@@ -77,6 +77,11 @@ let all_rules =
       severity = Error;
       synopsis = "registry lists a trace kind no longer emitted";
     };
+    {
+      id = "T3";
+      severity = Error;
+      synopsis = "NACK reason constructor lacks a registered nack.* trace kind";
+    };
     { id = "S1"; severity = Error; synopsis = "lib module lacks an .mli" };
     { id = "S2"; severity = Error; synopsis = "stdout output from lib/" };
   ]
@@ -297,6 +302,10 @@ type file_ctx = {
   in_bin : bool;
   in_keyspace : bool;  (* lib/sim or lib/ndn: abstract keys live here *)
   is_rng_impl : bool;
+  is_nack_impl : bool;
+      (* Any nack.ml: its [type reason] constructors must each have a
+         registered [nack.<constructor>] trace kind (T3), so a reason
+         can never be added without a corresponding observable event. *)
   is_domain_impl : bool;
       (* lib/sim/parallel.ml and lib/sim/shard.ml: the only modules
          allowed to touch Domain/Mutex/Condition/Atomic directly (D8). *)
@@ -520,6 +529,38 @@ let scan_structure ctx ~key_modules ~registry ~emit ~record_kind str =
               vbs;
             Ast_iterator.default_iterator.structure_item it si;
             sort_in_item := saved
+          | Pstr_type (_, decls) when ctx.is_nack_impl ->
+            (* T3: every [type reason] constructor in a nack.ml must
+               have a registered [nack.<lowercased constructor>] trace
+               kind — a refusal the plane can produce but never report
+               is invisible to every overload experiment. *)
+            (match registry with
+            | None -> ()
+            | Some reg ->
+              List.iter
+                (fun decl ->
+                  if decl.ptype_name.txt = "reason" then
+                    match decl.ptype_kind with
+                    | Ptype_variant ctors ->
+                      List.iter
+                        (fun ctor ->
+                          let expected =
+                            "nack." ^ String.lowercase_ascii ctor.pcd_name.txt
+                          in
+                          if not (List.mem_assoc expected reg) then begin
+                            let line, col = pos_of_loc ctor.pcd_loc in
+                            emit ~rule:"T3" ~line ~col
+                              ~msg:
+                                (Printf.sprintf
+                                   "NACK reason constructor %s has no \
+                                    registered trace kind %S; register (and \
+                                    emit) it so this refusal stays observable"
+                                   ctor.pcd_name.txt expected)
+                          end)
+                        ctors
+                    | _ -> ())
+                decls);
+            Ast_iterator.default_iterator.structure_item it si
           | _ -> Ast_iterator.default_iterator.structure_item it si);
     }
   in
@@ -598,6 +639,7 @@ let lint cfg =
           String.starts_with ~prefix:"lib/sim/" rel
           || String.starts_with ~prefix:"lib/ndn/" rel;
         is_rng_impl = rel = "lib/sim/rng.ml";
+        is_nack_impl = Filename.basename rel = "nack.ml";
         is_domain_impl =
           rel = "lib/sim/parallel.ml" || rel = "lib/sim/shard.ml";
         defines_compare = false;
