@@ -240,6 +240,7 @@ let insert t ~now data meta =
 
 (* Inline freshness test ([Data.is_fresh] unfolded) so the age stays in
    float registers on the lookup path. *)
+(* ndnlint: hot *)
 let is_stale e ~now =
   match e.data.Data.freshness_ms with
   | None -> false
@@ -259,22 +260,29 @@ let expire_if_stale t ~now node =
   end
   else false
 
+(* ndnlint: hot *)
 let touch t ~now node =
   let e = node.entry in
   e.last_access <- now;
   e.access_count <- e.access_count + 1;
-  if t.policy = Eviction.Lru then begin
+  (* Matching instead of [t.policy = Eviction.Lru]: a generic
+     structural compare on the policy variant would call caml_equal on
+     every hit. *)
+  match t.policy with
+  | Eviction.Lru ->
     detach t node;
     push_front t node
-  end
+  | _ -> ()
 
 (* The counted miss exit, shared by both lookup flavours. *)
+(* ndnlint: hot *)
 let miss t ~now name =
   t.misses <- t.misses + 1;
   if Sim.Trace.enabled t.tracer then trace t ~now Sim.Trace.Cs_miss name [];
   raise Not_found
 
 (* The counted hit exit: refresh recency, count, trace. *)
+(* ndnlint: hot *)
 let hit t ~now node =
   touch t ~now node;
   t.hits <- t.hits + 1;
@@ -283,6 +291,7 @@ let hit t ~now node =
       [ ("count", string_of_int node.entry.access_count) ];
   node.entry
 
+(* ndnlint: hot *)
 let find_exact t ~now name =
   t.lookups <- t.lookups + 1;
   match Name.Tbl.find t.table name with

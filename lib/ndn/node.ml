@@ -128,6 +128,7 @@ let create engine ~rng ~label ?(tracer = Sim.Trace.disabled)
   {
     label;
     engine;
+    (* ndnlint: allow G1 -- cs_rng is split off first, unconditionally ordered before any draw from the node's own handle, so keeping the parent here cannot perturb its stream; reordering would change every seeded trace *)
     rng;
     tracer;
     sid;

@@ -213,14 +213,18 @@ let faces t name =
   | None -> []
   | Some entry -> dedup_keep_order (List.rev_map fst entry.arrivals)
 
+(* ndnlint: hot *)
 let expire t ~now =
   (* Pop the index front while it is stale; each slot is either a live
      expired entry (drop and report) or a leftover from an early
      removal (skip).  Names are reported in canonical trie order, as
      the historical full-rescan implementation did, so traced sweeps
-     render identically. *)
+     render identically.  A while-loop rather than a local [let rec]:
+     the recursive closure would capture [t]/[now] and allocate on
+     every sweep, and this runs once per engine step. *)
   let stale = ref [] in
-  let rec go () =
+  let continue_ = ref true in
+  while !continue_ do
     match Queue.peek_opt t.expiry with
     | Some (stamp, created, name) when now -. created > t.lifetime_ms ->
       ignore (Queue.pop t.expiry);
@@ -228,11 +232,9 @@ let expire t ~now =
       | Some e when e.stamp = stamp ->
         remove_entry t name e;
         stale := name :: !stale
-      | _ -> ());
-      go ()
-    | _ -> ()
-  in
-  go ();
+      | _ -> ())
+    | _ -> continue_ := false
+  done;
   List.sort Name.compare !stale
 
 let size t = Name_trie.size t.trie

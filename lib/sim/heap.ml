@@ -90,6 +90,7 @@ let grow t witness =
 
 (* Hole-based sift-up: shift larger parents down into the hole, then
    store (time, seq, slot) once at its final position. *)
+(* ndnlint: hot *)
 let add t ~time ~seq x =
   grow t x;
   (* [size] live slots + [free_len] retired ones never exceeds the
@@ -126,6 +127,7 @@ let add t ~time ~seq x =
 
 (* Hole-based sift-down of the (time, seq, slot) displaced from the
    last position after a pop. *)
+(* ndnlint: hot *)
 let sift_down_from_root t time seq slot =
   let times = t.times and seqs = t.seqs and slot_of = t.slot_of in
   let size = t.size in
@@ -169,12 +171,14 @@ let min_time t =
 (* Bound test without the boxed-float return of [min_time]: does the
    minimum key's time lie at or before [limit]?  [false] on an empty
    heap. *)
+(* ndnlint: hot *)
 let min_before t limit = t.size > 0 && Array.unsafe_get t.times 0 <= limit
 
 let min_seq t =
   if t.size = 0 then invalid_arg "Heap.min_seq: empty heap";
   Array.unsafe_get t.seqs 0
 
+(* ndnlint: hot *)
 let pop_min_elt t =
   if t.size = 0 then invalid_arg "Heap.pop_min_elt: empty heap";
   let slot = Array.unsafe_get t.slot_of 0 in
@@ -195,6 +199,7 @@ let pop_min_elt t =
    dispatch loop is the reason this exists: its virtual clock is such
    an array, and the fused store moves the time without a cross-module
    boxed-float return on the hottest path in the simulator. *)
+(* ndnlint: hot *)
 let pop_min_elt_writing_time t ~time_into =
   if t.size = 0 then invalid_arg "Heap.pop_min_elt_writing_time: empty heap";
   time_into.(0) <- Array.unsafe_get t.times 0;

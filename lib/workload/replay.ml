@@ -50,6 +50,7 @@ let replay trace config =
     Ndn.Content_store.create ~policy:config.eviction ~rng:cs_rng
       ~capacity:config.cache_capacity ()
   in
+  (* ndnlint: allow G1 -- historical stream layout: the policy draws from the root handle between the two splits; reordering the splits or re-deriving would change every replay byte-for-byte *)
   let policy = Core.Policy.create ~grouping:config.grouping ~rng config.policy in
   let request_privacy_rng = Sim.Rng.split rng in
   let is_private content =

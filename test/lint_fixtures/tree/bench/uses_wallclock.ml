@@ -1,0 +1,3 @@
+(* Fixture for path-scoped severities: wall-clock reads in bench/ are
+   skipped by the default scoped table and demoted by a custom one. *)
+let now_s () = Unix.gettimeofday ()

@@ -1,0 +1,16 @@
+(* Fixture for stale-suppression detection and multi-rule pragmas.
+
+   The D1 pragma below is stale: the covered line never seeds an RNG,
+   so [stale_findings] must flag the site.  The D3, D4 pragma covers
+   two different rules with one comment.  The trailing "all" pragma is
+   also stale, but only a pass that checks the whole rule table may say
+   so. *)
+
+(* ndnlint: allow D1 -- fixture: stale, the line below never self-seeds *)
+let quiet = 0
+
+(* ndnlint: allow D3, D4 -- fixture: one comment suppresses two rules *)
+let both () = (Unix.gettimeofday (), Sys.getenv "NDN_FIXTURE")
+
+(* ndnlint: allow all -- fixture: judged stale only by a full-universe pass *)
+let tail = 1

@@ -1,0 +1,3 @@
+val quiet : int
+val both : unit -> float * string
+val tail : int

@@ -18,6 +18,19 @@ let lint_exn cfg =
   | Ok findings -> findings
   | Error msg -> Alcotest.failf "ndnlint error: %s" msg
 
+let lint_full_exn cfg =
+  match Ndnlint.lint_full cfg with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "ndnlint error: %s" msg
+
+let syntactic_rule_ids =
+  List.filter_map
+    (fun r ->
+      if r.Ndnlint.typed || r.Ndnlint.id = "S3" then None else Some r.Ndnlint.id)
+    Ndnlint.all_rules
+
+let all_rule_ids = List.map (fun r -> r.Ndnlint.id) Ndnlint.all_rules
+
 (* Every finding the fixture tree must produce, in output order.  One
    golden line per rule ID at minimum; statuses exercise the pragma
    path ("pragma") alongside active findings. *)
@@ -47,6 +60,8 @@ let golden_jsonl =
     {|{"rule":"S1","severity":"error","file":"lib/sim/no_mli.ml","line":1,"col":0,"message":"module under lib/ has no .mli; every library module must declare its interface","status":"active"}|};
     {|{"rule":"D5","severity":"error","file":"lib/sim/pragma_ok.ml","line":1,"col":8,"message":"polymorphic Hashtbl.hash in a key-bearing library; hash a canonical scalar (e.g. the key string) or use the key module's hash","status":"pragma"}|};
     {|{"rule":"D2","severity":"error","file":"lib/sim/pragma_ok.ml","line":4,"col":11,"message":"Random.bool uses the global Random state; draw from a Sim.Rng generator instead","status":"pragma"}|};
+    {|{"rule":"D3","severity":"error","file":"lib/sim/stale_pragma.ml","line":13,"col":15,"message":"wall-clock read (Unix.gettimeofday) outside bin/; simulated components must only see virtual time","status":"pragma"}|};
+    {|{"rule":"D4","severity":"error","file":"lib/sim/stale_pragma.ml","line":13,"col":37,"message":"Sys.getenv in lib/: environment must not influence simulation results; plumb configuration through function arguments","status":"pragma"}|};
     {|{"rule":"T2","severity":"error","file":"registry.txt","line":3,"col":0,"message":"registry lists trace kind \"old.kind\" but no kind_to_string emits it; remove the stale entry","status":"active"}|};
   ]
 
@@ -64,17 +79,26 @@ let test_golden_jsonl () =
     (lines (Ndnlint.render Ndnlint.Jsonl findings));
   Alcotest.(check int) "fixture tree fails the lint" 1 (Ndnlint.exit_code findings)
 
-(* Every shipped rule ID must be covered by at least one golden
-   finding, so a new rule cannot land without a fixture. *)
+(* Every shipped syntactic rule ID must be covered by at least one
+   golden finding, so a new rule cannot land without a fixture.  S3 is
+   covered by the stale-suppression tests below; the typed rules (R1,
+   A1, A2, G1) are produced by the Ndntype cmt pass and covered by
+   test_ndntype's planted fixtures. *)
 let test_rule_coverage () =
   let seen = List.map (fun f -> f.Ndnlint.rule) (lint_exn (fixture_config ())) in
   List.iter
-    (fun r ->
+    (fun id ->
       Alcotest.(check bool)
-        (Printf.sprintf "rule %s has a fixture finding" r.Ndnlint.id)
-        true
-        (List.mem r.Ndnlint.id seen))
-    Ndnlint.all_rules
+        (Printf.sprintf "rule %s has a fixture finding" id)
+        true (List.mem id seen))
+    syntactic_rule_ids;
+  (* The table itself must still carry the non-syntactic rules. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s is in the table" id)
+        true (List.mem id all_rule_ids))
+    [ "S3"; "R1"; "A1"; "A2"; "G1" ]
 
 (* The acceptance check in one test: introducing Random.self_init into
    lib/sim makes the lint exit non-zero. *)
@@ -123,6 +147,119 @@ let test_allowlist () =
   (* Unallowed findings remain, so the tree still fails. *)
   Alcotest.(check int) "still non-zero" 1 (Ndnlint.exit_code findings)
 
+(* One comment, several rules: an `allow D3, D4` pragma suppresses
+   both on the covered line and records a single site.  The marker is
+   spelled in two pieces below so the real-tree scan of this very file
+   does not read the sample as a live (and stale) pragma. *)
+let test_multi_rule_pragma () =
+  let src =
+    "let a = 1\n(* ndn" ^ "lint: allow D3, D4 -- two rules, one comment *)\n"
+    ^ "let b = 2\n"
+  in
+  let p = Ndnlint.pragmas_of_source src in
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool)
+        (rule ^ " suppressed on the covered line")
+        true
+        (Ndnlint.pragma_suppresses p ~line:3 ~rule))
+    [ "D3"; "D4" ];
+  Alcotest.(check bool)
+    "unlisted rule not suppressed" false
+    (Ndnlint.pragma_suppresses p ~line:3 ~rule:"D1");
+  match Ndnlint.pragma_sites p with
+  | [ site ] ->
+    Alcotest.(check (list string))
+      "site carries both rules" [ "D3"; "D4" ] site.Ndnlint.ps_rules;
+    Alcotest.(check int) "site line" 2 site.Ndnlint.ps_line;
+    Alcotest.(check (list int)) "covers itself and the next line" [ 2; 3 ]
+      (List.sort compare site.Ndnlint.ps_covers)
+  | sites -> Alcotest.failf "expected one pragma site, got %d" (List.length sites)
+
+(* S3 over pragmas: the D1 pragma in stale_pragma.ml covers a line
+   that triggers nothing, so the syntactic universe flags it; the
+   trailing `allow all` pragma is only condemned by a pass that
+   checked the whole rule table. *)
+let test_stale_pragma () =
+  let findings, inventory = lint_full_exn (fixture_config ()) in
+  let stale =
+    Ndnlint.stale_findings ~checked_rules:syntactic_rule_ids inventory findings
+  in
+  (match stale with
+  | [ s ] ->
+    Alcotest.(check string) "S3 rule" "S3" s.Ndnlint.rule;
+    Alcotest.(check string)
+      "stale pragma file" "lib/sim/stale_pragma.ml" s.Ndnlint.file;
+    Alcotest.(check int) "stale pragma line" 9 s.Ndnlint.line;
+    Alcotest.(check bool)
+      "message names the unused rule" true (contains ~sub:"D1" s.Ndnlint.message);
+    Alcotest.(check int) "stale suppressions fail the build" 1
+      (Ndnlint.exit_code (stale @ findings))
+  | ss -> Alcotest.failf "expected exactly one stale finding, got %d" (List.length ss));
+  let full =
+    Ndnlint.stale_findings ~checked_rules:all_rule_ids inventory findings
+  in
+  Alcotest.(check int) "full universe also condemns the stale `all` pragma" 2
+    (List.length full);
+  Alcotest.(check bool)
+    "the extra stale site is the `all` pragma" true
+    (List.exists
+       (fun s -> s.Ndnlint.file = "lib/sim/stale_pragma.ml" && s.Ndnlint.line = 15)
+       full)
+
+(* S3 over the allowlist: allow.txt's D4 entry points at a path that
+   produces no finding, so it is reported at its own line in the
+   allowlist file; the two entries that did suppress stay silent. *)
+let test_stale_allowlist () =
+  let findings, inventory =
+    lint_full_exn (fixture_config ~allowlist_file:"allow.txt" ())
+  in
+  let stale =
+    Ndnlint.stale_findings ~checked_rules:syntactic_rule_ids inventory findings
+  in
+  (match List.filter (fun s -> s.Ndnlint.file = "allow.txt") stale with
+  | [ s ] ->
+    Alcotest.(check bool)
+      "flags the entry that matches nothing" true
+      (contains ~sub:"D4 lib/ndn/bad_env.ml" s.Ndnlint.message);
+    Alcotest.(check int) "at the entry's own line" 4 s.Ndnlint.line
+  | ss -> Alcotest.failf "expected one stale allowlist entry, got %d" (List.length ss));
+  Alcotest.(check bool)
+    "used entries stay silent" false
+    (List.exists
+       (fun s -> contains ~sub:"lib/sim/bad_random.ml" s.Ndnlint.message)
+       stale)
+
+(* Path-scoped severities: by default D3 is skipped under bench/; a
+   Demote entry keeps the finding but downgrades it to a warning. *)
+let test_scoped_severities () =
+  let skip_cfg = Ndnlint.config ~paths:[ "bench" ] ~root:fixture_root () in
+  Alcotest.(check (list string))
+    "bench wall-clock skipped by default" []
+    (List.map Ndnlint.finding_to_text (lint_exn skip_cfg));
+  let demote_cfg =
+    Ndnlint.config ~paths:[ "bench" ] ~root:fixture_root
+      ~scoped:
+        [ { Ndnlint.s_rule = "D3"; s_path = "bench/"; s_action = Ndnlint.Demote } ]
+      ()
+  in
+  (match lint_exn demote_cfg with
+  | [ f ] ->
+    Alcotest.(check string) "demoted finding is D3" "D3" f.Ndnlint.rule;
+    Alcotest.(check bool)
+      "demoted to warning" true
+      (f.Ndnlint.severity = Ndnlint.Warning)
+  | fs -> Alcotest.failf "expected one demoted finding, got %d" (List.length fs));
+  let plain_cfg =
+    Ndnlint.config ~paths:[ "bench" ] ~root:fixture_root ~scoped:[] ()
+  in
+  match lint_exn plain_cfg with
+  | [ f ] ->
+    Alcotest.(check bool)
+      "error without scoping" true
+      (f.Ndnlint.severity = Ndnlint.Error)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
 let test_allowlist_requires_justification () =
   match Ndnlint.lint (fixture_config ~allowlist_file:"allow_broken.txt" ()) with
   | Ok _ -> Alcotest.fail "allowlist without justification must be rejected"
@@ -147,11 +284,19 @@ let test_real_tree_passes () =
       ~allowlist_file:"tools/ndnlint/allowlist.txt"
       ~registry_file:"lib/sim/trace_kinds.txt" ()
   in
-  let findings = lint_exn cfg in
+  let findings, inventory = lint_full_exn cfg in
   Alcotest.(check (list string))
     "no active findings on the shipped tree" []
     (List.map Ndnlint.finding_to_text (Ndnlint.active findings));
-  Alcotest.(check int) "exit 0" 0 (Ndnlint.exit_code findings)
+  Alcotest.(check int) "exit 0" 0 (Ndnlint.exit_code findings);
+  (* Every syntactic-rule suppression in the shipped tree still earns
+     its keep.  (Typed-rule suppressions are judged in test_ndntype,
+     where the merged syntactic+typed universe is available.) *)
+  Alcotest.(check (list string))
+    "no stale suppressions on the shipped tree" []
+    (List.map Ndnlint.finding_to_text
+       (Ndnlint.stale_findings ~checked_rules:syntactic_rule_ids inventory
+          findings))
 
 (* The checked-in registry and Sim.Trace's programmatic list are the
    same list, in the same order. *)
@@ -185,6 +330,12 @@ let () =
       ( "suppression",
         [
           Alcotest.test_case "allowlist scoping" `Quick test_allowlist;
+          Alcotest.test_case "multi-rule pragma" `Quick test_multi_rule_pragma;
+          Alcotest.test_case "stale pragma (S3)" `Quick test_stale_pragma;
+          Alcotest.test_case "stale allowlist entry (S3)" `Quick
+            test_stale_allowlist;
+          Alcotest.test_case "path-scoped severities" `Quick
+            test_scoped_severities;
           Alcotest.test_case "allowlist needs justification" `Quick
             test_allowlist_requires_justification;
         ] );

@@ -1,0 +1,14 @@
+(* Planted A1/A2 fixture: hot-annotated functions that allocate and
+   compare generically, for the zero-alloc checker tests. *)
+
+type point = { x : float; y : float }
+
+(* ndnlint: hot *)
+let centroid pts =
+  let sx, sy =
+    List.fold_left (fun (ax, ay) p -> (ax +. p.x, ay +. p.y)) (0., 0.) pts
+  in
+  (sx /. 2., sy /. 2.)
+
+(* ndnlint: hot *)
+let same_point (a : point) b = a = b

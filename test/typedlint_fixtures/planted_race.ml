@@ -1,0 +1,13 @@
+(* Planted R1 fixture: module-level mutable state in a unit that
+   imports a spawn unit.  [schedule_probe] hands the engine a callback
+   that mutates [shared_hits]; under Sim.Shard every domain would race
+   on the table, which is exactly what rule R1 must catch. *)
+
+let shared_hits : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let record label =
+  let prev = Option.value (Hashtbl.find_opt shared_hits label) ~default:0 in
+  Hashtbl.replace shared_hits label (prev + 1)
+
+let schedule_probe engine label =
+  ignore (Sim.Engine.schedule engine ~delay:1.0 (fun () -> record label))

@@ -1,0 +1,16 @@
+(* Planted G1 fixture: [draw_after_split] draws from the parent handle
+   after splitting it; [resplit_ok] shows the exemption for feeding a
+   split handle back into split. *)
+
+let draw_after_split seed =
+  let parent = Sim.Rng.create seed in
+  let child = Sim.Rng.split parent in
+  let a = Sim.Rng.bits64 parent in
+  let b = Sim.Rng.bits64 child in
+  Int64.add a b
+
+let resplit_ok seed =
+  let parent = Sim.Rng.create seed in
+  let c1 = Sim.Rng.split parent in
+  let c2 = Sim.Rng.split parent in
+  Int64.add (Sim.Rng.bits64 c1) (Sim.Rng.bits64 c2)

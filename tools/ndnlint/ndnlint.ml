@@ -20,49 +20,58 @@ type finding = {
   status : status;
 }
 
-type rule_info = { id : string; severity : severity; synopsis : string }
+type rule_info = { id : string; severity : severity; synopsis : string; typed : bool }
 
 let all_rules =
   [
-    { id = "E0"; severity = Error; synopsis = "source file does not parse" };
+    { id = "E0"; severity = Error; typed = false;
+      synopsis = "source file does not parse" };
     {
       id = "D1";
       severity = Error;
+      typed = false;
       synopsis = "nondeterministic RNG seeding (Random.self_init)";
     };
     {
       id = "D2";
       severity = Error;
+      typed = false;
       synopsis = "global Random state used outside Sim.Rng";
     };
     {
       id = "D3";
       severity = Error;
+      typed = false;
       synopsis = "wall-clock read outside bin/";
     };
     {
       id = "D4";
       severity = Error;
+      typed = false;
       synopsis = "environment read inside lib/";
     };
     {
       id = "D5";
       severity = Error;
+      typed = false;
       synopsis = "polymorphic compare/hash in key-bearing libraries";
     };
     {
       id = "D6";
       severity = Error;
+      typed = false;
       synopsis = "structural (in)equality on an abstract key value";
     };
     {
       id = "D7";
       severity = Warning;
+      typed = false;
       synopsis = "unordered Hashtbl.iter/fold in lib/ with no visible sort";
     };
     {
       id = "D8";
       severity = Error;
+      typed = false;
       synopsis =
         "raw concurrency primitive (Domain/Mutex/Condition/Atomic) outside \
          Sim.Parallel / Sim.Shard";
@@ -70,20 +79,65 @@ let all_rules =
     {
       id = "T1";
       severity = Error;
+      typed = false;
       synopsis = "trace kind emitted but missing from the registry";
     };
     {
       id = "T2";
       severity = Error;
+      typed = false;
       synopsis = "registry lists a trace kind no longer emitted";
     };
     {
       id = "T3";
       severity = Error;
+      typed = false;
       synopsis = "NACK reason constructor lacks a registered nack.* trace kind";
     };
-    { id = "S1"; severity = Error; synopsis = "lib module lacks an .mli" };
-    { id = "S2"; severity = Error; synopsis = "stdout output from lib/" };
+    { id = "S1"; severity = Error; typed = false;
+      synopsis = "lib module lacks an .mli" };
+    { id = "S2"; severity = Error; typed = false;
+      synopsis = "stdout output from lib/" };
+    {
+      id = "S3";
+      severity = Warning;
+      typed = false;
+      synopsis =
+        "stale suppression: pragma or allowlist entry matches no finding \
+         (computed by stale_findings over a finished run, not by the scanner)";
+    };
+    {
+      id = "R1";
+      severity = Error;
+      typed = true;
+      synopsis =
+        "module-level mutable state reachable from multi-domain execution \
+         (typed; ndntype pass)";
+    };
+    {
+      id = "A1";
+      severity = Error;
+      typed = true;
+      synopsis =
+        "allocation site (closure/tuple/record/boxed float/partial \
+         application) in an (* ndnlint: hot *) function (typed; ndntype pass)";
+    };
+    {
+      id = "A2";
+      severity = Error;
+      typed = true;
+      synopsis =
+        "polymorphism hazard (generic compare, float-array dispatch) in a \
+         hot function (typed; ndntype pass)";
+    };
+    {
+      id = "G1";
+      severity = Error;
+      typed = true;
+      synopsis =
+        "Sim.Rng handle drawn from / handed off after being split (typed; \
+         ndntype pass)";
+    };
   ]
 
 let severity_of_rule id =
@@ -93,6 +147,25 @@ let severity_of_rule id =
 
 let rule_ids = List.map (fun r -> r.id) all_rules
 
+(* Path-scoped severity overrides: a rule can be switched off (Skip) or
+   demoted to Warning (Demote) under a path prefix.  The default table
+   allows wall-clock reads in bench/ and tools/ — benchmark harnesses
+   and developer tooling legitimately measure real time, while lib/
+   must only ever see virtual time. *)
+type scoped_action = Skip | Demote
+
+type scoped_severity = {
+  s_rule : string;
+  s_path : string;
+  s_action : scoped_action;
+}
+
+let default_scoped =
+  [
+    { s_rule = "D3"; s_path = "bench/"; s_action = Skip };
+    { s_rule = "D3"; s_path = "tools/"; s_action = Skip };
+  ]
+
 type config = {
   root : string;
   paths : string list;
@@ -100,12 +173,16 @@ type config = {
   registry_file : string option;
   excludes : string list;
   key_modules : string list;
+  scoped : scoped_severity list;
 }
 
-let config ?(paths = [ "lib"; "bin"; "bench"; "test" ]) ?allowlist_file
-    ?registry_file ?(excludes = [ "test/lint_fixtures" ])
-    ?(key_modules = [ "Name"; "Interest"; "Data"; "Packet" ]) ~root () =
-  { root; paths; allowlist_file; registry_file; excludes; key_modules }
+let default_excludes = [ "test/lint_fixtures"; "test/typedlint_fixtures" ]
+
+let config ?(paths = [ "lib"; "bin"; "bench"; "test"; "tools" ]) ?allowlist_file
+    ?registry_file ?(excludes = default_excludes)
+    ?(key_modules = [ "Name"; "Interest"; "Data"; "Packet" ])
+    ?(scoped = default_scoped) ~root () =
+  { root; paths; allowlist_file; registry_file; excludes; key_modules; scoped }
 
 (* --- small string helpers --- *)
 
@@ -128,14 +205,29 @@ let split_ws s =
 
 let is_rule_token t = t = "all" || List.mem t rule_ids
 
-(* --- pragmas: (* ndnlint: allow RULE... [-- why] *) ---
+(* --- pragmas: (* ndnlint: allow RULE[, RULE...] [-- why] *) ---
 
    A pragma suppresses the listed rules (or every rule, for "all") on
    its own line; when the pragma is the only thing on its line, it also
-   covers the next line, so it can sit above the offending code. *)
+   covers the next line, so it can sit above the offending code.  Rule
+   IDs are separated by whitespace or commas, so one comment can
+   suppress several rules; a line may also carry several independent
+   [ndnlint:] pragmas. *)
+
+type pragma_site = {
+  ps_line : int;  (* line the pragma comment sits on *)
+  ps_rules : string list;  (* rule tokens, "all" included *)
+  ps_covers : int list;  (* lines the pragma suppresses on *)
+}
+
+type pragmas = {
+  cover : (int, string list) Hashtbl.t;
+  sites : pragma_site list;
+}
 
 let pragmas_of_source src =
   let tbl : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let sites = ref [] in
   let add lineno rules =
     let prev = Option.value (Hashtbl.find_opt tbl lineno) ~default:[] in
     Hashtbl.replace tbl lineno (prev @ rules)
@@ -143,49 +235,68 @@ let pragmas_of_source src =
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
-      match contains_from line 0 "ndnlint:" with
-      | None -> ()
-      | Some idx -> (
-        let rest =
-          String.sub line (idx + 8) (String.length line - idx - 8)
-          |> String.trim
-        in
-        match String.length rest >= 5 && String.sub rest 0 5 = "allow" with
-        | false -> ()
-        | true ->
-          let rest = String.sub rest 5 (String.length rest - 5) in
-          (* Rule IDs end at the justification ("--") or comment close. *)
-          let stop =
-            min
-              (Option.value (contains_from rest 0 "--")
-                 ~default:(String.length rest))
-              (Option.value (contains_from rest 0 "*)")
-                 ~default:(String.length rest))
+      let rec scan_from pos =
+        match contains_from line pos "ndnlint:" with
+        | None -> ()
+        | Some idx ->
+          let rest =
+            String.sub line (idx + 8) (String.length line - idx - 8)
+            |> String.trim
           in
-          let rules =
-            split_ws (String.sub rest 0 stop) |> List.filter is_rule_token
-          in
-          if rules <> [] then begin
-            add lineno rules;
-            let comment_only =
-              match contains_from line 0 "(*" with
-              | Some copen ->
-                String.trim (String.sub line 0 copen) = ""
-              | None -> false
-            in
-            if comment_only then add (lineno + 1) rules
-          end))
+          (if String.length rest >= 5 && String.sub rest 0 5 = "allow" then begin
+             let rest = String.sub rest 5 (String.length rest - 5) in
+             (* Rule IDs end at the justification ("--") or comment
+                close; commas count as separators. *)
+             let stop =
+               min
+                 (Option.value (contains_from rest 0 "--")
+                    ~default:(String.length rest))
+                 (Option.value (contains_from rest 0 "*)")
+                    ~default:(String.length rest))
+             in
+             let rules =
+               String.sub rest 0 stop
+               |> String.map (fun c -> if c = ',' then ' ' else c)
+               |> split_ws
+               |> List.filter is_rule_token
+             in
+             if rules <> [] then begin
+               add lineno rules;
+               let comment_only =
+                 match contains_from line 0 "(*" with
+                 | Some copen -> String.trim (String.sub line 0 copen) = ""
+                 | None -> false
+               in
+               if comment_only then add (lineno + 1) rules;
+               let covers =
+                 if comment_only then [ lineno; lineno + 1 ] else [ lineno ]
+               in
+               sites :=
+                 { ps_line = lineno; ps_rules = rules; ps_covers = covers }
+                 :: !sites
+             end
+           end);
+          scan_from (idx + 8)
+      in
+      scan_from 0)
     (String.split_on_char '\n' src);
-  tbl
+  { cover = tbl; sites = List.rev !sites }
 
 let pragma_suppresses pragmas ~line ~rule =
-  match Hashtbl.find_opt pragmas line with
+  match Hashtbl.find_opt pragmas.cover line with
   | None -> false
   | Some rules -> List.mem "all" rules || List.mem rule rules
 
+let pragma_sites pragmas = pragmas.sites
+
 (* --- allowlist: RULE PATH -- justification --- *)
 
-type allow_entry = { a_rule : string; a_path : string; a_just : string }
+type allow_entry = {
+  a_rule : string;
+  a_path : string;
+  a_just : string;
+  a_line : int;
+}
 
 let parse_allowlist ~file content =
   let entries = ref [] in
@@ -216,7 +327,9 @@ let parse_allowlist ~file content =
                   (Printf.sprintf "%s:%d: empty allowlist justification" file
                      lineno)
             | [ rule; path ], _ when is_rule_token rule ->
-              entries := { a_rule = rule; a_path = path; a_just = just } :: !entries
+              entries :=
+                { a_rule = rule; a_path = path; a_just = just; a_line = lineno }
+                :: !entries
             | [ rule; _ ], _ ->
               err :=
                 Some
@@ -312,7 +425,6 @@ type file_ctx = {
   defines_compare : bool;
       (* The file binds a value named [compare] somewhere; unqualified
          [compare] then plausibly refers to it, so D5 stays quiet. *)
-  pragmas : (int, string list) Hashtbl.t;
 }
 
 let norm_path lid =
@@ -580,7 +692,29 @@ let parse_error_finding exn =
 
 (* --- the driver --- *)
 
-let lint cfg =
+type inventory = {
+  inv_pragmas : (string * pragma_site) list;  (* source file, pragma site *)
+  inv_allows : allow_entry list;
+  inv_allow_file : string option;
+}
+
+let empty_inventory =
+  { inv_pragmas = []; inv_allows = []; inv_allow_file = None }
+
+let finding_order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let sort_findings fs = List.sort finding_order fs
+
+let lint_full cfg =
   let ( let* ) = Result.bind in
   let read_rel rel =
     try Ok (read_file (Filename.concat cfg.root rel))
@@ -605,29 +739,41 @@ let lint cfg =
     with Invalid_argument m | Sys_error m -> Result.Error m
   in
   let findings = ref [] in
+  let all_sites = ref [] in
   let seen_kinds : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  (* Path-scoped severity overrides: first matching entry wins.  [Skip]
+     drops the finding entirely; [Demote] downgrades it to a warning. *)
+  let scoped_action ~rule ~file =
+    List.find_map
+      (fun s ->
+        if s.s_rule = rule && String.starts_with ~prefix:s.s_path file then
+          Some s.s_action
+        else None)
+      cfg.scoped
+  in
   let scan_file rel =
     let src = read_file (Filename.concat cfg.root rel) in
     let pragmas = pragmas_of_source src in
+    List.iter
+      (fun site -> all_sites := (rel, site) :: !all_sites)
+      (pragma_sites pragmas);
     let emit ~rule ~line ~col ~msg =
-      let status =
-        if pragma_suppresses pragmas ~line ~rule then Pragma_suppressed
-        else
-          match allowlist_lookup allowlist ~rule ~file:rel with
-          | Some e -> Allowlisted e.a_just
-          | None -> Active
-      in
-      findings :=
-        {
-          rule;
-          severity = severity_of_rule rule;
-          file = rel;
-          line;
-          col;
-          message = msg;
-          status;
-        }
-        :: !findings
+      match scoped_action ~rule ~file:rel with
+      | Some Skip -> ()
+      | (Some Demote | None) as sc ->
+        let status =
+          if pragma_suppresses pragmas ~line ~rule then Pragma_suppressed
+          else
+            match allowlist_lookup allowlist ~rule ~file:rel with
+            | Some e -> Allowlisted e.a_just
+            | None -> Active
+        in
+        let severity =
+          if sc = Some Demote then Warning else severity_of_rule rule
+        in
+        findings :=
+          { rule; severity; file = rel; line; col; message = msg; status }
+          :: !findings
     in
     let in_lib = String.starts_with ~prefix:"lib/" rel in
     let ctx =
@@ -643,7 +789,6 @@ let lint cfg =
         is_domain_impl =
           rel = "lib/sim/parallel.ml" || rel = "lib/sim/shard.ml";
         defines_compare = false;
-        pragmas;
       }
     in
     if Filename.check_suffix rel ".ml" then begin
@@ -705,19 +850,113 @@ let lint cfg =
         end)
       reg
   | _ -> ());
-  Ok
-    (List.sort
-       (fun a b ->
-         match String.compare a.file b.file with
-         | 0 -> (
-           match Int.compare a.line b.line with
-           | 0 -> (
-             match Int.compare a.col b.col with
-             | 0 -> String.compare a.rule b.rule
-             | c -> c)
-           | c -> c)
-         | c -> c)
-       !findings)
+  let inventory =
+    {
+      inv_pragmas = List.rev !all_sites;
+      inv_allows = allowlist;
+      inv_allow_file = cfg.allowlist_file;
+    }
+  in
+  Ok (sort_findings !findings, inventory)
+
+let lint cfg = Result.map fst (lint_full cfg)
+
+(* --- S3: stale suppressions ---
+
+   A pragma site is *used* when some finding on a line it covers names
+   one of its rules and was pragma-suppressed; an allowlist entry is
+   used when it is the entry [allowlist_lookup] resolved for some
+   allowlisted finding.  Everything else is a dead suppression — but
+   only for rules in [checked_rules]: the syntactic pass must not
+   declare a typed-rule pragma stale just because it cannot see typed
+   findings (and vice versa).  Pragmas naming S3 itself are exempt, so
+   a stale-suppression finding can itself be suppressed. *)
+let stale_findings ~checked_rules inventory findings =
+  let checked r = List.mem r checked_rules in
+  (* An "all" token can only be judged stale when this run checked the
+     whole rule universe — a syntactic-only pass must not condemn a
+     pragma that is in fact suppressing a typed finding. *)
+  let universe_checked =
+    List.for_all
+      (fun r -> r.id = "S3" || List.mem r.id checked_rules)
+      all_rules
+  in
+  let stale = ref [] in
+  List.iter
+    (fun (file, site) ->
+      if not (List.mem "S3" site.ps_rules) then
+        List.iter
+          (fun rule ->
+            let judged = if rule = "all" then universe_checked else checked rule in
+            if judged then begin
+              let used =
+                List.exists
+                  (fun f ->
+                    f.file = file
+                    && f.status = Pragma_suppressed
+                    && (rule = "all" || f.rule = rule)
+                    && List.mem f.line site.ps_covers)
+                  findings
+              in
+              if not used then
+                stale :=
+                  {
+                    rule = "S3";
+                    severity = severity_of_rule "S3";
+                    file;
+                    line = site.ps_line;
+                    col = 0;
+                    message =
+                      Printf.sprintf
+                        "stale pragma: no %s finding on the line it covers; \
+                         delete it"
+                        (if rule = "all" then "suppressable" else rule);
+                    status = Active;
+                  }
+                  :: !stale
+            end)
+          site.ps_rules)
+    inventory.inv_pragmas;
+  (match inventory.inv_allow_file with
+  | None -> ()
+  | Some allow_file ->
+    List.iter
+      (fun e ->
+        let judged =
+          if e.a_rule = "all" then universe_checked else checked e.a_rule
+        in
+        if judged then begin
+          (* Replicate first-match resolution: the entry is live only if
+             it is the one [allowlist_lookup] returns for some
+             allowlisted finding. *)
+          let used =
+            List.exists
+              (fun f ->
+                (match f.status with Allowlisted _ -> true | _ -> false)
+                && allowlist_lookup inventory.inv_allows ~rule:f.rule
+                     ~file:f.file
+                   = Some e)
+              findings
+          in
+          if not used then
+            stale :=
+              {
+                rule = "S3";
+                severity = severity_of_rule "S3";
+                file = allow_file;
+                line = e.a_line;
+                col = 0;
+                message =
+                  Printf.sprintf
+                    "stale allowlist entry: %s %s matches no finding; delete \
+                     it"
+                    e.a_rule e.a_path;
+                status = Active;
+              }
+              :: !stale
+        end)
+      inventory.inv_allows);
+  sort_findings !stale
 
 let active fs = List.filter (fun f -> f.status = Active) fs
 
