@@ -318,6 +318,65 @@ let fig3_lan_workload ~quick () =
     done
 
 (* ------------------------------------------------------------------ *)
+(* Trace throughput: the binary wire format's reason to exist.  One
+   traced fig3 LAN campaign supplies a realistic event mix; the
+   workloads then re-emit those events through each exporter and
+   re-analyze the binary stream, so the JSON carries events/s and
+   bytes/event for both formats from the same trace on the same
+   machine.  The binary emit path has its own alloc ceiling: the
+   steady-state cost is re-interning the campaign's ~100 distinct
+   strings once per pass, a fraction of a word per event — anything
+   near one word/event means a closure or box crept into the hot
+   path. *)
+
+let binary_emit_alloc_ceiling = 0.5
+
+let trace_campaign ~quick () =
+  let contents = if quick then 8 else 25 in
+  let runs = if quick then 2 else 4 in
+  (Attack.Timing_experiment.run
+     ~make_setup:(fun ~seed ~tracer -> Ndn.Network.lan ~seed ~tracer ())
+     ~contents ~runs ~seed:11 ~jobs:1 ~trace:true ())
+    .Attack.Timing_experiment.trace
+
+(* One op = one event re-rendered into a reused buffer (JSONL) or a
+   reset encoder (binary) — the per-event cost a [--trace] run pays at
+   export time, minus the write(2)s. *)
+let jsonl_emit_workload events =
+  let buf = Buffer.create 65536 in
+  let n = Array.length events in
+  fun ops ->
+    for _ = 1 to ops / n do
+      Buffer.clear buf;
+      for i = 0 to n - 1 do
+        Buffer.add_string buf (Sim.Trace.event_to_jsonl (Array.unsafe_get events i));
+        Buffer.add_char buf '\n'
+      done
+    done
+
+let binary_emit_workload events =
+  let enc = Sim.Trace.encoder_create () in
+  let n = Array.length events in
+  fun ops ->
+    for _ = 1 to ops / n do
+      Sim.Trace.encoder_reset enc;
+      Sim.Trace.encoder_add_header enc;
+      for i = 0 to n - 1 do
+        Sim.Trace.encode_event enc (Array.unsafe_get events i)
+      done
+    done
+
+(* One op = one event decoded and folded through the full [Analyze]
+   accumulator — the streaming-analyzer consumption rate. *)
+let analyze_workload ~n bin =
+  fun ops ->
+    for _ = 1 to ops / n do
+      match Sim.Analyze.of_source (Sim.Trace_reader.of_string bin) with
+      | Ok _ -> ()
+      | Error e -> failwith (Sim.Trace_reader.error_to_string e)
+    done
+
+(* ------------------------------------------------------------------ *)
 (* JSON assembly. *)
 
 let read_git_rev () =
@@ -413,7 +472,53 @@ let run ~quick () =
   in
   let speedup = churn_old.Sim.Bench.ns_per_op /. churn.Sim.Bench.ns_per_op in
   Format.printf "engine churn speedup vs boxed baseline: %.2fx@." speedup;
-  let results = (churn :: cs_hit :: pit_expire :: cs_inserts) @ [ fig3 ] in
+  (* Trace throughput: emit both formats interleaved (same drift
+     immunity as the churn pair), then the streaming analyzer over the
+     binary stream. *)
+  let trace_events = Sim.Trace.events (trace_campaign ~quick ()) in
+  let trace_n = Array.length trace_events in
+  let trace_jsonl_bytes, trace_binary_bytes =
+    let tr = Sim.Trace.create () in
+    Array.iter (Sim.Trace.emit tr) trace_events;
+    ( String.length (Sim.Trace.render Sim.Trace.Jsonl tr),
+      String.length (Sim.Trace.render Sim.Trace.Binary tr) )
+  in
+  let trace_ops =
+    let passes = max 1 (((20_000 * ops_scale) + trace_n - 1) / trace_n) in
+    passes * trace_n
+  in
+  let trace_jsonl_emit, trace_binary_emit =
+    let ja, jb =
+      measure_pair ~label_a:"trace-emit/jsonl"
+        (jsonl_emit_workload trace_events)
+        ~label_b:"trace-emit/binary"
+        (binary_emit_workload trace_events)
+        ~ops:trace_ops ~rounds:(2 * runs)
+    in
+    Format.printf "%a@." Sim.Bench.pp_result ja;
+    Format.printf "%a@." Sim.Bench.pp_result jb;
+    (ja, jb)
+  in
+  let trace_analyze =
+    let tr = Sim.Trace.create () in
+    Array.iter (Sim.Trace.emit tr) trace_events;
+    let bin = Sim.Trace.render Sim.Trace.Binary tr in
+    m ~ops:trace_ops ~label:"trace-analyze/binary-stream"
+      (analyze_workload ~n:trace_n bin)
+  in
+  let emit_speedup =
+    trace_jsonl_emit.Sim.Bench.ns_per_op /. trace_binary_emit.Sim.Bench.ns_per_op
+  in
+  let bytes_ratio =
+    float_of_int trace_binary_bytes /. float_of_int trace_jsonl_bytes
+  in
+  Format.printf
+    "trace emit: binary %.2fx faster than jsonl, %.3fx the bytes (%d events)@."
+    emit_speedup bytes_ratio trace_n;
+  let results =
+    (churn :: cs_hit :: pit_expire :: cs_inserts)
+    @ [ fig3; trace_jsonl_emit; trace_binary_emit; trace_analyze ]
+  in
   let json =
     String.concat ""
       [
@@ -428,6 +533,21 @@ let run ~quick () =
           "  \"baseline\": {\"op\": \"engine-churn\", \"before_ns_per_op\": \
            %.3f, \"after_ns_per_op\": %.3f, \"speedup\": %.3f},\n"
           churn_old.Sim.Bench.ns_per_op churn.Sim.Bench.ns_per_op speedup;
+        Printf.sprintf
+          "  \"trace\": {\"events\": %d, \"jsonl_bytes_per_event\": %.3f, \
+           \"binary_bytes_per_event\": %.3f, \"bytes_ratio\": %.4f, \
+           \"jsonl_emit_ns_per_event\": %.3f, \"binary_emit_ns_per_event\": \
+           %.3f, \"emit_speedup\": %.3f, \"binary_emit_allocs_per_op\": %.6f, \
+           \"binary_emit_alloc_ceiling\": %.6f, \"analyze_ns_per_event\": \
+           %.3f, \"analyze_events_per_s\": %.0f},\n"
+          trace_n
+          (float_of_int trace_jsonl_bytes /. float_of_int trace_n)
+          (float_of_int trace_binary_bytes /. float_of_int trace_n)
+          bytes_ratio trace_jsonl_emit.Sim.Bench.ns_per_op
+          trace_binary_emit.Sim.Bench.ns_per_op emit_speedup
+          trace_binary_emit.Sim.Bench.allocs_per_op binary_emit_alloc_ceiling
+          trace_analyze.Sim.Bench.ns_per_op
+          (1e9 /. trace_analyze.Sim.Bench.ns_per_op);
         "  \"results\": [\n";
         String.concat ",\n"
           (List.map (fun r -> "    " ^ Sim.Bench.result_to_json r) results);
@@ -446,11 +566,29 @@ let run ~quick () =
       cs_hit.Sim.Bench.allocs_per_op cs_hit_alloc_ceiling;
     exit 1
   end;
+  if trace_binary_emit.Sim.Bench.allocs_per_op > binary_emit_alloc_ceiling
+  then begin
+    Format.eprintf
+      "FAIL: binary trace emit allocates %.6f minor words/op (ceiling %.6f) — \
+       a closure or box crept into the encoder hot path@."
+      trace_binary_emit.Sim.Bench.allocs_per_op binary_emit_alloc_ceiling;
+    exit 1
+  end;
   if speedup < 2.0 then
     Format.eprintf
       "warning: engine churn speedup %.2fx below the 2x target (noise, or a \
        regression — compare BENCH_core.json against the checked-in one)@."
       speedup;
+  if emit_speedup < 3.0 then
+    Format.eprintf
+      "warning: binary emit only %.2fx faster than jsonl (3x target — noise, \
+       or the emit path regressed)@."
+      emit_speedup;
+  if bytes_ratio > 0.25 then
+    Format.eprintf
+      "warning: binary trace is %.3fx the jsonl bytes (0.25x target — did \
+       interning or delta coding regress?)@."
+      bytes_ratio;
   (* An O(live-table) expiry rescan would pay ~4096 entries per op here
      — microseconds, not the sub-µs an indexed pop costs.  Warn loudly
      (threshold is generous: 10x headroom on slow CI hosts). *)

@@ -61,7 +61,7 @@ let run ~scale ~jobs ?trace () =
     List.iter
       (fun tr -> Sim.Trace.merge_into ~into:merged tr)
       [ lan_tr; wan_tr; producer_tr; local_tr ];
-    let oc = open_out file in
+    let oc = open_out_bin file in
     Sim.Trace.write fmt oc merged;
     close_out oc;
     section "trace: %d events -> %s (%s)@." (Sim.Trace.length merged) file

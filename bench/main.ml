@@ -13,7 +13,7 @@
    hardware thread).  Output is bit-identical for any N — trial RNGs
    are split before dispatch and results merge in trial order.
 
-   --trace FILE [--trace-format jsonl|csv] records the fig3 campaigns'
+   --trace FILE [--trace-format jsonl|csv|binary] records the fig3 campaigns'
    structured event traces (merged in run order, so also bit-identical
    for any --jobs) to FILE.
 
@@ -52,7 +52,7 @@ let usage () =
     "usage: main.exe \
      [all|fig3|fig4|fig5|text|thms|ablation|chaos|micro|core|scale|overload]... \
      [--fast|--full|--quick] [--jobs N] [--shards K] [--trace FILE] \
-     [--trace-format jsonl|csv]";
+     [--trace-format jsonl|csv|binary]";
   exit 1
 
 let () =
@@ -116,10 +116,10 @@ let () =
         match Sim.Trace.format_of_string f with
         | Some fmt -> (fmt, List.rev_append acc rest)
         | None ->
-          prerr_endline "--trace-format expects jsonl or csv";
+          prerr_endline "--trace-format expects jsonl, csv or binary";
           usage ())
       | "--trace-format" :: [] ->
-        prerr_endline "--trace-format expects jsonl or csv";
+        prerr_endline "--trace-format expects jsonl, csv or binary";
         usage ()
       | a :: rest -> grab (a :: acc) rest
       | [] -> (Sim.Trace.Jsonl, List.rev acc)

@@ -80,6 +80,48 @@ let all_kinds =
 
 let all_kind_names = List.map kind_to_string all_kinds
 
+(* Stable binary kind ids: the position of each kind's wire name in the
+   checked-in registry [lib/sim/trace_kinds.txt].  ndnlint rule T4
+   fails the build if a registered kind is missing here or if an id
+   disagrees with the registry order, so the binary format and the
+   registry cannot drift apart silently. *)
+(* ndnlint: hot *)
+let kind_id = function
+  | Engine_step -> 0
+  | Cs_hit -> 1
+  | Cs_miss -> 2
+  | Cs_insert -> 3
+  | Cs_evict -> 4
+  | Cs_expire -> 5
+  | Interest_received -> 6
+  | Interest_forwarded -> 7
+  | Interest_collapsed -> 8
+  | Data_received -> 9
+  | Data_sent -> 10
+  | Pit_timeout -> 11
+  | Link_transmit -> 12
+  | Link_drop -> 13
+  | Rc_draw -> 14
+  | Rc_fake_miss -> 15
+  | Rc_hit -> 16
+  | Cs_flush -> 17
+  | Fault_link -> 18
+  | Fault_crash -> 19
+  | Fault_restart -> 20
+  | Fault_producer -> 21
+  | Pit_drop -> 22
+  | Queue_drop -> 23
+  | Nack_congested -> 24
+  | Nack_no_route -> 25
+  | Nack_pit_full -> 26
+  | Nack_duplicate -> 27
+  | Consumer_give_up -> 28
+
+let kind_table = Array.of_list all_kinds
+
+let kind_of_id i =
+  if i < 0 || i >= Array.length kind_table then None else Some kind_table.(i)
+
 let kind_of_string s = List.find_opt (fun k -> kind_to_string k = s) all_kinds
 
 let pp_event ppf e =
@@ -183,15 +225,16 @@ let events_per_ms t =
 
 (* --- exporters --- *)
 
-type format = Jsonl | Csv
+type format = Jsonl | Csv | Binary
 
 let format_of_string s =
   match String.lowercase_ascii s with
   | "jsonl" | "json" -> Some Jsonl
   | "csv" -> Some Csv
+  | "binary" | "bin" -> Some Binary
   | _ -> None
 
-let format_to_string = function Jsonl -> "jsonl" | Csv -> "csv"
+let format_to_string = function Jsonl -> "jsonl" | Csv -> "csv" | Binary -> "binary"
 
 let json_escape_into b s =
   String.iter
@@ -258,26 +301,191 @@ let event_to_csv e =
       csv_field attrs;
     ]
 
-let render fmt t =
-  let b = Buffer.create (64 * (t.len + 1)) in
-  (match fmt with
-  | Jsonl -> ()
-  | Csv ->
-    Buffer.add_string b csv_header;
-    Buffer.add_char b '\n');
-  let line = match fmt with Jsonl -> event_to_jsonl | Csv -> event_to_csv in
+(* --- binary wire format (DESIGN §16) ---
+
+   Stream layout: an 8-byte magic, a varint format version, a snapshot
+   of the trace-kind registry (count, then each wire name
+   length-prefixed; the snapshot index {e is} the kind id), then
+   length-prefixed records.  Each record is a varint payload length
+   followed by that many payload bytes, so a reader can validate
+   framing and detect truncation without understanding every tag.
+
+   Record payloads start with a tag byte:
+   - [0x01] string definition: varint id (must equal the current table
+     size), varint byte length, raw bytes.  Node labels, content names
+     and attr {e keys} are interned this way — each distinct string
+     crosses the wire once.
+   - [0x02] event: varint kind id, zigzag-varint delta of the
+     microsecond-quantized timestamp against the previous event, varint
+     node string ref, varint name string ref, varint attr count, then
+     per attr a varint key ref + varint value length + raw value bytes
+     (values are not interned: latency draws and counters rarely
+     repeat).
+
+   Timestamps are rounded to integer microseconds — exactly the
+   precision of the [%.6f] JSONL rendering — so the binary and text
+   pipelines describe the same trace bit-for-bit.  Deltas may be
+   negative (merged per-trial streams restart virtual time); zigzag
+   keeps them short. *)
+
+let binary_magic = "ndntrace"
+
+let binary_version = 1
+
+type encoder = {
+  ebuf : Buffer.t;
+  strings : (string, int) Hashtbl.t;
+  mutable next_ref : int;
+  mutable prev_us : int;
+}
+
+let encoder_create () =
+  {
+    ebuf = Buffer.create 65536;
+    strings = Hashtbl.create 256;
+    next_ref = 0;
+    prev_us = 0;
+  }
+
+let encoder_reset enc =
+  Buffer.clear enc.ebuf;
+  Hashtbl.reset enc.strings;
+  enc.next_ref <- 0;
+  enc.prev_us <- 0
+
+let encoder_length enc = Buffer.length enc.ebuf
+
+let encoder_contents enc = Buffer.contents enc.ebuf
+
+let encoder_output oc enc =
+  Buffer.output_buffer oc enc.ebuf;
+  Buffer.clear enc.ebuf
+
+let encoder_add_header enc =
+  Buffer.add_string enc.ebuf binary_magic;
+  Varint.add_uint enc.ebuf binary_version;
+  Varint.add_uint enc.ebuf (List.length all_kind_names);
+  List.iter
+    (fun n ->
+      Varint.add_uint enc.ebuf (String.length n);
+      Buffer.add_string enc.ebuf n)
+    all_kind_names
+
+(* Intern a string, emitting its definition record on first sight.
+   Steady state is the [Hashtbl.find] hit — no option boxing. *)
+(* ndnlint: hot *)
+let intern enc s =
+  try Hashtbl.find enc.strings s
+  with Not_found ->
+    let id = enc.next_ref in
+    enc.next_ref <- id + 1;
+    Hashtbl.add enc.strings s id;
+    let slen = String.length s in
+    let payload = 1 + Varint.uint_size id + Varint.uint_size slen + slen in
+    Varint.add_uint enc.ebuf payload;
+    Buffer.add_char enc.ebuf '\x01';
+    Varint.add_uint enc.ebuf id;
+    Varint.add_uint enc.ebuf slen;
+    Buffer.add_string enc.ebuf s;
+    id
+
+(* Measure the attrs' payload bytes, interning keys as a side effect so
+   their definition records precede the event record. *)
+(* ndnlint: hot *)
+let rec attrs_size enc acc l =
+  match l with
+  | [] -> acc
+  | (k, v) :: rest ->
+    let kr = intern enc k in
+    let vlen = String.length v in
+    attrs_size enc (acc + Varint.uint_size kr + Varint.uint_size vlen + vlen) rest
+
+(* ndnlint: hot *)
+let rec add_attrs enc l =
+  match l with
+  | [] -> ()
+  | (k, v) :: rest ->
+    Varint.add_uint enc.ebuf (Hashtbl.find enc.strings k);
+    Varint.add_uint enc.ebuf (String.length v);
+    Buffer.add_string enc.ebuf v;
+    add_attrs enc rest
+
+(* ndnlint: hot *)
+let time_to_us t = int_of_float (Float.round (t *. 1e6))
+
+(* ndnlint: hot *)
+let encode_event enc e =
+  let node_ref = intern enc e.node in
+  let name_ref = intern enc e.name in
+  let us = time_to_us e.time in
+  let dt = us - enc.prev_us in
+  let nattrs = List.length e.attrs in
+  let kid = kind_id e.kind in
+  let attr_bytes = attrs_size enc 0 e.attrs in
+  let payload =
+    1 + Varint.uint_size kid + Varint.int_size dt
+    + Varint.uint_size node_ref + Varint.uint_size name_ref
+    + Varint.uint_size nattrs + attr_bytes
+  in
+  Varint.add_uint enc.ebuf payload;
+  Buffer.add_char enc.ebuf '\x02';
+  Varint.add_uint enc.ebuf kid;
+  Varint.add_int enc.ebuf dt;
+  Varint.add_uint enc.ebuf node_ref;
+  Varint.add_uint enc.ebuf name_ref;
+  Varint.add_uint enc.ebuf nattrs;
+  add_attrs enc e.attrs;
+  enc.prev_us <- us
+
+let render_binary t =
+  let enc = encoder_create () in
+  encoder_add_header enc;
+  iter t (encode_event enc);
+  Buffer.contents enc.ebuf
+
+(* Flush at 64 KiB so a heavy-traffic export never holds the whole
+   byte stream in memory. *)
+let binary_flush_threshold = 65536
+
+let write_binary oc t =
+  let enc = encoder_create () in
+  encoder_add_header enc;
   iter t (fun e ->
-      Buffer.add_string b (line e);
+      encode_event enc e;
+      if Buffer.length enc.ebuf >= binary_flush_threshold then
+        encoder_output oc enc);
+  encoder_output oc enc
+
+let render fmt t =
+  match fmt with
+  | Binary -> render_binary t
+  | Jsonl | Csv ->
+    let b = Buffer.create (64 * (t.len + 1)) in
+    (match fmt with
+    | Jsonl | Binary -> ()
+    | Csv ->
+      Buffer.add_string b csv_header;
       Buffer.add_char b '\n');
-  Buffer.contents b
+    let line =
+      match fmt with Jsonl | Binary -> event_to_jsonl | Csv -> event_to_csv
+    in
+    iter t (fun e ->
+        Buffer.add_string b (line e);
+        Buffer.add_char b '\n');
+    Buffer.contents b
 
 let write fmt oc t =
-  (match fmt with
-  | Jsonl -> ()
-  | Csv ->
-    output_string oc csv_header;
-    output_char oc '\n');
-  let line = match fmt with Jsonl -> event_to_jsonl | Csv -> event_to_csv in
-  iter t (fun e ->
-      output_string oc (line e);
-      output_char oc '\n')
+  match fmt with
+  | Binary -> write_binary oc t
+  | Jsonl | Csv ->
+    (match fmt with
+    | Jsonl | Binary -> ()
+    | Csv ->
+      output_string oc csv_header;
+      output_char oc '\n');
+    let line =
+      match fmt with Jsonl | Binary -> event_to_jsonl | Csv -> event_to_csv
+    in
+    iter t (fun e ->
+        output_string oc (line e);
+        output_char oc '\n')

@@ -89,6 +89,16 @@ val all_kind_names : string list
     apart, and [test_ndnlint] checks this list equals the registry, so
     exporters, docs and the linter all share one source of truth. *)
 
+val kind_id : kind -> int
+(** Stable binary id of a kind: its 0-based position in the registry
+    [lib/sim/trace_kinds.txt].  The binary trace header snapshots the
+    registry, so id [i] on the wire means the [i]-th name of that
+    snapshot; ndnlint rule T4 fails the build when this table and the
+    registry disagree. *)
+
+val kind_of_id : int -> kind option
+(** Inverse of {!kind_id}; [None] for ids outside the registry. *)
+
 val pp_event : Format.formatter -> event -> unit
 
 (** {1 Tracers} *)
@@ -145,9 +155,11 @@ val events_per_ms : t -> float
 
 (** {1 Exporters} *)
 
-type format = Jsonl | Csv
+type format = Jsonl | Csv | Binary
 
 val format_of_string : string -> format option
+(** ["jsonl"]/["json"], ["csv"], ["binary"]/["bin"]
+    (case-insensitive). *)
 
 val format_to_string : format -> string
 
@@ -165,7 +177,64 @@ val event_to_csv : event -> string
 
 val render : format -> t -> string
 (** The whole buffered trace as one string (CSV includes the header
-    line).  Every line is newline-terminated. *)
+    line; {!Binary} includes the stream header).  Text lines are
+    newline-terminated. *)
 
 val write : format -> out_channel -> t -> unit
-(** Stream the buffered trace to a channel, line by line. *)
+(** Stream the buffered trace to a channel — line by line for the text
+    formats, in 64 KiB chunks for {!Binary}, so the export never holds
+    the whole byte stream. *)
+
+(** {1 Binary wire format}
+
+    A compact length-prefixed encoding for heavy-traffic runs (DESIGN
+    §16): 8-byte magic ["ndntrace"], varint format version, a registry
+    snapshot (each kind's wire name, in {!kind_id} order), then
+    length-prefixed records.  Node labels, content names and attr keys
+    are interned into a per-stream string table; timestamps are
+    microsecond-quantized zigzag deltas — exactly the [%.6f] precision
+    of the JSONL rendering, so both pipelines carry identical data.
+    {!Trace_reader} is the streaming decoder; the exporter is exposed
+    at encoder granularity so the bench harness can measure the emit
+    path in isolation. *)
+
+val binary_magic : string
+(** ["ndntrace"] — the 8-byte stream prefix. *)
+
+val binary_version : int
+(** Current format version (readers reject others). *)
+
+val time_to_us : float -> int
+(** The microsecond quantization used on the wire:
+    [round (t *. 1e6)].  {!Analyze} quantizes through the same
+    function, so summaries computed from binary and JSONL pipelines
+    agree bit-for-bit. *)
+
+type encoder
+(** Incremental binary exporter: an output buffer plus the string
+    intern table and previous-timestamp state. *)
+
+val encoder_create : unit -> encoder
+
+val encoder_reset : encoder -> unit
+(** Forget buffered bytes, interned strings and timestamp state, but
+    keep the allocated capacity — the steady-state emit path allocates
+    nothing (enforced by the bench alloc ceiling and by ndntype's
+    A1/A2 rules on the [(* ndnlint: hot *)] annotations). *)
+
+val encoder_add_header : encoder -> unit
+(** Append magic + version + registry snapshot.  Call exactly once,
+    before the first {!encode_event}. *)
+
+val encode_event : encoder -> event -> unit
+(** Append one event record (preceded by string-definition records for
+    any strings seen for the first time). *)
+
+val encoder_length : encoder -> int
+(** Bytes currently buffered. *)
+
+val encoder_contents : encoder -> string
+
+val encoder_output : out_channel -> encoder -> unit
+(** Write the buffered bytes and clear the buffer (capacity and string
+    table are retained, so encoding can continue). *)

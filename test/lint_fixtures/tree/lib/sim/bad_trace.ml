@@ -1,6 +1,11 @@
-type kind = Step | Sneaky | Nacky
+type kind = Step | Sneaky | Nacky | Quiet
 
 let kind_to_string = function
   | Step -> "engine.step"
   | Sneaky -> "cs.sneaky"
   | Nacky -> "nack.congested"
+  | Quiet -> "cs.quiet"
+
+let kind_id = function
+  | Step -> 0
+  | Nacky -> 1

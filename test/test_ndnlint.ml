@@ -54,6 +54,8 @@ let golden_jsonl =
     {|{"rule":"S2","severity":"error","file":"lib/sim/bad_stdout.ml","line":3,"col":16,"message":"Format.printf writes to stdout from lib/; stdout belongs to exporters (CSV/JSONL) — route diagnostics to stderr or a formatter argument","status":"active"}|};
     {|{"rule":"E0","severity":"error","file":"lib/sim/bad_syntax.ml","line":1,"col":13,"message":"syntax error; file cannot be checked","status":"active"}|};
     {|{"rule":"T1","severity":"error","file":"lib/sim/bad_trace.ml","line":5,"col":15,"message":"trace kind \"cs.sneaky\" is emitted here but absent from the registry; add it (and document it) before shipping the event","status":"active"}|};
+    {|{"rule":"T4","severity":"error","file":"lib/sim/bad_trace.ml","line":7,"col":14,"message":"registered trace kind \"cs.quiet\" has no stable binary id: add a kind_id case mapping Quiet to its registry position 3, or binary traces cannot encode it","status":"active"}|};
+    {|{"rule":"T4","severity":"error","file":"lib/sim/bad_trace.ml","line":11,"col":13,"message":"binary id 1 for trace kind \"nack.congested\" disagrees with its registry position 2; the binary header snapshots the registry in order, so readers would decode the wrong kind","status":"active"}|};
     {|{"rule":"D3","severity":"error","file":"lib/sim/bad_wallclock.ml","line":1,"col":13,"message":"wall-clock read (Unix.gettimeofday) outside bin/; simulated components must only see virtual time","status":"active"}|};
     {|{"rule":"D3","severity":"error","file":"lib/sim/bad_wallclock.ml","line":2,"col":13,"message":"wall-clock read (Sys.time) outside bin/; simulated components must only see virtual time","status":"active"}|};
     {|{"rule":"T3","severity":"error","file":"lib/sim/nack.ml","line":1,"col":24,"message":"NACK reason constructor Sneaky_reason has no registered trace kind \"nack.sneaky_reason\"; register (and emit) it so this refusal stays observable","status":"active"}|};

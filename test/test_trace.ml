@@ -548,6 +548,404 @@ let test_topo_semantic_errors_carry_lines () =
   check_build ~line:3 ~needle:"no such link"
     "node U\nnode R\nroute U /prod via R\n"
 
+(* --- binary wire format (DESIGN §16) --- *)
+
+let tracer_of_events evs =
+  let t = Sim.Trace.create () in
+  List.iter (Sim.Trace.emit t) evs;
+  t
+
+let jsonl_of_events evs =
+  String.concat "" (List.map (fun e -> Sim.Trace.event_to_jsonl e ^ "\n") evs)
+
+let decode_binary_exn s =
+  let src = Sim.Trace_reader.of_string s in
+  match
+    Sim.Trace_reader.fold_binary src ~init:[] ~f:(fun acc e -> e :: acc)
+  with
+  | Ok acc -> List.rev acc
+  | Error e ->
+    Alcotest.failf "binary decode failed: %s"
+      (Sim.Trace_reader.error_to_string e)
+
+let test_binary_format_of_string () =
+  Alcotest.(check bool) "binary" true
+    (Sim.Trace.format_of_string "binary" = Some Sim.Trace.Binary);
+  Alcotest.(check bool) "bin alias" true
+    (Sim.Trace.format_of_string "bin" = Some Sim.Trace.Binary);
+  Alcotest.(check string) "to_string" "binary"
+    (Sim.Trace.format_to_string Sim.Trace.Binary)
+
+let test_kind_ids_are_registry_positions () =
+  List.iteri
+    (fun i k ->
+      Alcotest.(check int)
+        (Printf.sprintf "kind_id %s" (Sim.Trace.kind_to_string k))
+        i (Sim.Trace.kind_id k);
+      match Sim.Trace.kind_of_id i with
+      | Some k' when k' = k -> ()
+      | _ -> Alcotest.failf "kind_of_id %d does not invert kind_id" i)
+    Sim.Trace.all_kinds;
+  Alcotest.(check bool) "out of range" true (Sim.Trace.kind_of_id 999 = None);
+  Alcotest.(check bool) "negative" true (Sim.Trace.kind_of_id (-1) = None)
+
+(* One event per registered kind, with out-of-order timestamps (merged
+   per-trial streams restart virtual time, so the zigzag delta path
+   must handle negative steps), empty and escaped strings, and repeated
+   interned strings. *)
+let test_binary_round_trip_all_kinds () =
+  let evs =
+    List.mapi
+      (fun i k ->
+        ev
+          ~time:(float_of_int ((i * 137) mod 400) /. 8.)
+          ~node:(Printf.sprintf "node-t%d-n%d" (i mod 3) i)
+          ~kind:k
+          ~name:
+            (if i mod 4 = 0 then ""
+             else Printf.sprintf "/prod/run%d/warm/%d" i i)
+          ~attrs:
+            (if i mod 2 = 0 then
+               [ ("delay_ms", "1.25"); ("face", string_of_int i) ]
+             else if i mod 5 = 0 then [ ("weird", "a\"b\\c\nd") ]
+             else [])
+          ())
+      Sim.Trace.all_kinds
+  in
+  let bin = Sim.Trace.render Sim.Trace.Binary (tracer_of_events evs) in
+  let decoded = decode_binary_exn bin in
+  Alcotest.(check int) "event count" (List.length evs) (List.length decoded);
+  Alcotest.(check string) "JSONL rendering identical"
+    (jsonl_of_events evs) (jsonl_of_events decoded)
+
+let gen_event =
+  QCheck.Gen.(
+    let gstr = string_size ~gen:char (int_range 0 12) in
+    map
+      (fun (time_us, node, kind, name, attrs) ->
+        {
+          Sim.Trace.time = float_of_int time_us /. 1e6;
+          node;
+          kind;
+          name;
+          attrs;
+        })
+      (tup5
+         (int_range 0 1_000_000_000_000)
+         gstr
+         (oneofl Sim.Trace.all_kinds)
+         gstr
+         (list_size (int_range 0 4) (pair gstr gstr))))
+
+let arb_events =
+  QCheck.make
+    ~print:(fun evs -> jsonl_of_events evs)
+    QCheck.Gen.(list_size (int_range 0 40) gen_event)
+
+let qcheck_binary_round_trip =
+  QCheck.Test.make ~name:"binary encode/decode = identity (vs JSONL rendering)"
+    ~count:300 arb_events (fun evs ->
+      let bin = Sim.Trace.render Sim.Trace.Binary (tracer_of_events evs) in
+      let decoded = decode_binary_exn bin in
+      jsonl_of_events decoded = jsonl_of_events evs)
+
+let qcheck_jsonl_reader_round_trip =
+  QCheck.Test.make ~name:"jsonl parse (event_to_jsonl e) re-renders to e"
+    ~count:300 arb_events (fun evs ->
+      let src = Sim.Trace_reader.of_string (jsonl_of_events evs) in
+      match
+        Sim.Trace_reader.fold_jsonl src ~init:[] ~f:(fun acc e -> e :: acc)
+      with
+      | Error e ->
+        QCheck.Test.fail_reportf "jsonl parse failed: %s"
+          (Sim.Trace_reader.error_to_string e)
+      | Ok parsed -> jsonl_of_events (List.rev parsed) = jsonl_of_events evs)
+
+let test_binary_incremental_encoder () =
+  let evs = Array.to_list (Sim.Trace.events (probe_trace ())) in
+  let enc = Sim.Trace.encoder_create () in
+  Sim.Trace.encoder_add_header enc;
+  List.iter (Sim.Trace.encode_event enc) evs;
+  Alcotest.(check int) "encoder_length" (String.length (Sim.Trace.encoder_contents enc))
+    (Sim.Trace.encoder_length enc);
+  Alcotest.(check string) "incremental = one-shot render"
+    (Sim.Trace.render Sim.Trace.Binary (tracer_of_events evs))
+    (Sim.Trace.encoder_contents enc);
+  (* reset reuses capacity but restarts the stream state *)
+  Sim.Trace.encoder_reset enc;
+  Sim.Trace.encoder_add_header enc;
+  List.iter (Sim.Trace.encode_event enc) evs;
+  Alcotest.(check string) "re-encoding after reset is identical"
+    (Sim.Trace.render Sim.Trace.Binary (tracer_of_events evs))
+    (Sim.Trace.encoder_contents enc)
+
+let test_binary_write_matches_render () =
+  let tr = (campaign ~jobs:1).Attack.Timing_experiment.trace in
+  let path = Filename.temp_file "trace" ".bin" in
+  let oc = open_out_bin path in
+  Sim.Trace.write Sim.Trace.Binary oc tr;
+  close_out oc;
+  let written = read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "chunked write length"
+    (String.length (Sim.Trace.render Sim.Trace.Binary tr))
+    (String.length written);
+  Alcotest.(check bool) "chunked write = render" true
+    (written = Sim.Trace.render Sim.Trace.Binary tr)
+
+(* Golden binary probe fixture: byte length + digest of the canonical
+   probe run's binary trace.  Catches silent format drift the same way
+   the JSONL golden does; bump [Trace.binary_version] when changing
+   the wire layout, and update this fixture consciously. *)
+let golden_binary_bytes = 1248
+let golden_binary_sha256 =
+  "2cd404634356838a4d34651b89088a0165a65893361fd7320c7c88c6748ae539"
+
+let test_golden_binary_probe_trace () =
+  let bin = Sim.Trace.render Sim.Trace.Binary (probe_trace ()) in
+  Alcotest.(check int) "byte length" golden_binary_bytes (String.length bin);
+  Alcotest.(check string) "sha256 of the binary trace" golden_binary_sha256
+    (Ndn_crypto.Sha256.hex_digest bin);
+  (* and it decodes to exactly the golden JSONL trace *)
+  Alcotest.(check string) "decodes to the golden JSONL"
+    (Sim.Trace.render Sim.Trace.Jsonl (probe_trace ()))
+    (jsonl_of_events (decode_binary_exn bin))
+
+(* --- truncation / corruption robustness --- *)
+
+let check_decode_error ~needle s =
+  let src = Sim.Trace_reader.of_string s in
+  match Sim.Trace_reader.fold_binary src ~init:0 ~f:(fun n _ -> n + 1) with
+  | Ok _ -> Alcotest.failf "expected a decode error mentioning %S" needle
+  | Error e ->
+    let msg = Sim.Trace_reader.error_to_string e in
+    if not (contains msg needle) then
+      Alcotest.failf "error %S does not mention %S" msg needle;
+    (match e.Sim.Trace_reader.position with
+    | Sim.Trace_reader.Byte n ->
+      if n < 0 then Alcotest.failf "negative byte offset in %S" msg
+    | Sim.Trace_reader.Line _ ->
+      Alcotest.failf "expected a byte-positioned error, got %S" msg)
+
+(* magic + version + registry snapshot, no records *)
+let header_only = Sim.Trace.render Sim.Trace.Binary (Sim.Trace.create ())
+
+let test_binary_bad_magic () =
+  check_decode_error ~needle:"bad magic" ("XXXXXXXX" ^ header_only);
+  check_decode_error ~needle:"empty stream" "";
+  check_decode_error ~needle:"shorter than the 8-byte magic" "ndntr"
+
+let test_binary_version_mismatch () =
+  let bumped =
+    String.mapi (fun i c -> if i = 8 then '\x63' else c) header_only
+  in
+  check_decode_error ~needle:"unsupported binary trace version 99" bumped
+
+let test_binary_truncation () =
+  (* record claims 5 payload bytes, stream provides 1 *)
+  check_decode_error ~needle:"record truncated" (header_only ^ "\x05\x02");
+  (* stream ends inside the record-length varint *)
+  check_decode_error ~needle:"ends inside the varint" (header_only ^ "\x80");
+  (* the golden probe trace cut mid-record *)
+  let bin = Sim.Trace.render Sim.Trace.Binary (probe_trace ()) in
+  check_decode_error ~needle:"truncated"
+    (String.sub bin 0 (String.length bin - 3))
+
+let test_binary_bad_varint () =
+  check_decode_error ~needle:"exceeds 9 bytes"
+    (header_only ^ "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80")
+
+let test_binary_framing_violations () =
+  (* unknown record tag *)
+  check_decode_error ~needle:"unknown record tag" (header_only ^ "\x01\x7f");
+  (* event referencing an undefined string *)
+  check_decode_error ~needle:"references string #0"
+    (header_only ^ "\x06\x02\x00\x00\x00\x00\x00");
+  (* string definition with an out-of-order id *)
+  check_decode_error ~needle:"out of order" (header_only ^ "\x04\x01\x05\x01a");
+  (* kind id beyond the registry snapshot *)
+  check_decode_error ~needle:"outside the registry snapshot"
+    (header_only ^ "\x07\x02\xc8\x01\x00\x00\x00\x00")
+
+let test_detect_and_auto () =
+  let bin = Sim.Trace.render Sim.Trace.Binary (probe_trace ()) in
+  let js = Sim.Trace.render Sim.Trace.Jsonl (probe_trace ()) in
+  let detect s = Sim.Trace_reader.detect (Sim.Trace_reader.of_string s) in
+  Alcotest.(check bool) "binary detected" true
+    (detect bin = Sim.Trace_reader.Binary);
+  Alcotest.(check bool) "jsonl detected" true
+    (detect js = Sim.Trace_reader.Jsonl);
+  Alcotest.(check bool) "csv detected" true
+    (detect "time,node,kind,name,attrs\n" = Sim.Trace_reader.Csv);
+  (match
+     Sim.Trace_reader.fold_auto
+       (Sim.Trace_reader.of_string "time,node,kind,name,attrs\n")
+       ~init:() ~f:(fun () _ -> ())
+   with
+  | Ok () -> Alcotest.fail "CSV must be rejected"
+  | Error e ->
+    Alcotest.(check bool) "actionable CSV rejection" true
+      (contains (Sim.Trace_reader.error_to_string e) "--trace-format binary"));
+  let count s =
+    match
+      Sim.Trace_reader.fold_auto (Sim.Trace_reader.of_string s) ~init:0
+        ~f:(fun n _ -> n + 1)
+    with
+    | Ok n -> n
+    | Error e ->
+      Alcotest.failf "fold_auto failed: %s" (Sim.Trace_reader.error_to_string e)
+  in
+  Alcotest.(check int) "auto binary count" golden_lines (count bin);
+  Alcotest.(check int) "auto jsonl count" golden_lines (count js)
+
+let test_reader_channel_source () =
+  (* the chunked channel path (64 KiB windows + compaction) agrees with
+     the in-memory path on a trace larger than one window *)
+  let tr = (campaign ~jobs:1).Attack.Timing_experiment.trace in
+  let bin = Sim.Trace.render Sim.Trace.Binary tr in
+  let path = Filename.temp_file "trace" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc bin;
+  close_out oc;
+  let ic = open_in_bin path in
+  let via_channel =
+    match
+      Sim.Trace_reader.fold_binary
+        (Sim.Trace_reader.of_channel ic)
+        ~init:[] ~f:(fun acc e -> e :: acc)
+    with
+    | Ok acc -> List.rev acc
+    | Error e ->
+      Alcotest.failf "channel decode failed: %s"
+        (Sim.Trace_reader.error_to_string e)
+  in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "channel fold = string fold"
+    (jsonl_of_events (decode_binary_exn bin))
+    (jsonl_of_events via_channel)
+
+(* --- streaming analyzers --- *)
+
+let analyze_exn s =
+  match Sim.Analyze.of_source (Sim.Trace_reader.of_string s) with
+  | Ok t -> t
+  | Error e ->
+    Alcotest.failf "analyze failed: %s" (Sim.Trace_reader.error_to_string e)
+
+let test_analyze_binary_equals_jsonl () =
+  let tr = (campaign ~jobs:1).Attack.Timing_experiment.trace in
+  let sb = Sim.Analyze.render_json (analyze_exn (Sim.Trace.render Sim.Trace.Binary tr)) in
+  let sj = Sim.Analyze.render_json (analyze_exn (Sim.Trace.render Sim.Trace.Jsonl tr)) in
+  Alcotest.(check string) "binary and JSONL summaries bit-identical" sb sj;
+  (* and both equal feeding the live tracer directly *)
+  let live = Sim.Analyze.create () in
+  Sim.Trace.iter tr (Sim.Analyze.feed live);
+  Alcotest.(check string) "live feed matches" (Sim.Analyze.render_json live) sb;
+  Alcotest.(check bool) "attack matrix present" true (contains sb "\"attack\": {")
+
+let test_analyze_attack_numbers () =
+  let tr = (campaign ~jobs:1).Attack.Timing_experiment.trace in
+  let t = analyze_exn (Sim.Trace.render Sim.Trace.Binary tr) in
+  match Sim.Analyze.attack t with
+  | None -> Alcotest.fail "no attack matrix found in the campaign trace"
+  | Some a ->
+    (* 8 contents x 4 runs, one warm and one cold probe each *)
+    Alcotest.(check int) "warm probes" 32 a.Sim.Analyze.warm;
+    Alcotest.(check int) "cold probes" 32 a.Sim.Analyze.cold;
+    Alcotest.(check bool) "tpr in [0,1]" true
+      (a.Sim.Analyze.tpr >= 0. && a.Sim.Analyze.tpr <= 1.);
+    Alcotest.(check bool) "accuracy in [0,1]" true
+      (a.Sim.Analyze.accuracy >= 0. && a.Sim.Analyze.accuracy <= 1.);
+    (* an undefended LAN leaks: warm probes hit, cold probes miss *)
+    Alcotest.(check bool) "accuracy above chance" true
+      (a.Sim.Analyze.accuracy > 0.5)
+
+let test_analyze_sharded_matches () =
+  (* Shard stitching orders same-time events by (node id, counter); the
+     binary writer must observe that stitched order identically for any
+     K — same bytes, and a fortiori the same analyzer summary. *)
+  let b1 =
+    Sim.Trace.render Sim.Trace.Binary
+      (campaign_sharded ~shards:1).Attack.Timing_experiment.trace
+  in
+  let b4 =
+    Sim.Trace.render Sim.Trace.Binary
+      (campaign_sharded ~shards:4).Attack.Timing_experiment.trace
+  in
+  Alcotest.(check bool) "binary bytes identical across --shards K" true (b1 = b4);
+  Alcotest.(check string) "analyzer summaries identical across --shards K"
+    (Sim.Analyze.render_json (analyze_exn b1))
+    (Sim.Analyze.render_json (analyze_exn b4))
+
+let check_merge_law evs k =
+  let whole = Sim.Analyze.create () in
+  List.iter (Sim.Analyze.feed whole) evs;
+  let a = Sim.Analyze.create () and b = Sim.Analyze.create () in
+  List.iteri (fun i e -> Sim.Analyze.feed (if i < k then a else b) e) evs;
+  let m = Sim.Analyze.merge a b in
+  Alcotest.(check int) "events" (Sim.Analyze.events whole) (Sim.Analyze.events m);
+  Alcotest.(check int) "span_us" (Sim.Analyze.span_us whole) (Sim.Analyze.span_us m);
+  Alcotest.(check int) "nodes" (Sim.Analyze.distinct_nodes whole)
+    (Sim.Analyze.distinct_nodes m);
+  Alcotest.(check int) "names" (Sim.Analyze.distinct_names whole)
+    (Sim.Analyze.distinct_names m);
+  List.iter
+    (fun kind ->
+      Alcotest.(check int)
+        (Printf.sprintf "count %s" (Sim.Trace.kind_to_string kind))
+        (Sim.Analyze.kind_count whole kind)
+        (Sim.Analyze.kind_count m kind))
+    Sim.Trace.all_kinds;
+  Alcotest.(check bool) "attack matrices equal" true
+    (Sim.Analyze.attack whole = Sim.Analyze.attack m);
+  Alcotest.(check bool) "tier rows equal" true
+    (Sim.Analyze.tiers whole = Sim.Analyze.tiers m);
+  Alcotest.(check bool) "histograms equal" true
+    (Sim.Histogram.equal (Sim.Analyze.delay_hist whole) (Sim.Analyze.delay_hist m));
+  Alcotest.(check int) "delay count"
+    (Sim.Stats.count (Sim.Analyze.delay whole))
+    (Sim.Stats.count (Sim.Analyze.delay m));
+  (* the parallel Welford merge reassociates float additions, so the
+     moments agree to tolerance rather than bit-for-bit *)
+  if Sim.Stats.count (Sim.Analyze.delay whole) > 0 then begin
+    Alcotest.(check (float 1e-9)) "delay mean"
+      (Sim.Stats.mean (Sim.Analyze.delay whole))
+      (Sim.Stats.mean (Sim.Analyze.delay m));
+    if Sim.Stats.count (Sim.Analyze.delay whole) > 1 then
+      Alcotest.(check (float 1e-9)) "delay stddev"
+        (Sim.Stats.stddev (Sim.Analyze.delay whole))
+        (Sim.Stats.stddev (Sim.Analyze.delay m))
+  end
+
+let test_analyze_merge_law () =
+  let evs =
+    Array.to_list
+      (Sim.Trace.events (campaign ~jobs:1).Attack.Timing_experiment.trace)
+  in
+  let n = List.length evs in
+  List.iter (check_merge_law evs) [ 0; 1; n / 3; n / 2; n - 1; n ]
+
+let qcheck_analyze_merge_law =
+  QCheck.Test.make ~name:"analyzer split-feed-merge = whole-feed" ~count:50
+    QCheck.(pair arb_events (int_range 0 1000))
+    (fun (evs, cut) ->
+      let k = if evs = [] then 0 else cut mod (List.length evs + 1) in
+      let whole = Sim.Analyze.create () in
+      List.iter (Sim.Analyze.feed whole) evs;
+      let a = Sim.Analyze.create () and b = Sim.Analyze.create () in
+      List.iteri (fun i e -> Sim.Analyze.feed (if i < k then a else b) e) evs;
+      let m = Sim.Analyze.merge a b in
+      Sim.Analyze.events whole = Sim.Analyze.events m
+      && Sim.Analyze.attack whole = Sim.Analyze.attack m
+      && Sim.Analyze.tiers whole = Sim.Analyze.tiers m
+      && Sim.Histogram.equal (Sim.Analyze.delay_hist whole)
+           (Sim.Analyze.delay_hist m)
+      && List.for_all
+           (fun kind ->
+             Sim.Analyze.kind_count whole kind = Sim.Analyze.kind_count m kind)
+           Sim.Trace.all_kinds)
+
 let () =
   Alcotest.run "trace"
     [
@@ -624,4 +1022,46 @@ let () =
           Alcotest.test_case "semantic errors carry lines" `Quick
             test_topo_semantic_errors_carry_lines;
         ] );
+      ( "binary",
+        [
+          Alcotest.test_case "format_of_string binary" `Quick
+            test_binary_format_of_string;
+          Alcotest.test_case "kind ids = registry positions" `Quick
+            test_kind_ids_are_registry_positions;
+          Alcotest.test_case "round-trip all kinds" `Quick
+            test_binary_round_trip_all_kinds;
+          Alcotest.test_case "incremental encoder" `Quick
+            test_binary_incremental_encoder;
+          Alcotest.test_case "write = render" `Slow
+            test_binary_write_matches_render;
+          Alcotest.test_case "golden binary probe trace" `Quick
+            test_golden_binary_probe_trace;
+          Alcotest.test_case "bad magic" `Quick test_binary_bad_magic;
+          Alcotest.test_case "version mismatch" `Quick
+            test_binary_version_mismatch;
+          Alcotest.test_case "truncation" `Quick test_binary_truncation;
+          Alcotest.test_case "bad varint" `Quick test_binary_bad_varint;
+          Alcotest.test_case "framing violations" `Quick
+            test_binary_framing_violations;
+          Alcotest.test_case "detect and fold_auto" `Quick test_detect_and_auto;
+          Alcotest.test_case "channel source" `Slow test_reader_channel_source;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "binary = jsonl bit-for-bit" `Slow
+            test_analyze_binary_equals_jsonl;
+          Alcotest.test_case "attack confusion matrix" `Slow
+            test_analyze_attack_numbers;
+          Alcotest.test_case "sharded analyzer matches" `Slow
+            test_analyze_sharded_matches;
+          Alcotest.test_case "merge law on campaign" `Slow
+            test_analyze_merge_law;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_binary_round_trip;
+            qcheck_jsonl_reader_round_trip;
+            qcheck_analyze_merge_law;
+          ] );
     ]

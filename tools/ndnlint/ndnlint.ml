@@ -94,6 +94,14 @@ let all_rules =
       typed = false;
       synopsis = "NACK reason constructor lacks a registered nack.* trace kind";
     };
+    {
+      id = "T4";
+      severity = Error;
+      typed = false;
+      synopsis =
+        "binary kind-id table out of sync with the trace-kind registry \
+         (missing or misnumbered kind_id case)";
+    };
     { id = "S1"; severity = Error; typed = false;
       synopsis = "lib module lacks an .mli" };
     { id = "S2"; severity = Error; typed = false;
@@ -574,6 +582,81 @@ let scan_structure ctx ~key_modules ~registry ~emit ~record_kind str =
             argument" fn)
     | _ -> ()
   in
+  (* T4 state: the constructor -> wire-name cases of [kind_to_string]
+     and the constructor -> integer cases of [kind_id], joined against
+     the registry after the whole structure has been scanned (the two
+     bindings are separate structure items). *)
+  let kts_cases = ref [] in
+  let kid_cases = ref [] in
+  let kid_defined = ref false in
+  let rec match_cases e =
+    match e.pexp_desc with
+    | Pexp_function cases -> cases
+    | Pexp_fun (_, _, _, body) -> match_cases body
+    | Pexp_match (_, cases) -> cases
+    | _ -> []
+  in
+  let ctor_of_pat p =
+    match p.ppat_desc with
+    | Ppat_construct ({ txt = Longident.Lident c; _ }, _) -> Some c
+    | _ -> None
+  in
+  let collect_kind_to_string_cases e =
+    List.iter
+      (fun case ->
+        match (ctor_of_pat case.pc_lhs, case.pc_rhs.pexp_desc) with
+        | Some c, Pexp_constant (Pconst_string (s, sloc, _)) ->
+          kts_cases := (c, (s, pos_of_loc sloc)) :: !kts_cases
+        | _ -> ())
+      (match_cases e)
+  in
+  let collect_kind_id_cases e =
+    kid_defined := true;
+    List.iter
+      (fun case ->
+        match (ctor_of_pat case.pc_lhs, case.pc_rhs.pexp_desc) with
+        | Some c, Pexp_constant (Pconst_integer (n, None)) -> (
+          match int_of_string_opt n with
+          | Some id ->
+            kid_cases := (c, (id, pos_of_loc case.pc_rhs.pexp_loc)) :: !kid_cases
+          | None -> ())
+        | _ -> ())
+      (match_cases e)
+  in
+  (* T4: in a file defining both tables, every registered kind must
+     carry a binary id equal to its registry position — the binary
+     trace header snapshots the registry in order, so a missing or
+     misnumbered id makes readers decode the wrong kind. *)
+  let check_kind_ids () =
+    match registry with
+    | Some reg when !kid_defined && !kts_cases <> [] ->
+      List.iteri
+        (fun idx (wire, _regline) ->
+          match
+            List.find_opt (fun (_, (s, _)) -> s = wire) !kts_cases
+          with
+          | None -> () (* stale registry entry: T2's finding *)
+          | Some (ctor, (_, (sline, scol))) -> (
+            match List.assoc_opt ctor !kid_cases with
+            | None ->
+              emit ~rule:"T4" ~line:sline ~col:scol
+                ~msg:
+                  (Printf.sprintf
+                     "registered trace kind %S has no stable binary id: add \
+                      a kind_id case mapping %s to its registry position %d, \
+                      or binary traces cannot encode it" wire ctor idx)
+            | Some (id, (iline, icol)) ->
+              if id <> idx then
+                emit ~rule:"T4" ~line:iline ~col:icol
+                  ~msg:
+                    (Printf.sprintf
+                       "binary id %d for trace kind %S disagrees with its \
+                        registry position %d; the binary header snapshots \
+                        the registry in order, so readers would decode the \
+                        wrong kind" id wire idx)))
+        reg
+    | _ -> ()
+  in
   let collect_kinds e =
     let it =
       {
@@ -636,7 +719,10 @@ let scan_structure ctx ~key_modules ~registry ~emit ~record_kind str =
               (fun vb ->
                 match vb.pvb_pat.ppat_desc with
                 | Ppat_var { txt = "kind_to_string"; _ } ->
-                  collect_kinds vb.pvb_expr
+                  collect_kinds vb.pvb_expr;
+                  collect_kind_to_string_cases vb.pvb_expr
+                | Ppat_var { txt = "kind_id"; _ } ->
+                  collect_kind_id_cases vb.pvb_expr
                 | _ -> ())
               vbs;
             Ast_iterator.default_iterator.structure_item it si;
@@ -676,7 +762,8 @@ let scan_structure ctx ~key_modules ~registry ~emit ~record_kind str =
           | _ -> Ast_iterator.default_iterator.structure_item it si);
     }
   in
-  List.iter (it.structure_item it) str
+  List.iter (it.structure_item it) str;
+  check_kind_ids ()
 
 (* --- parsing --- *)
 
